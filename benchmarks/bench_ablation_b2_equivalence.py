@@ -1,0 +1,39 @@
+"""Appendix B.2 ablation: redundant-bag elimination and top-down elision.
+
+The paper reports a 2x Barbell speedup from recognizing that the two
+triangle bags are identical, and ~10% from skipping the top-down pass on
+count queries.  This bench measures both switches on the micro datasets.
+"""
+
+import pytest
+
+from repro.graphs import BARBELL_COUNT
+
+from conftest import database_for, run_or_timeout
+
+VARIANTS = {
+    "full": {},
+    "no-bag-reuse": {"eliminate_redundant_bags": False},
+    "no-topdown-elision": {"skip_top_down": False},
+}
+
+
+@pytest.mark.parametrize("dataset", ("patents", "higgs", "livejournal"))
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_b2_ablation(benchmark, dataset, variant):
+    benchmark.group = "ablation-b2:" + dataset
+    db = database_for(dataset, key="b2:" + variant, **VARIANTS[variant])
+    run_or_timeout(benchmark, lambda: db.query(BARBELL_COUNT).scalar)
+    benchmark.extra_info["variant"] = variant
+
+
+def test_shape_bag_reuse_saves_ops():
+    db_on = database_for("patents", key="b2:full")
+    db_on.counter.reset()
+    db_on.query(BARBELL_COUNT)
+    ops_on = db_on.counter.total_ops
+    db_off = database_for("patents", key="b2:no-bag-reuse",
+                          eliminate_redundant_bags=False)
+    db_off.counter.reset()
+    db_off.query(BARBELL_COUNT)
+    assert ops_on < 0.8 * db_off.counter.total_ops

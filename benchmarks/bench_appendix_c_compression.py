@@ -1,0 +1,83 @@
+"""Appendix C.1: encoded sizes and decode costs of the set layouts.
+
+The paper's Appendix C introduces pshort/variant/bitpacked as
+*compression* layouts: they shrink clustered data well but pay a decode
+on every intersection (which is why they never win in Figure 9).  This
+bench measures both halves on real neighborhood data: bytes per layout
+across each dataset's adjacency sets, plus encode/decode round-trip
+time for the compressed layouts.
+"""
+
+import pytest
+
+from repro.graphs import MICRO_DATASETS, neighborhoods
+from repro.sets import (BitPackedSet, BitSet, BlockedSet, PShortSet,
+                        UintSet, VariantSet)
+
+from conftest import undirected_edges_of
+
+LAYOUTS = {"uint": UintSet, "bitset": BitSet, "pshort": PShortSet,
+           "variant": VariantSet, "bitpacked": BitPackedSet,
+           "block": BlockedSet}
+
+
+def dataset_neighborhoods(dataset):
+    return [hood for hood in neighborhoods(undirected_edges_of(dataset))
+            if hood.size]
+
+
+@pytest.mark.parametrize("dataset", ("googleplus", "patents"))
+@pytest.mark.parametrize("layout", sorted(LAYOUTS))
+def test_encoded_size(benchmark, dataset, layout):
+    """Total encoded bytes over every neighborhood set; timing covers
+    the encode pass."""
+    benchmark.group = "appendixC:size:%s" % dataset
+    hoods = dataset_neighborhoods(dataset)
+    cls = LAYOUTS[layout]
+
+    def encode_all():
+        return sum(cls(hood).nbytes for hood in hoods)
+
+    total = benchmark.pedantic(encode_all, rounds=1, iterations=1,
+                               warmup_rounds=0)
+    benchmark.extra_info["total_bytes"] = int(total)
+    benchmark.extra_info["bytes_per_value"] = round(
+        total / sum(h.size for h in hoods), 2)
+
+
+@pytest.mark.parametrize("layout", ("variant", "bitpacked", "uint"))
+def test_decode_cost(benchmark, layout):
+    """Decode (to_array) time over the Google+ analog's neighborhoods —
+    the per-intersection tax the compressed layouts pay."""
+    benchmark.group = "appendixC:decode"
+    hoods = dataset_neighborhoods("googleplus")
+    encoded = [LAYOUTS[layout](hood) for hood in hoods]
+    benchmark.pedantic(lambda: [s.to_array() for s in encoded],
+                       rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_shape_compressed_layouts_smaller_on_dense_data():
+    """Variant/bitpacked beat uint on bytes for clustered neighborhoods
+    (the paper: better compression than LZO/Snappy-class tools)."""
+    import numpy as np
+    dense_run = np.arange(10_000, 14_096)
+    uint_bytes = UintSet(dense_run).nbytes
+    assert VariantSet(dense_run).nbytes < uint_bytes / 3
+    assert BitPackedSet(dense_run).nbytes < uint_bytes / 8
+
+
+def test_shape_decode_tax_exists():
+    """Compressed decode must cost measurably more than uint's no-op."""
+    import time
+    hoods = dataset_neighborhoods("googleplus")
+    uint_sets = [UintSet(h) for h in hoods]
+    variant_sets = [VariantSet(h) for h in hoods]
+    start = time.perf_counter()
+    for s in uint_sets:
+        s.to_array()
+    uint_time = time.perf_counter() - start
+    start = time.perf_counter()
+    for s in variant_sets:
+        s.to_array()
+    variant_time = time.perf_counter() - start
+    assert variant_time > uint_time

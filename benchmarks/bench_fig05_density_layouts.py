@@ -1,0 +1,48 @@
+"""Figure 5: uint vs bitset intersection time across densities.
+
+Two sets of equal cardinality over a fixed 1M-value range, density swept
+from very sparse to dense.  Paper shape: uint wins at low density,
+bitset wins past a density crossover (its 256-value-per-op registers
+amortize once blocks fill up); the benchmark reports both wall time and
+simulated SIMD ops.
+"""
+
+import pytest
+
+from repro.graphs import synthetic_set
+from repro.sets import BitSet, OpCounter, UintSet, intersect
+
+RANGE = 1_000_000
+#: Swept densities (cardinality / range).
+DENSITIES = (0.0005, 0.002, 0.008, 0.03, 0.12, 0.5)
+
+
+def make_pair(density, layout):
+    a = synthetic_set(int(RANGE * density), RANGE, seed=1)
+    b = synthetic_set(int(RANGE * density), RANGE, seed=2)
+    return layout(a), layout(b)
+
+
+@pytest.mark.parametrize("density", DENSITIES)
+@pytest.mark.parametrize("layout", [UintSet, BitSet],
+                         ids=["uint", "bitset"])
+def test_intersection_by_density(benchmark, density, layout):
+    benchmark.group = "fig05:density=%g" % density
+    set_a, set_b = make_pair(density, layout)
+    once = OpCounter()
+    intersect(set_a, set_b, once)
+    benchmark.extra_info["model_ops"] = once.total_ops
+    benchmark.pedantic(lambda: intersect(set_a, set_b, OpCounter()),
+                       rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_shape_uint_wins_sparse_bitset_wins_dense():
+    """The crossover itself, on the op model (deterministic)."""
+    def ops(density, layout):
+        set_a, set_b = make_pair(density, layout)
+        counter = OpCounter()
+        intersect(set_a, set_b, counter)
+        return counter.total_ops
+
+    assert ops(0.0005, UintSet) < ops(0.0005, BitSet)
+    assert ops(0.5, BitSet) < ops(0.5, UintSet)

@@ -1,0 +1,48 @@
+"""Figure 6: the block-composite layout on sets with dense regions.
+
+Sets are sparse except for one contiguous dense run whose share of the
+elements sweeps from 0% to 90%.  Paper shape: the composite layout
+tracks the better of uint/bitset at the extremes and beats both (up to
+2x) in the mixed-density middle, because it stores the dense run as
+bitset blocks and the sparse remainder as uint blocks.
+"""
+
+import pytest
+
+from repro.graphs import set_with_dense_region
+from repro.sets import BitSet, BlockedSet, OpCounter, UintSet, intersect
+
+TOTAL = 40_000
+RANGE = 2_000_000
+FRACTIONS = (0.0, 0.3, 0.6, 0.9)
+LAYOUTS = {"uint": UintSet, "bitset": BitSet, "block": BlockedSet}
+
+
+def make_pair(fraction, layout):
+    a = set_with_dense_region(TOTAL, RANGE, fraction, seed=1)
+    b = set_with_dense_region(TOTAL, RANGE, fraction, seed=2)
+    return layout(a), layout(b)
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+@pytest.mark.parametrize("layout", sorted(LAYOUTS))
+def test_dense_region_layouts(benchmark, fraction, layout):
+    benchmark.group = "fig06:dense=%g" % fraction
+    set_a, set_b = make_pair(fraction, LAYOUTS[layout])
+    once = OpCounter()
+    intersect(set_a, set_b, once)
+    benchmark.extra_info["model_ops"] = once.total_ops
+    benchmark.pedantic(lambda: intersect(set_a, set_b, OpCounter()),
+                       rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_shape_composite_wins_on_mixed_density():
+    def ops(fraction, layout):
+        set_a, set_b = make_pair(fraction, layout)
+        counter = OpCounter()
+        intersect(set_a, set_b, counter)
+        return counter.total_ops
+
+    mixed = 0.6
+    assert ops(mixed, BlockedSet) < ops(mixed, UintSet)
+    assert ops(mixed, BlockedSet) < ops(mixed, BitSet)

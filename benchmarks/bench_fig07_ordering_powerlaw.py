@@ -1,0 +1,56 @@
+"""Figure 7: node-ordering effect vs power-law exponent.
+
+Triangle counting on synthetic power-law graphs with exponents from
+~1.6 to 3.0, under random / degree / BFS / hybrid orderings (with
+symmetric filtering, where ordering matters most).
+
+Paper shape: degree ordering wins at low exponents (heavy hubs), BFS
+wins at high exponents, and the proposed hybrid tracks whichever of the
+two is better.
+"""
+
+import pytest
+
+from repro import Database
+from repro.graphs import TRIANGLE_COUNT, chung_lu_graph
+
+EXPONENTS = (1.6, 2.0, 2.5, 3.0)
+ORDERINGS = ("random", "degree", "bfs", "hybrid")
+
+_GRAPHS = {}
+
+
+def graph_for(exponent):
+    if exponent not in _GRAPHS:
+        _GRAPHS[exponent] = chung_lu_graph(1200, 6000, exponent,
+                                           seed=int(exponent * 10))
+    return _GRAPHS[exponent]
+
+
+@pytest.mark.parametrize("exponent", EXPONENTS)
+@pytest.mark.parametrize("ordering", ORDERINGS)
+def test_ordering_across_exponents(benchmark, exponent, ordering):
+    benchmark.group = "fig07:gamma=%g" % exponent
+    edges = [tuple(e) for e in graph_for(exponent)]
+    db = Database(ordering=ordering)
+    db.load_graph("Edge", edges, prune=True)
+    db.query(TRIANGLE_COUNT)  # warm tries outside the measurement
+    benchmark.pedantic(lambda: db.query(TRIANGLE_COUNT).scalar,
+                       rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["ordering"] = ordering
+
+
+def test_shape_hybrid_never_far_from_best():
+    """The hybrid ordering's defining property, on the op model."""
+    from repro.graphs import TRIANGLE_COUNT
+
+    def ops(exponent, ordering):
+        db = Database(ordering=ordering)
+        db.load_graph("Edge", [tuple(e) for e in graph_for(exponent)],
+                      prune=True)
+        db.query(TRIANGLE_COUNT)
+        return db.counter.total_ops
+
+    for exponent in (1.6, 3.0):
+        best = min(ops(exponent, o) for o in ("degree", "bfs"))
+        assert ops(exponent, "hybrid") <= 1.5 * best

@@ -1,0 +1,52 @@
+"""Figure 9: best layout combination vs density, relative to uint.
+
+For each density over a fixed 1M range, every homogeneous layout pair is
+priced; the benchmark reports the winner and its advantage over the best
+uint-only algorithm.  Paper shape: uint wins when sparse; bitset pairs
+win when dense; the compressed layouts (variant/bitpacked) never win
+because of their decode step; pshort occasionally competes in between
+but rarely wins on real data.
+"""
+
+import pytest
+
+from repro.graphs import synthetic_set
+from repro.sets import (BitPackedSet, BitSet, OpCounter, PShortSet,
+                        UintSet, VariantSet, intersect)
+
+RANGE = 1_000_000
+DENSITIES = (0.001, 0.01, 0.1, 0.5)
+LAYOUTS = {"uint": UintSet, "bitset": BitSet, "pshort": PShortSet,
+           "variant": VariantSet, "bitpacked": BitPackedSet}
+
+
+def ops_for(density, layout):
+    a = layout(synthetic_set(int(RANGE * density), RANGE, seed=3))
+    b = layout(synthetic_set(int(RANGE * density), RANGE, seed=4))
+    counter = OpCounter()
+    intersect(a, b, counter)
+    return counter.total_ops
+
+
+@pytest.mark.parametrize("density", DENSITIES)
+@pytest.mark.parametrize("layout", sorted(LAYOUTS))
+def test_layout_at_density(benchmark, density, layout):
+    benchmark.group = "fig09:density=%g" % density
+    cls = LAYOUTS[layout]
+    a = cls(synthetic_set(int(RANGE * density), RANGE, seed=3))
+    b = cls(synthetic_set(int(RANGE * density), RANGE, seed=4))
+    benchmark.extra_info["model_ops"] = ops_for(density, cls)
+    benchmark.pedantic(lambda: intersect(a, b, OpCounter()),
+                       rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_shape_winners_by_density():
+    sparse = {name: ops_for(0.001, cls) for name, cls in LAYOUTS.items()}
+    dense = {name: ops_for(0.5, cls) for name, cls in LAYOUTS.items()}
+    assert min(sparse, key=sparse.get) in ("uint", "pshort")
+    assert min(dense, key=dense.get) == "bitset"
+    # compressed layouts never achieve the best performance (App. C.2.2)
+    for table in (sparse, dense):
+        best = min(table.values())
+        assert table["variant"] > best
+        assert table["bitpacked"] > best

@@ -1,0 +1,54 @@
+"""Figure 11: uint algorithms vs density at fixed cardinality.
+
+Both sets hold 2048 values; the range sweeps 10K → 1.2M (density sweeps
+high → low).  Paper shape: shuffling-family algorithms lead across most
+of the sweep at equal cardinalities; BMiss loses when ranges are small
+and output cardinality high (too many prefix collisions) and becomes
+competitive when ranges are large and outputs tiny.
+"""
+
+import pytest
+
+from repro.graphs import synthetic_set
+from repro.sets import OpCounter, UINT_ALGORITHMS, UintSet, intersect
+
+CARDINALITY = 2048
+RANGES = (10_000, 60_000, 300_000, 1_200_000)
+
+
+def pair(value_range):
+    a = UintSet(synthetic_set(CARDINALITY, value_range, seed=7))
+    b = UintSet(synthetic_set(CARDINALITY, value_range, seed=8))
+    return a, b
+
+
+@pytest.mark.parametrize("value_range", RANGES)
+@pytest.mark.parametrize("algorithm", UINT_ALGORITHMS)
+def test_algorithms_by_density(benchmark, value_range, algorithm):
+    benchmark.group = "fig11:range=%d" % value_range
+    a, b = pair(value_range)
+    benchmark.extra_info["model_ops"] = model_ops(value_range, algorithm)
+    benchmark.pedantic(
+        lambda: intersect(a, b, OpCounter(), algorithm=algorithm),
+        rounds=3, iterations=1, warmup_rounds=1)
+
+
+def model_ops(value_range, algorithm):
+    a, b = pair(value_range)
+    counter = OpCounter()
+    intersect(a, b, counter, algorithm=algorithm)
+    return counter.total_ops
+
+
+def test_shape_equal_cardinalities_favor_shuffling():
+    for value_range in RANGES:
+        assert model_ops(value_range, "shuffling") \
+            <= model_ops(value_range, "galloping")
+
+
+def test_shape_bmiss_pays_for_dense_collisions():
+    """BMiss's scalar confirmations grow with output cardinality: it
+    must cost more at high density than at low density (per op)."""
+    dense = model_ops(10_000, "bmiss")
+    sparse = model_ops(1_200_000, "bmiss")
+    assert dense > sparse

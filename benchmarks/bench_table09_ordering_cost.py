@@ -1,0 +1,27 @@
+"""Table 9: cost of computing each node ordering.
+
+Paper shape: degree/reverse-degree are cheapest (sort by node count),
+BFS scales with edges, hybrid ≈ BFS + degree, shingle and strong-runs
+cost more than plain degree.  Measured on the Higgs and LiveJournal
+analogs, the two datasets the paper's Table 9 uses.
+"""
+
+import pytest
+
+from repro.storage import ORDERINGS, order_nodes
+
+from conftest import edges_of, run_or_timeout
+
+DATASETS = ("higgs", "livejournal")
+SCHEMES = [s for s in ORDERINGS if s != "identity"]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_ordering_cost(benchmark, dataset, scheme):
+    benchmark.group = "table09:" + dataset
+    edges = edges_of(dataset)
+    n_nodes = int(edges.max()) + 1
+    run_or_timeout(benchmark,
+                   lambda: order_nodes(edges, n_nodes, scheme=scheme),
+                   prewarm=False)

@@ -1,0 +1,33 @@
+"""Table 14: cardinality/range profile of neighborhood sets.
+
+The paper reports mean/max cardinality and mean/max range of the sets in
+LiveJournal and Twitter to motivate why graph sets are sparse (mean
+cardinality tiny relative to mean range) — the regime where the uint
+layout dominates and galloping matters.
+"""
+
+import pytest
+
+from repro.graphs import neighborhoods
+from repro.sets import set_statistics
+
+from conftest import run_or_timeout, undirected_edges_of
+
+DATASETS = ("livejournal", "twitter")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_set_statistics(benchmark, dataset):
+    benchmark.group = "table14"
+    edges = undirected_edges_of(dataset)
+
+    def run():
+        return set_statistics(neighborhoods(edges))
+
+    stats = run_or_timeout(benchmark, run, prewarm=False)
+    for key, value in stats.items():
+        benchmark.extra_info[key] = round(float(value), 1)
+    # The paper's qualitative claim: sets are extremely sparse — the
+    # mean range dwarfs the mean cardinality by orders of magnitude.
+    assert stats["mean_range"] > 20 * stats["mean_cardinality"]
+    assert stats["max_range"] >= stats["mean_range"]

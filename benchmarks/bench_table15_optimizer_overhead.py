@@ -1,0 +1,44 @@
+"""Table 15: layout-optimizer decision overhead.
+
+Measures the fraction of end-to-end triangle-counting time (trie build +
+query) spent inside the layout optimizer's per-set decisions, for the
+set-level and block-level optimizers.
+
+Paper shape: single-digit percentages for the set optimizer (1-10%),
+roughly 2-3x more for the block optimizer, largest on the smallest
+dataset (Patents) where fixed costs loom larger.
+"""
+
+import time
+
+import pytest
+
+from repro import Database
+from repro.graphs import MICRO_DATASETS, TRIANGLE_COUNT
+
+from conftest import edges_of
+
+LEVELS = ("set", "block")
+
+
+@pytest.mark.parametrize("dataset", MICRO_DATASETS)
+@pytest.mark.parametrize("level", LEVELS)
+def test_optimizer_overhead(benchmark, dataset, level):
+    benchmark.group = "table15:" + dataset
+    edges = [tuple(e) for e in edges_of(dataset)]
+
+    def run():
+        db = Database(layout_level=level)
+        db.load_graph("Edge", edges, prune=True)
+        start = time.perf_counter()
+        db.query(TRIANGLE_COUNT)
+        elapsed = time.perf_counter() - start
+        decision = sum(trie.optimizer.decision_seconds
+                       for trie in db._trie_cache._tries.values())
+        return decision / elapsed if elapsed else 0.0
+
+    fraction = benchmark.pedantic(run, rounds=1, iterations=1,
+                                  warmup_rounds=0)
+    benchmark.extra_info["level"] = level
+    benchmark.extra_info["overhead_pct"] = round(100 * fraction, 1)
+    assert 0.0 <= fraction < 0.9

@@ -1,0 +1,160 @@
+"""Generate EXPERIMENTS.md from a pytest-benchmark JSON dump.
+
+Usage::
+
+    pytest benchmarks/ --benchmark-only \
+        --benchmark-json=bench_results.json
+    python benchmarks/report.py bench_results.json > EXPERIMENTS.md
+
+Groups benchmarks by their ``benchmark.group`` (``tableNN:...`` /
+``figNN:...``), renders one markdown table per experiment with wall time
+and the simulated-SIMD op counts the harness attaches via
+``extra_info``, and prefixes each with the paper's expected shape.
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+#: Expected-shape commentary per experiment id, written against the
+#: paper's tables/figures.  Rendered above each measured table.
+EXPECTATIONS = {
+    "table04": (
+        "Paper Table 4: optimizer level vs oracle — set level closest "
+        "overall (1.1-1.6x); relation level worst on the high-skew "
+        "dataset; block level in between.  Compare the x_oracle column."),
+    "table05": (
+        "Paper Table 5: triangle counting — EmptyHeaded first on every "
+        "dataset in algorithmic work (model_ops), low-level engines "
+        "within small factors, high-level engines orders of magnitude "
+        "behind (SociaLite t/o on the largest).  Wall time in pure "
+        "Python additionally reflects interpreter constants; see the "
+        "metrics note in EXPERIMENTS.md."),
+    "table06": (
+        "Paper Table 6: PageRank x5 — EmptyHeaded within small factors "
+        "of the tuned (Galois-class) engine, ahead of the per-vertex "
+        "scalar engines, an order of magnitude ahead of "
+        "SociaLite/LogicBlox classes."),
+    "table07": (
+        "Paper Table 7: SSSP — the tuned (Galois-class) engine wins by "
+        "2-30x; EmptyHeaded beats the scalar vertex-program and datalog "
+        "engines; LogicBlox-class far behind."),
+    "table08": (
+        "Paper Table 8: K4/L31/B31 with ablations — '-R' costs up to "
+        "orders of magnitude (layouts), '-RA' more, '-GHD' blows up or "
+        "times out on B31, is skipped for K4 (single bag optimal); "
+        "SociaLite/LogicBlox classes t/o or trail by orders of "
+        "magnitude."),
+    "table09": (
+        "Paper Table 9: ordering costs — degree/rev-degree cheapest, "
+        "BFS linear in edges, hybrid ≈ BFS + degree, shingle/strong-"
+        "runs in between."),
+    "table10": (
+        "Paper Table 10: random-vs-degree ordering matters little "
+        "without symmetric filtering and more with it; the set-level "
+        "optimizer is more robust to bad orderings than uint-only."),
+    "table11": (
+        "Paper Table 11: '-S' (no SIMD) costs ~1-2x, '-R' most on "
+        "high-skew data, '-SR' compounds; effects larger on default "
+        "(unfiltered) data."),
+    "table13": (
+        "Paper Table 13: selection push-down wins large factors, most "
+        "on low-selectivity (low-degree) nodes; '-GHD' (no push-down) "
+        "much slower; LogicBlox-class trails."),
+    "table14": (
+        "Paper Table 14: neighborhood sets are extremely sparse — mean "
+        "range dwarfs mean cardinality."),
+    "table15": (
+        "Paper Table 15: layout-decision overhead single-digit percent "
+        "for the set optimizer, 2-3x more for block level."),
+    "fig05": (
+        "Paper Figure 5: uint wins sparse, bitset wins dense, with a "
+        "density crossover."),
+    "fig06": (
+        "Paper Figure 6: the block-composite layout beats homogeneous "
+        "layouts on sets with internal dense regions (up to 2x)."),
+    "fig07": (
+        "Paper Figure 7: degree ordering best at low power-law "
+        "exponents, BFS best at high; hybrid tracks the winner."),
+    "fig09": (
+        "Paper Figure 9: best layout pair by density; compressed "
+        "layouts (variant/bitpacked) never win due to decode cost."),
+    "fig10": (
+        "Paper Figure 10: galloping overtakes shuffling past the 32:1 "
+        "cardinality ratio and dominates at extreme skew."),
+    "fig11": (
+        "Paper Figure 11: at equal cardinalities the shuffling family "
+        "leads across densities; BMiss pays for prefix collisions on "
+        "dense ranges."),
+    "asymptotics": (
+        "Paper §1 / §2.1: EmptyHeaded's op count tracks the AGM bound "
+        "(~N^1.5 on complete graphs, sublinear constants from bitsets); "
+        "the pairwise engine's wedge intermediate is Θ(N²) on star "
+        "graphs."),
+    "appendixC": (
+        "Paper Appendix C.1: variant/bitpacked compress clustered "
+        "data well below 4 bytes/value but pay a decode on every "
+        "use; uint is the fast, incompressible baseline."),
+    "ablation-b2": (
+        "Paper Appendix B.2: reusing the identical Barbell triangle bag "
+        "≈2x; skipping the top-down pass ~10%."),
+}
+
+
+def load(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def experiment_of(group):
+    return group.split(":", 1)[0] if group else "ungrouped"
+
+
+def render(data):
+    by_experiment = defaultdict(lambda: defaultdict(list))
+    for bench in data["benchmarks"]:
+        group = bench.get("group") or "ungrouped"
+        by_experiment[experiment_of(group)][group].append(bench)
+
+    lines = []
+    for experiment in sorted(by_experiment):
+        lines.append("### %s" % experiment)
+        lines.append("")
+        expectation = EXPECTATIONS.get(experiment)
+        if expectation:
+            lines.append("*Expected shape:* %s" % expectation)
+            lines.append("")
+        for group in sorted(by_experiment[experiment]):
+            benches = by_experiment[experiment][group]
+            benches.sort(key=lambda b: b["stats"]["mean"])
+            lines.append("**%s**" % group)
+            lines.append("")
+            extra_keys = sorted({key for bench in benches
+                                 for key in bench.get("extra_info", {})})
+            header = ["engine/variant", "wall (ms)", "rel"] + extra_keys
+            lines.append("| " + " | ".join(header) + " |")
+            lines.append("|" + "---|" * len(header))
+            best = benches[0]["stats"]["mean"]
+            for bench in benches:
+                name = bench["name"].replace("test_", "", 1)
+                mean_ms = bench["stats"]["mean"] * 1000
+                row = [name, "%.1f" % mean_ms,
+                       "%.2fx" % (bench["stats"]["mean"] / best)]
+                for key in extra_keys:
+                    value = bench.get("extra_info", {}).get(key, "")
+                    row.append(str(value))
+                lines.append("| " + " | ".join(row) + " |")
+            lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    print(render(load(argv[1])))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

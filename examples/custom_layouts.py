@@ -1,0 +1,81 @@
+"""Working with set layouts directly: the §4 execution-engine story.
+
+Shows the physical layer the engine is built on — the five set layouts,
+the adaptive intersection dispatcher, the cost model, and the set-level
+layout optimizer (Algorithm 3) — without going through the query
+language.
+
+Run with::
+
+    python examples/custom_layouts.py
+"""
+
+import numpy as np
+
+from repro.graphs import synthetic_set
+from repro.sets import (BitPackedSet, BitSet, BlockedSet, OpCounter,
+                        PShortSet, UintSet, VariantSet, build_set,
+                        choose_set_layout, intersect)
+
+
+def show_layout_sizes():
+    print("encoded sizes for 4096 dense values (bytes):")
+    dense = np.arange(100000, 104096)
+    for layout in (UintSet, BitSet, PShortSet, VariantSet, BitPackedSet,
+                   BlockedSet):
+        print("  %-12s %7d" % (layout.kind, layout(dense).nbytes))
+
+
+def show_adaptive_dispatch():
+    print()
+    print("adaptive intersection (Algorithm 2):")
+    domain = 1_000_000
+    small = UintSet(synthetic_set(64, domain, seed=1))
+    for ratio in (4, 64, 1024):
+        large = UintSet(synthetic_set(64 * ratio, domain, seed=2))
+        counter = OpCounter()
+        intersect(small, large, counter)
+        chosen = next(iter(counter.by_algorithm))
+        print("  ratio %5d:1 -> %-15s (%d simulated ops)"
+              % (ratio, chosen, counter.total_ops))
+
+
+def show_set_optimizer():
+    print()
+    print("set-level layout optimizer (Algorithm 3):")
+    samples = {
+        "dense neighborhood (range 512, card 400)":
+            np.sort(np.random.default_rng(0).choice(512, 400,
+                                                    replace=False)),
+        "sparse neighborhood (range 1M, card 400)":
+            synthetic_set(400, 1_000_000, seed=3),
+    }
+    for label, values in samples.items():
+        decision = choose_set_layout(values)
+        built = build_set(values, "set")
+        print("  %-45s -> %s (%d bytes)"
+              % (label, decision, built.nbytes))
+
+
+def show_dense_vs_sparse_economics():
+    print()
+    print("bitset vs uint economics (simulated ops per intersection):")
+    domain = 262_144
+    for density in (0.002, 0.05, 0.5):
+        values_a = synthetic_set(int(domain * density), domain, seed=4)
+        values_b = synthetic_set(int(domain * density), domain, seed=5)
+        row = {}
+        for layout in (UintSet, BitSet):
+            counter = OpCounter()
+            intersect(layout(values_a), layout(values_b), counter)
+            row[layout.kind] = counter.total_ops
+        winner = min(row, key=row.get)
+        print("  density %5.1f%%: uint=%8d bitset=%8d -> %s wins"
+              % (100 * density, row["uint"], row["bitset"], winner))
+
+
+if __name__ == "__main__":
+    show_layout_sizes()
+    show_adaptive_dispatch()
+    show_set_optimizer()
+    show_dense_vs_sparse_economics()

@@ -1,0 +1,58 @@
+"""Recursion: transitive closure and shortest paths over a DAG.
+
+Demonstrates the language's Kleene-star rules (paper §2.3) on a package
+dependency graph: which packages transitively depend on which, and how
+many hops separate them — naive (union) recursion for reachability and
+seminaive MIN recursion for hop counts.
+
+Run with::
+
+    python examples/recursion_reachability.py
+"""
+
+from repro import Database
+
+DEPENDENCIES = [
+    ("app", "web"), ("app", "auth"),
+    ("web", "http"), ("web", "templates"),
+    ("auth", "http"), ("auth", "crypto"),
+    ("http", "sockets"), ("templates", "parser"),
+    ("crypto", "mathlib"), ("sockets", "syscalls"),
+]
+
+
+def main():
+    db = Database()
+    db.load_graph("DependsOn", DEPENDENCIES, undirected=False)
+
+    # --- reachability via union recursion ---
+    closure = db.query("""
+        Reaches(x,y) :- DependsOn(x,y).
+        Reaches(x,y)* :- DependsOn(x,z),Reaches(z,y).
+    """)
+    reaches = {}
+    for src, dst in closure.tuples():
+        reaches.setdefault(src, set()).add(dst)
+    print("transitive dependencies:")
+    for package in sorted(reaches):
+        print("  %-10s -> %s" % (package, ", ".join(sorted(
+            reaches[package]))))
+
+    # --- dependency depth via seminaive MIN recursion ---
+    depths = db.query("""
+        Depth(x;d:int) :- DependsOn('app',x); d=1.
+        Depth(x;d:int)* :- DependsOn(w,x),Depth(w); d=<<MIN(w)>>+1.
+    """).to_dict()
+    print()
+    print("hop distance from 'app':")
+    for package in sorted(depths, key=depths.get):
+        print("  %-10s %d" % (package, int(depths[package])))
+
+    # --- who is affected if 'http' changes? ---
+    impacted = sorted(p for p, deps in reaches.items() if "http" in deps)
+    print()
+    print("packages impacted by a change to 'http':", ", ".join(impacted))
+
+
+if __name__ == "__main__":
+    main()

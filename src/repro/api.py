@@ -1,0 +1,302 @@
+"""Public API: the :class:`Database` façade.
+
+A :class:`Database` holds named relations and executes datalog-like
+query programs through the full EmptyHeaded pipeline: parser → GHD
+compiler → worst-case optimal execution engine.
+
+>>> from repro import Database
+>>> db = Database()
+>>> _ = db.load_graph("Edge", [(0, 1), (1, 2), (0, 2)])
+>>> db.query("T(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); "
+...          "w=<<COUNT(*)>>.").scalar
+6.0
+"""
+
+import numpy as np
+
+from .engine.config import EngineConfig
+from .engine.executor import RuleExecutor, TrieCache
+from .engine.recursion import execute_recursive
+from .errors import SchemaError, UnknownRelationError
+from .query.parser import parse
+from .storage.dictionary import Dictionary
+from .storage.ordering import apply_order, order_nodes
+from .storage.relation import Relation
+
+
+class Result:
+    """Outcome of a query: the last rule's output relation, decodable.
+
+    Attributes
+    ----------
+    relation:
+        The raw (dictionary-encoded) result
+        :class:`~repro.storage.relation.Relation`.
+    """
+
+    def __init__(self, relation):
+        self.relation = relation
+
+    @property
+    def count(self):
+        """Number of result tuples."""
+        return self.relation.cardinality
+
+    @property
+    def scalar(self):
+        """The single annotation of a 0-ary (aggregate-to-scalar) result."""
+        return self.relation.scalar_value
+
+    @property
+    def annotations(self):
+        """Annotation array parallel to :meth:`tuples` (or ``None``)."""
+        return self.relation.annotations
+
+    def tuples(self):
+        """Result tuples with dictionary decoding applied."""
+        return list(self.relation.decoded_tuples())
+
+    def to_dict(self):
+        """``{decoded key tuple: annotation}`` for annotated results.
+
+        Unary keys collapse to bare values for convenience.
+        """
+        if self.relation.annotations is None:
+            raise SchemaError("result carries no annotations")
+        out = {}
+        for key, value in zip(self.relation.decoded_tuples(),
+                              self.relation.annotations):
+            out[key[0] if len(key) == 1 else key] = float(value)
+        return out
+
+    def __len__(self):
+        return self.relation.cardinality
+
+    def __iter__(self):
+        return iter(self.relation.decoded_tuples())
+
+    def top(self, k=10):
+        """The ``k`` highest-annotated tuples as ``(key, value)`` pairs,
+        keys decoded (convenience for ranking queries like PageRank)."""
+        if self.relation.annotations is None:
+            raise SchemaError("result carries no annotations")
+        order = np.argsort(-self.relation.annotations)[:k]
+        keys = list(self.relation.decoded_tuples())
+        return [(keys[i][0] if len(keys[i]) == 1 else keys[i],
+                 float(self.relation.annotations[i])) for i in order]
+
+    def __repr__(self):
+        return "Result(%r)" % (self.relation,)
+
+
+class Database:
+    """An in-memory EmptyHeaded database instance.
+
+    Parameters
+    ----------
+    config:
+        Optional :class:`~repro.engine.config.EngineConfig`; keyword
+        overrides (``layout_level=...``, ``simd=...``) are applied on
+        top, so ``Database(layout_level="uint_only")`` is the "-R"
+        ablated engine.
+    ordering:
+        Default node-ordering scheme for :meth:`load_graph`
+        (paper Appendix A.1.1); ``"degree"`` is the standard.
+    """
+
+    def __init__(self, config=None, ordering="degree", seed=0, **overrides):
+        self.config = config if config is not None else EngineConfig()
+        if overrides:
+            self.config = self.config.ablated(**overrides)
+        self.default_ordering = ordering
+        self.seed = seed
+        self.catalog = {}
+        self._env = {}
+        self._trie_cache = TrieCache()
+        self._executor = RuleExecutor(self.catalog, self.config,
+                                      self._trie_cache, self._env)
+
+    # -- loading --------------------------------------------------------------
+
+    def add_relation(self, name, tuples, annotations=None,
+                     combine="last"):
+        """Register a relation from raw tuples (any hashable values).
+
+        All columns share one dictionary; use :meth:`add_encoded` when the
+        data is already dense ``uint32``.  Duplicate key tuples merge
+        their annotations per ``combine`` (``"last"``, ``"sum"``,
+        ``"min"``, or ``"max"`` — relations are sets, so pick the policy
+        that matches the data's meaning, e.g. ``"max"`` for parallel
+        edges keeping the best reliability).
+        """
+        relation = Relation.from_tuples(name, tuples,
+                                        annotations=annotations)
+        dictionaries = relation.dictionaries
+        relation = relation.deduplicated(combine)
+        relation.dictionaries = dictionaries
+        self._install(name, relation)
+        return relation
+
+    def add_encoded(self, name, data, annotations=None,
+                    dictionaries=None, combine="last"):
+        """Register an already-encoded relation (``uint32`` matrix).
+
+        See :meth:`add_relation` for the duplicate ``combine`` policy.
+        """
+        relation = Relation(name, np.asarray(data, dtype=np.uint32),
+                            annotations, dictionaries)
+        relation = relation.deduplicated(combine)
+        relation.dictionaries = dictionaries
+        self._install(name, relation)
+        return relation
+
+    def add_scalar(self, name, value):
+        """Register a 0-ary scalar relation usable in expressions."""
+        relation = Relation.scalar(name, value)
+        self._install(name, relation)
+        return relation
+
+    def load_graph(self, name, edges, undirected=True, ordering=None,
+                   prune=False, seed=None):
+        """Load a graph as a binary edge relation.
+
+        Parameters
+        ----------
+        edges:
+            Iterable of (src, dst) pairs of arbitrary hashable node ids.
+        undirected:
+            Store both directions of every edge (the paper's setting for
+            PageRank/SSSP/Lollipop/Barbell).
+        ordering:
+            Node-ordering scheme (Appendix A.1.1); defaults to the
+            database's ``ordering``.
+        prune:
+            Apply symmetric filtering — keep only ``src_id < dst_id``
+            under the chosen ordering (the standard preprocessing for
+            triangle/4-clique counting, §5.2.1).
+        """
+        scheme = ordering if ordering is not None else self.default_ordering
+        seed = self.seed if seed is None else seed
+        dictionary = Dictionary()
+        pairs = []
+        for src, dst in edges:
+            pairs.append((dictionary.encode(src), dictionary.encode(dst)))
+        data = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        n_nodes = len(dictionary)
+        permutation = order_nodes(data, n_nodes, scheme=scheme, seed=seed)
+        dictionary.remap(permutation)
+        data = apply_order(data, permutation)
+        if undirected:
+            data = np.concatenate([data, data[:, ::-1]])
+        if prune:
+            data = data[data[:, 0] < data[:, 1]]
+        relation = Relation(name, data.astype(np.uint32),
+                            dictionaries=[dictionary, dictionary])
+        relation = relation.deduplicated()
+        relation.dictionaries = [dictionary, dictionary]
+        self._install(name, relation)
+        return relation
+
+    def _install(self, name, relation):
+        old = self.catalog.get(name)
+        if old is not None:
+            self._trie_cache.invalidate(old)
+        self.catalog[name] = relation
+        if relation.is_scalar() and relation.annotations is not None:
+            self._env[name] = relation.scalar_value
+
+    # -- querying -------------------------------------------------------------
+
+    def query(self, text):
+        """Execute a query program; returns the last rule's result.
+
+        Intermediate heads (e.g. ``N`` and ``InvDeg`` in the paper's
+        PageRank program) are installed into the database and remain
+        available to later queries.
+        """
+        program = parse(text)
+        result_relation = None
+        for rule in program.rules:
+            # Resolve decode dictionaries against the pre-execution
+            # catalog: a recursive rule replaces its own head relation
+            # mid-flight, which would otherwise lose them.
+            head_dictionaries = self._head_dictionaries(rule)
+            if rule.recursive:
+                result_relation = execute_recursive(rule, self._executor)
+            else:
+                result_relation = self._executor.execute(rule)
+            if head_dictionaries is not None and result_relation.arity:
+                result_relation.dictionaries = head_dictionaries
+            self._install(rule.head_name, result_relation)
+        return Result(result_relation)
+
+    def plan(self, text):
+        """Compile the last rule of a program without executing it.
+
+        Returns a :class:`~repro.engine.plan.PhysicalPlan`.  Earlier
+        rules in the program are *not* run, so intermediate relations
+        they would create must already exist for the last rule to
+        compile.
+        """
+        program = parse(text)
+        return self._executor.compile(program.rules[-1])
+
+    def explain(self, text):
+        """Compile-only plan description for a program's last rule:
+        chosen GHD, widths, global attribute order, per-bag orders."""
+        return self.plan(text).describe()
+
+    def relation(self, name):
+        """Fetch a stored relation by name."""
+        if name not in self.catalog:
+            raise UnknownRelationError(name, self.catalog.keys())
+        return self.catalog[name]
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path):
+        """Persist every stored relation to a ``.npz`` file."""
+        from .storage.persistence import save_catalog
+        save_catalog(path, self.catalog)
+
+    @classmethod
+    def load(cls, path, **kwargs):
+        """Reconstruct a database saved with :meth:`save`.
+
+        Engine configuration is *not* persisted; pass the usual
+        constructor keywords to configure the loaded instance.
+        """
+        from .storage.persistence import load_catalog
+        db = cls(**kwargs)
+        for name, relation in load_catalog(path).items():
+            db._install(name, relation)
+        return db
+
+    @property
+    def counter(self):
+        """The engine's simulated-SIMD op counter."""
+        return self.config.counter
+
+    def _head_dictionaries(self, rule):
+        """Column dictionaries for the head, looked up from the body
+        relations' columns, so results decode back to the user's original
+        values.  Returns ``None`` when any column has no dictionary."""
+        if not rule.head_vars:
+            return None
+        dictionaries = []
+        for var in rule.head_vars:
+            found = None
+            for atom in rule.body:
+                source = self.catalog.get(atom.name)
+                if source is None or source.dictionaries is None:
+                    continue
+                for position, term in enumerate(atom.terms):
+                    if getattr(term, "name", None) == var:
+                        found = source.dictionaries[position]
+                        break
+                if found is not None:
+                    break
+            dictionaries.append(found)
+        if all(d is not None for d in dictionaries):
+            return dictionaries
+        return None

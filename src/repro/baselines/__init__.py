@@ -1,0 +1,29 @@
+"""Simulated competitor engines (the paper's §5 comparison targets).
+
+Each class implements a competitor's *algorithmic strategy* so measured
+gaps trace to the paper's claimed causes (plan shape, layouts, SIMD)
+rather than incidental implementation quality:
+
+================  ==========================================================
+Engine            Strategy
+================  ==========================================================
+PairwiseEngine    left-deep pairwise hash joins (PostgreSQL / Grail class)
+LogicBloxLike     single-bag WCOJ, uint-only, scalar (LogicBlox class)
+SociaLiteLike     datalog over pairwise joins, per-tuple loops (SociaLite)
+ScalarGraphEngine CSR + scalar loops (PowerGraph / Snap-R / CGT-X class)
+TunedGraphEngine  CSR + vectorized kernels (Galois class)
+================  ==========================================================
+"""
+
+from .logicblox import LogicBloxLike
+from .lowlevel import (CSRGraph, HashSetGraphEngine, ScalarGraphEngine,
+                       TunedGraphEngine, dijkstra_reference)
+from .pairwise import PairwiseEngine
+from .socialite import SociaLiteLike
+
+__all__ = [
+    "LogicBloxLike",
+    "CSRGraph", "HashSetGraphEngine", "ScalarGraphEngine",
+    "TunedGraphEngine", "dijkstra_reference",
+    "PairwiseEngine", "SociaLiteLike",
+]

@@ -1,0 +1,22 @@
+"""Execution engine: semirings, generic WCOJ, Yannakakis, recursion."""
+
+from .config import EngineConfig
+from .executor import (RuleExecutor, TrieCache, eval_expression,
+                       normalize_atom)
+from .generic_join import BagEvaluator, BagInput, BagResult, evaluate_bag
+from .parallel import parallel_count
+from .plan import BagPlan, PhysicalPlan
+from .recursion import execute_recursive
+from .semiring import (COUNT, EXISTS, MAX, MIN, SUM, Semiring, is_monotone,
+                       semiring_for)
+
+__all__ = [
+    "EngineConfig",
+    "RuleExecutor", "TrieCache", "eval_expression", "normalize_atom",
+    "BagEvaluator", "BagInput", "BagResult", "evaluate_bag",
+    "BagPlan", "PhysicalPlan",
+    "parallel_count",
+    "execute_recursive",
+    "COUNT", "EXISTS", "MAX", "MIN", "SUM", "Semiring", "is_monotone",
+    "semiring_for",
+]

@@ -1,0 +1,62 @@
+"""Engine configuration: the feature switches the paper ablates.
+
+Every optimization the paper measures can be toggled here, which is how
+the benchmark harness reproduces the "-R", "-RA", "-S", and "-GHD"
+columns of Tables 8, 11, and 13.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sets.cost import OpCounter
+
+
+@dataclass
+class EngineConfig:
+    """Feature switches for one database / query execution.
+
+    Attributes
+    ----------
+    layout_level:
+        Granularity of the layout optimizer: ``"set"`` (paper default),
+        ``"relation"``/``"uint_only"`` (the "-R" ablation), ``"block"``,
+        or ``"bitset_only"``.
+    adaptive_algorithms:
+        Cardinality-skew algorithm switching (paper Algorithm 2); turning
+        it off together with ``layout_level="uint_only"`` is the "-RA"
+        ablation.
+    simd:
+        Vectorized kernels; ``False`` is the "-S" ablation (scalar merge
+        loops).
+    use_ghd:
+        GHD query plans; ``False`` forces the single-node GHD
+        (the Table 8 "-GHD" ablation, LogicBlox-style).
+    push_selections:
+        Push selections across GHD nodes (Appendix B.1.1); ``False`` is
+        the Table 13 "-GHD" ablation.
+    eliminate_redundant_bags:
+        Reuse results of structurally identical bags (Appendix B.2).
+    skip_top_down:
+        Elide Yannakakis' top-down pass when the root already holds every
+        head attribute (Appendix B.2).
+    uint_algorithm:
+        Force one uint∩uint kernel by name (``None`` = adaptive
+        dispatch); used by the micro-benchmarks.
+    counter:
+        Simulated-SIMD op counter every kernel charges into.
+    """
+
+    layout_level: str = "set"
+    adaptive_algorithms: bool = True
+    simd: bool = True
+    use_ghd: bool = True
+    push_selections: bool = True
+    eliminate_redundant_bags: bool = True
+    skip_top_down: bool = True
+    uint_algorithm: Optional[str] = None
+    counter: OpCounter = field(default_factory=OpCounter)
+
+    def ablated(self, **changes):
+        """Copy of this config with some switches flipped."""
+        from dataclasses import replace
+        return replace(self, counter=OpCounter(), **changes)

@@ -1,0 +1,668 @@
+"""GHD plan execution: Yannakakis over worst-case optimal bags (§3.3).
+
+For one non-recursive rule the executor:
+
+1. *normalizes* atoms — applies constant selections and repeated-variable
+   filters so every remaining atom is over distinct variables;
+2. compiles the hypergraph to a GHD (min fractional width, selection
+   push-down) and fixes the global attribute order;
+3. runs Yannakakis' **bottom-up** pass: every bag is evaluated with the
+   generic worst-case optimal join, aggregating away attributes its
+   parent does not need (early aggregation) and passing the result up as
+   an additional input relation — with structurally identical bags
+   evaluated once (Appendix B.2);
+4. when head attributes span several bags in a materialization query,
+   runs the **top-down** pass joining the retained bag results; the pass
+   is elided when the root already covers the head (Appendix B.2);
+5. applies the rule's annotation expression (e.g. ``0.15 + 0.85*<<SUM>>``).
+"""
+
+import itertools
+
+import numpy as np
+
+from ..errors import ExecutionError, PlanError, UnknownRelationError
+from ..ghd.attribute_order import bag_evaluation_order, global_attribute_order
+from ..ghd.decompose import decompose
+from ..ghd.equivalence import bag_signature, canonical_attr_indexes
+from ..query.ast import Agg, BinOp, Constant, Num, Ref
+from ..query.hypergraph import Hypergraph
+from ..sets.optimizer import SetOptimizer
+from ..storage.relation import Relation
+from ..storage.trie import Trie
+from .generic_join import BagInput, BagResult, evaluate_bag
+from .plan import BagPlan, PhysicalPlan
+from .semiring import EXISTS, semiring_for
+
+_uid_counter = itertools.count()
+
+
+class TrieCache:
+    """Caches tries per (relation identity, key order, layout level).
+
+    Base relations are re-queried constantly (the paper stores both
+    orders of every edge relation up front; we build them on first use
+    and keep them).  Identity uses a uid attached to each relation, so
+    replacing a relation (recursion) naturally invalidates.
+    """
+
+    def __init__(self):
+        self._tries = {}
+
+    @staticmethod
+    def _uid(relation):
+        uid = getattr(relation, "_trie_uid", None)
+        if uid is None:
+            uid = next(_uid_counter)
+            relation._trie_uid = uid
+        return uid
+
+    def get(self, relation, key_order, layout_level):
+        """Fetch (building on miss) the trie for a relation/order/layout."""
+        key = (self._uid(relation), tuple(key_order), layout_level)
+        trie = self._tries.get(key)
+        if trie is None:
+            trie = Trie(relation, key_order=key_order,
+                        optimizer=SetOptimizer(layout_level))
+            self._tries[key] = trie
+        return trie
+
+    def invalidate(self, relation):
+        """Drop every cached trie of ``relation``."""
+        uid = getattr(relation, "_trie_uid", None)
+        if uid is None:
+            return
+        stale = [k for k in self._tries if k[0] == uid]
+        for key in stale:
+            del self._tries[key]
+
+    def __len__(self):
+        return len(self._tries)
+
+
+class NormalizedAtom:
+    """A body atom reduced to distinct variables over a concrete relation."""
+
+    __slots__ = ("relation", "variables", "is_selection", "annotated",
+                 "name")
+
+    def __init__(self, relation, variables, is_selection, annotated, name):
+        self.relation = relation
+        self.variables = tuple(variables)
+        self.is_selection = is_selection
+        self.annotated = annotated
+        self.name = name
+
+
+def normalize_atom(atom, catalog):
+    """Resolve and reduce one atom.
+
+    Constant terms become equality filters (the "pushing selections
+    within a node" of Appendix B.1 — the filter happens before any join
+    work); repeated variables become column-equality filters.  Returns a
+    :class:`NormalizedAtom`, possibly over an empty derived relation.
+    """
+    relation = catalog.get(atom.name)
+    if relation is None:
+        raise UnknownRelationError(atom.name, catalog.keys())
+    if len(atom.terms) != relation.arity:
+        raise ExecutionError(
+            "atom %s has %d terms but relation arity is %d"
+            % (atom, len(atom.terms), relation.arity))
+    data = relation.data
+    annotations = relation.annotations
+    mask = np.ones(data.shape[0], dtype=bool)
+    is_selection = False
+    for position, constant in atom.selections:
+        is_selection = True
+        encoded = _encode_constant(relation, position, constant.value)
+        if encoded is None:
+            mask[:] = False
+            break
+        mask &= data[:, position] == encoded
+    keep_columns = []
+    seen_vars = {}
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            continue
+        if term.name in seen_vars:
+            mask &= data[:, position] == data[:, seen_vars[term.name]]
+        else:
+            seen_vars[term.name] = position
+            keep_columns.append((term.name, position))
+    variables = tuple(name for name, _ in keep_columns)
+    if is_selection or len(keep_columns) != relation.arity:
+        data = data[mask][:, [p for _, p in keep_columns]]
+        annotations = annotations[mask] if annotations is not None else None
+        derived = Relation("%s|%s" % (relation.name, atom), data,
+                           annotations, None)
+    else:
+        derived = relation
+    return NormalizedAtom(derived, variables, is_selection,
+                          derived.annotations is not None, atom.name)
+
+
+def _encode_constant(relation, position, value):
+    """Encode a selection constant through the column's dictionary.
+
+    Returns ``None`` when the value is absent (the selection is empty).
+    """
+    if relation.dictionaries is not None:
+        dictionary = relation.dictionaries[position]
+        try:
+            return dictionary.lookup(value)
+        except KeyError:
+            return None
+    if isinstance(value, (int, np.integer)) and 0 <= value < 2 ** 32:
+        return int(value)
+    return None
+
+
+def eval_expression(expr, agg_value, env):
+    """Evaluate an annotation expression tree.
+
+    ``agg_value`` may be a scalar or a numpy array (vectorized over the
+    output tuples); ``env`` maps scalar-relation names to floats.
+    """
+    if isinstance(expr, Num):
+        return expr.value
+    if isinstance(expr, Ref):
+        if expr.name not in env:
+            raise ExecutionError("expression references unknown scalar "
+                                 "relation %r" % expr.name)
+        return env[expr.name]
+    if isinstance(expr, Agg):
+        if agg_value is None:
+            raise ExecutionError("aggregate used outside an aggregation "
+                                 "context")
+        return agg_value
+    if isinstance(expr, BinOp):
+        left = eval_expression(expr.left, agg_value, env)
+        right = eval_expression(expr.right, agg_value, env)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            return left / right
+        raise ExecutionError("unknown operator %r" % expr.op)
+    raise ExecutionError("unknown expression node %r" % (expr,))
+
+
+class RuleExecutor:
+    """Executes one normalized, non-recursive rule against a catalog."""
+
+    def __init__(self, catalog, config, trie_cache=None, env=None):
+        self.catalog = catalog
+        self.config = config
+        self.cache = trie_cache if trie_cache is not None else TrieCache()
+        self.env = env if env is not None else {}
+        self.last_plan = None  # PhysicalPlan of the latest execution
+
+    # -- public ---------------------------------------------------------------
+
+    def execute(self, rule):
+        """Run ``rule`` and return the result :class:`Relation`.
+
+        The result carries the head's columns in head-variable order and,
+        for aggregation rules, an annotation column.
+        """
+        atoms = [normalize_atom(atom, self.catalog) for atom in rule.body]
+        guards = [a for a in atoms if not a.variables]
+        atoms = [a for a in atoms if a.variables]
+        if any(g.relation.cardinality == 0 for g in guards):
+            return self._empty_output(rule)
+        body_vars = set()
+        for atom in atoms:
+            body_vars |= set(atom.variables)
+        missing = [v for v in rule.head_vars if v not in body_vars]
+        if missing:
+            raise PlanError("head variables %s unbound in the body"
+                            % missing)
+        aggregates = rule.aggregates
+        if len(aggregates) > 1:
+            raise PlanError("at most one aggregate per rule is supported")
+        agg = aggregates[0] if aggregates else None
+        if agg is not None and agg.op == "COUNT" and agg.arg != "*":
+            return self._execute_count_distinct(rule, atoms, agg)
+        return self._execute_plan(rule, atoms, agg)
+
+    def compile(self, rule):
+        """Compile ``rule`` to a :class:`PhysicalPlan` without running it.
+
+        Powers ``Database.plan``/``explain``: the GHD choice, global
+        attribute order, and per-bag evaluation orders are all decided
+        before any tuple is touched; only the runtime facts (bag reuse,
+        whether the top-down pass ran) stay at their defaults.
+        """
+        atoms = [normalize_atom(atom, self.catalog) for atom in rule.body]
+        atoms = [a for a in atoms if a.variables]
+        aggregates = rule.aggregates
+        aggregate_mode = rule.annotation is not None and bool(aggregates)
+        ghd, _ = self._choose_ghd(rule, atoms, aggregate_mode)
+        selected_vars = {v for a in atoms if a.is_selection
+                         for v in a.variables}
+        global_order = global_attribute_order(ghd, selected_vars,
+                                              rule.head_vars)
+        plan = PhysicalPlan(rule=rule, ghd=ghd, global_order=global_order,
+                            aggregate_mode=aggregate_mode)
+        parents = ghd.parent_map()
+        head = frozenset(rule.head_vars)
+        for node in ghd.nodes_bottom_up():
+            parent = parents[node]
+            shared = node.chi_set & parent.chi_set if parent is not None \
+                else frozenset()
+            keep = set(shared)
+            if not aggregate_mode:
+                for child in node.children:
+                    keep |= node.chi_set & child.chi_set
+            out_attrs = [a for a in node.chi if a in head or a in keep]
+            eval_order = bag_evaluation_order(node.chi, out_attrs,
+                                              global_order)
+            plan.bags.append(BagPlan(
+                chi=tuple(node.chi), eval_order=tuple(eval_order),
+                out_attrs=tuple(out_attrs),
+                inputs=[atoms[e.index].name for e in node.edges],
+                width=node.width()))
+        return plan
+
+    # -- plan construction ----------------------------------------------------
+
+    def _choose_ghd(self, rule, atoms, aggregate_mode):
+        hypergraph = Hypergraph(_AtomView(a) for a in atoms)
+        sizes = {i: atoms[i].relation.cardinality
+                 for i in range(len(atoms))}
+        selected_vars = set()
+        selection_edges = set()
+        for index, atom in enumerate(atoms):
+            if atom.is_selection:
+                selection_edges.add(index)
+                selected_vars |= set(atom.variables)
+        ghd = decompose(
+            hypergraph, sizes=sizes, selected_vars=selected_vars,
+            selection_edges=selection_edges,
+            prefer_deep_selections=self.config.push_selections,
+            use_ghd=self.config.use_ghd)
+        if aggregate_mode and not self._aggregate_flow_ok(ghd, rule):
+            # Head attributes span bags in a way early aggregation cannot
+            # express; fall back to the (always correct) single-node plan.
+            ghd = decompose(hypergraph, sizes=sizes, use_ghd=False)
+        duplicates = set()
+        if self.config.push_selections and selection_edges:
+            duplicates = self._push_selection_copies(ghd, hypergraph,
+                                                     selection_edges)
+        return ghd, duplicates
+
+    @staticmethod
+    def _aggregate_flow_ok(ghd, rule):
+        """Early aggregation needs every bag's head attributes visible to
+        its parent (head values cannot be re-derived going up)."""
+        head = frozenset(rule.head_vars)
+        parents = ghd.parent_map()
+        for node in ghd.nodes_preorder():
+            parent = parents[node]
+            if parent is None:
+                continue
+            if not (head & node.chi_set) <= parent.chi_set:
+                return False
+        return True
+
+    @staticmethod
+    def _push_selection_copies(ghd, hypergraph, selection_edges):
+        """Appendix B.1.1 step 2: copy selection atoms into every bag
+        covering their variables.  Returns the duplicated (node, edge)
+        pairs so their annotations are not multiplied twice."""
+        duplicates = set()
+        by_index = {e.index: e for e in hypergraph.edges}
+        for node in ghd.nodes_preorder():
+            own = {e.index for e in node.edges}
+            for index in selection_edges:
+                edge = by_index[index]
+                if index not in own and edge.varset <= node.chi_set:
+                    node.edges.append(edge)
+                    duplicates.add((id(node), index))
+        return duplicates
+
+    # -- execution ------------------------------------------------------------
+
+    def _execute_plan(self, rule, atoms, agg):
+        aggregate_mode = rule.annotation is not None and agg is not None
+        ghd, duplicates = self._choose_ghd(rule, atoms, aggregate_mode)
+        selected_vars = {v for a in atoms if a.is_selection
+                         for v in a.variables}
+        global_order = global_attribute_order(ghd, selected_vars,
+                                              rule.head_vars)
+        semiring = semiring_for(agg.op) if aggregate_mode else EXISTS
+        parents = ghd.parent_map()
+        head = frozenset(rule.head_vars)
+        retained = {}
+        signatures = {}
+        memo = {}
+        plan = PhysicalPlan(rule=rule, ghd=ghd, global_order=global_order,
+                            aggregate_mode=aggregate_mode)
+        self.last_plan = plan
+        for node in ghd.nodes_bottom_up():
+            parent = parents[node]
+            shared = node.chi_set & parent.chi_set if parent is not None \
+                else frozenset()
+            keep = set(shared)
+            if not aggregate_mode:
+                # The top-down pass joins retained results on the
+                # child-shared attributes, so they must survive here.
+                for child in node.children:
+                    keep |= node.chi_set & child.chi_set
+            out_attrs = [a for a in node.chi if a in head or a in keep]
+            signature = bag_signature(
+                node, out_attrs,
+                [signatures[id(c)] for c in node.children],
+                aggregation_sig=(semiring.name, aggregate_mode))
+            canonical_out = canonical_attr_indexes(node.edges, out_attrs)
+            reused = None
+            if self.config.eliminate_redundant_bags and signature in memo:
+                reused = _remap_memoized(memo[signature], canonical_out,
+                                         out_attrs)
+            eval_order = bag_evaluation_order(node.chi, out_attrs,
+                                              global_order)
+            bag_plan = BagPlan(
+                chi=tuple(node.chi), eval_order=tuple(eval_order),
+                out_attrs=tuple(out_attrs),
+                inputs=[atoms[e.index].name for e in node.edges]
+                + ["pass:%s" % ",".join(sorted(c.chi_set & node.chi_set))
+                   for c in node.children],
+                width=node.width(),
+                reused_from_signature=reused is not None)
+            plan.bags.append(bag_plan)
+            if reused is not None:
+                retained[id(node)] = reused
+                signatures[id(node)] = signature
+                continue
+            result = self._evaluate_bag(node, atoms, out_attrs,
+                                        global_order, semiring,
+                                        aggregate_mode, retained,
+                                        duplicates)
+            retained[id(node)] = result
+            signatures[id(node)] = signature
+            memo[signature] = (result, canonical_out)
+        root_result = retained[id(ghd.root)]
+        if aggregate_mode:
+            return self._finish_aggregate(rule, root_result)
+        return self._finish_materialize(rule, ghd, retained, root_result)
+
+    def _evaluate_bag(self, node, atoms, out_attrs, global_order, semiring,
+                      aggregate_mode, retained, duplicates):
+        eval_order = bag_evaluation_order(node.chi, out_attrs, global_order)
+        inputs = []
+        for edge in node.edges:
+            atom = atoms[edge.index]
+            ordered_vars = [a for a in eval_order if a in atom.variables]
+            key_order = tuple(atom.variables.index(a)
+                              for a in ordered_vars)
+            trie = self.cache.get(atom.relation, key_order,
+                                  self.config.layout_level)
+            is_duplicate = (id(node), edge.index) in duplicates
+            inputs.append(BagInput(
+                trie, ordered_vars,
+                annotated=atom.annotated and not is_duplicate,
+                name=atom.name))
+        scalar_factor = 1.0
+        dead = False
+        for child in node.children:
+            child_result = retained[id(child)]
+            if not child_result.out_attrs:
+                # Disconnected child (no shared attributes): in aggregate
+                # mode its scalar multiplies into this bag's result; in
+                # materialize mode it is an existence guard.
+                if aggregate_mode:
+                    scalar_factor *= child_result.scalar \
+                        if child_result.scalar is not None \
+                        else semiring.zero
+                elif not child_result.scalar:
+                    dead = True
+                continue
+            passed = self._pass_up(child_result, node.chi_set,
+                                   aggregate_mode, semiring)
+            if passed is None:
+                continue
+            relation, annotated = passed
+            ordered_vars = [a for a in eval_order
+                            if a in relation_columns(relation)]
+            key_order = tuple(relation_columns(relation).index(a)
+                              for a in ordered_vars)
+            trie = Trie(relation, key_order=key_order,
+                        optimizer=SetOptimizer(self.config.layout_level))
+            inputs.append(BagInput(trie, ordered_vars,
+                                   annotated=annotated,
+                                   name=relation.name))
+        out_count = len(out_attrs)
+        if dead:
+            return BagResult(out_attrs,
+                             np.empty((0, out_count), dtype=np.uint32),
+                             annotations=np.empty(0), scalar=semiring.zero)
+        result = evaluate_bag(eval_order, out_count, inputs, semiring,
+                              self.config)
+        if aggregate_mode and scalar_factor != 1.0:
+            if result.scalar is not None:
+                result.scalar *= scalar_factor
+            if result.annotations is not None:
+                result.annotations = result.annotations * scalar_factor
+        return result
+
+    def _pass_up(self, child_result, parent_chi, aggregate_mode, semiring):
+        """Turn a child's retained result into the parent's input relation.
+
+        Aggregate mode: the child result (already aggregated onto its out
+        attributes, all of which the parent can see) flows up annotated.
+        Materialize mode: only the shared columns flow up, as an
+        unannotated semijoin filter (annotations re-enter in the
+        top-down pass).
+        """
+        attrs = list(child_result.out_attrs)
+        if not attrs:
+            return None  # scalar children contribute via the guard check
+        if aggregate_mode:
+            relation = Relation("pass:" + ",".join(attrs),
+                                child_result.data,
+                                child_result.annotations)
+            relation.attr_names = tuple(attrs)
+            return relation, child_result.annotations is not None
+        shared_cols = [i for i, a in enumerate(attrs) if a in parent_chi]
+        shared_attrs = [attrs[i] for i in shared_cols]
+        data = child_result.data[:, shared_cols]
+        relation = Relation("pass:" + ",".join(shared_attrs),
+                            data).deduplicated()
+        relation.attr_names = tuple(shared_attrs)
+        return relation, False
+
+    # -- finalization ---------------------------------------------------------
+
+    def _finish_aggregate(self, rule, root_result):
+        env = dict(self.env)
+        if not rule.head_vars:
+            agg_value = root_result.scalar
+            if agg_value is None:
+                # Root had out attributes beyond the (empty) head; fold
+                # its annotation column.
+                semiring = semiring_for(rule.aggregates[0].op)
+                values = root_result.annotations \
+                    if root_result.annotations is not None \
+                    else np.zeros(0)
+                agg_value = semiring.fold_leaf(values)
+            value = eval_expression(rule.assignment, agg_value, env)
+            return Relation.scalar(rule.head_name, float(value))
+        # Reorder the root's columns into head order.
+        order = [root_result.out_attrs.index(v) for v in rule.head_vars]
+        data = root_result.data[:, order]
+        annotations = root_result.annotations
+        final = eval_expression(rule.assignment, annotations, env)
+        final = np.broadcast_to(np.asarray(final, dtype=np.float64),
+                                (data.shape[0],)).copy()
+        return Relation(rule.head_name, data, final)
+
+    def _finish_materialize(self, rule, ghd, retained, root_result):
+        env = dict(self.env)
+        head = list(rule.head_vars)
+        root_attrs = list(root_result.out_attrs)
+        if set(head) <= set(root_attrs) and (
+                self.config.skip_top_down
+                or all(not n.children for n in [ghd.root])):
+            data, annotations = root_result.data, root_result.annotations
+            attrs = root_attrs
+        else:
+            data, attrs, annotations = _top_down_join(ghd, retained)
+            if self.last_plan is not None:
+                self.last_plan.used_top_down = True
+        order = [attrs.index(v) for v in head]
+        data = data[:, order]
+        if len(order) < len(attrs):
+            relation = Relation(rule.head_name, data).deduplicated()
+            data = relation.data
+            annotations = None
+        if rule.annotation is not None and rule.assignment is not None:
+            value = eval_expression(rule.assignment, None, env)
+            annotations = np.broadcast_to(
+                np.asarray(value, dtype=np.float64),
+                (data.shape[0],)).copy()
+        elif rule.annotation is None:
+            # Plain conjunctive rule: no annotation column in the head.
+            annotations = None
+        return Relation(rule.head_name, data, annotations)
+
+    # -- COUNT(var): distinct -------------------------------------------------
+
+    def _execute_count_distinct(self, rule, atoms, agg):
+        """``<<COUNT(v)>>`` counts *distinct* bindings of ``v`` per head
+        tuple (the paper's ``N(;w) :- Edge(x,y); w=<<COUNT(x)>>`` counts
+        nodes, not edges)."""
+        if agg.arg in rule.head_vars:
+            raise PlanError("COUNT argument %r is a head variable"
+                            % agg.arg)
+        pseudo_head = tuple(rule.head_vars) + (agg.arg,)
+        pseudo = _clone_rule(rule, head_vars=pseudo_head, annotation=None,
+                             assignment=None)
+        distinct = self._execute_plan(pseudo, atoms, None)
+        env = dict(self.env)
+        if not rule.head_vars:
+            value = eval_expression(rule.assignment,
+                                    float(distinct.cardinality), env)
+            return Relation.scalar(rule.head_name, float(value))
+        keys = distinct.data[:, :-1]
+        order = np.lexsort(tuple(keys[:, c]
+                                 for c in range(keys.shape[1] - 1, -1, -1)))
+        keys = keys[order]
+        new_group = np.ones(keys.shape[0], dtype=bool)
+        new_group[1:] = np.any(keys[1:] != keys[:-1], axis=1)
+        group_ids = np.cumsum(new_group) - 1
+        counts = np.bincount(group_ids).astype(np.float64)
+        heads = keys[new_group]
+        values = eval_expression(rule.assignment, counts, env)
+        values = np.broadcast_to(np.asarray(values, dtype=np.float64),
+                                 (heads.shape[0],)).copy()
+        return Relation(rule.head_name, heads, values)
+
+    def _empty_output(self, rule):
+        if rule.annotation is not None and not rule.head_vars:
+            semiring = semiring_for(rule.aggregates[0].op) \
+                if rule.aggregates else EXISTS
+            return Relation.scalar(rule.head_name, semiring.zero)
+        width = len(rule.head_vars)
+        annotations = np.empty(0) if rule.annotation is not None else None
+        return Relation(rule.head_name,
+                        np.empty((0, width), dtype=np.uint32), annotations)
+
+
+# -- helpers ------------------------------------------------------------------
+
+
+class _AtomView:
+    """Adapter exposing a NormalizedAtom to Hypergraph's Atom protocol."""
+
+    def __init__(self, atom):
+        self.name = atom.name
+        self.variables = atom.variables
+
+    def __str__(self):
+        return "%s(%s)" % (self.name, ",".join(self.variables))
+
+
+def relation_columns(relation):
+    """Attribute names attached to a passed-up relation."""
+    return list(getattr(relation, "attr_names",
+                        [str(i) for i in range(relation.arity)]))
+
+
+def _remap_memoized(entry, canonical_out, out_attrs):
+    """Rebind a memoized bag result to a reusing bag's attribute names.
+
+    Returns ``None`` when the column correspondence cannot be
+    established (the reuser then evaluates the bag itself).
+    """
+    stored, stored_canonical = entry
+    if sorted(stored_canonical) != sorted(canonical_out):
+        return None
+    columns = [stored_canonical.index(c) for c in canonical_out]
+    data = stored.data[:, columns] if stored.data.size else \
+        stored.data.reshape(-1, len(columns))
+    return BagResult(out_attrs, data, annotations=stored.annotations,
+                     scalar=stored.scalar)
+
+
+def _clone_rule(rule, **changes):
+    from ..query.ast import Rule
+    values = dict(head_name=rule.head_name, head_vars=rule.head_vars,
+                  annotation=rule.annotation, recursive=rule.recursive,
+                  iterations=rule.iterations, body=rule.body,
+                  assignment=rule.assignment)
+    values.update(changes)
+    return Rule(**values)
+
+
+def _top_down_join(ghd, retained):
+    """Yannakakis' top-down pass: join retained bag results along the
+    tree.  Annotations multiply across bags (each bag's annotation is the
+    product over its own relations only, so the total product is exact).
+    """
+    def rec(node):
+        result = retained[id(node)]
+        attrs = list(result.out_attrs)
+        data = result.data
+        annotations = result.annotations
+        for child in node.children:
+            child_data, child_attrs, child_ann = rec(child)
+            data, attrs, annotations = _hash_join(
+                data, attrs, annotations,
+                child_data, child_attrs, child_ann)
+        return data, attrs, annotations
+
+    data, attrs, annotations = rec(ghd.root)
+    return data, attrs, annotations
+
+
+def _hash_join(left, left_attrs, left_ann, right, right_attrs, right_ann):
+    """Pairwise hash join used only for the acyclic top-down assembly."""
+    shared = [a for a in left_attrs if a in right_attrs]
+    left_keys = [left_attrs.index(a) for a in shared]
+    right_keys = [right_attrs.index(a) for a in shared]
+    right_extra = [i for i, a in enumerate(right_attrs) if a not in shared]
+    table = {}
+    for row_index in range(right.shape[0]):
+        key = tuple(int(right[row_index, c]) for c in right_keys)
+        table.setdefault(key, []).append(row_index)
+    out_rows = []
+    out_ann = []
+    for row_index in range(left.shape[0]):
+        key = tuple(int(left[row_index, c]) for c in left_keys)
+        for match in table.get(key, ()):
+            combined = list(left[row_index]) \
+                + [right[match, c] for c in right_extra]
+            out_rows.append(combined)
+            if left_ann is not None or right_ann is not None:
+                product = (left_ann[row_index]
+                           if left_ann is not None else 1.0) \
+                    * (right_ann[match] if right_ann is not None else 1.0)
+                out_ann.append(product)
+    attrs = list(left_attrs) + [right_attrs[c] for c in right_extra]
+    data = np.asarray(out_rows, dtype=np.uint32).reshape(-1, len(attrs))
+    annotations = np.asarray(out_ann) if out_ann else None
+    return data, attrs, annotations

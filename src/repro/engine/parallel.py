@@ -1,0 +1,130 @@
+"""Multi-core execution: partition Algorithm 1's outermost loop.
+
+The paper's engine runs every benchmark on 48 threads by splitting the
+generic join's top-level attribute across workers — each worker owns a
+slice of the level-0 candidate values and the partial aggregates sum at
+the end.  This module reproduces that strategy with forked worker
+processes (Python threads would serialize on the GIL): the parent
+builds the tries, forks, and each child evaluates the same bag with a
+``restrict_level0`` partition set.
+
+Scope: single-bag aggregate queries with an empty head (COUNT(*)-style)
+— the shape of every pattern benchmark in the paper.  Everything else
+raises :class:`~repro.errors.PlanError` and should run on the
+single-process engine.
+"""
+
+import multiprocessing
+
+import numpy as np
+
+from ..errors import PlanError
+from ..ghd.attribute_order import (bag_evaluation_order,
+                                   global_attribute_order)
+from ..ghd.decompose import decompose
+from ..query.hypergraph import Hypergraph
+from ..query.parser import parse_rule
+from ..sets.intersect import intersect_many
+from ..sets.uint import UintSet
+from .executor import eval_expression, normalize_atom
+from .generic_join import BagEvaluator, BagInput
+from .semiring import semiring_for
+
+#: Fork-shared state: set by the parent immediately before forking so
+#: children inherit the tries copy-on-write instead of pickling them.
+_SHARED = {}
+
+
+def _count_partition(values):
+    """Worker body: evaluate the shared bag restricted to ``values``."""
+    spec = _SHARED["spec"]
+    evaluator = BagEvaluator(
+        spec["order"], 0, spec["inputs"], spec["semiring"],
+        spec["config"], restrict_level0=UintSet(values))
+    return evaluator.run().scalar
+
+
+def parallel_count(database, query_text, workers=2):
+    """Run a COUNT-style single-bag aggregate query across ``workers``
+    forked processes; returns the same scalar as ``database.query``.
+
+    Falls back to in-process evaluation when ``workers <= 1`` or the
+    platform cannot fork.
+    """
+    rule = parse_rule(query_text)
+    aggregates = rule.aggregates
+    if rule.head_vars or rule.annotation is None or not aggregates \
+            or (aggregates[0].op == "COUNT" and aggregates[0].arg != "*"):
+        raise PlanError("parallel_count supports aggregate rules with an "
+                        "empty head (COUNT(*)/SUM/MIN/MAX)")
+    if rule.recursive:
+        raise PlanError("parallel_count does not support recursion")
+    semiring = semiring_for(aggregates[0].op)
+    atoms = [normalize_atom(atom, database.catalog) for atom in rule.body]
+    atoms = [a for a in atoms if a.variables]
+    if any(a.relation.cardinality == 0 for a in atoms):
+        return semiring.zero
+    hypergraph = Hypergraph(_View(a) for a in atoms)
+    ghd = decompose(hypergraph, use_ghd=False)  # one bag, by design
+    order = bag_evaluation_order(
+        ghd.root.chi, (), global_attribute_order(ghd))
+    inputs = []
+    for atom in atoms:
+        ordered = tuple(a for a in order if a in atom.variables)
+        key_order = tuple(atom.variables.index(a) for a in ordered)
+        trie = database._trie_cache.get(atom.relation, key_order,
+                                        database.config.layout_level)
+        inputs.append(BagInput(trie, ordered, annotated=atom.annotated,
+                               name=atom.name))
+    level0_sets = [bag_input.trie.root.set for bag_input in inputs
+                   if bag_input.variables
+                   and bag_input.variables[0] == order[0]]
+    candidates = intersect_many(
+        level0_sets, counter=database.config.counter,
+        simd=database.config.simd).to_array() \
+        if len(level0_sets) > 1 else level0_sets[0].to_array()
+    if candidates.size == 0:
+        return semiring.zero
+
+    partitions = [chunk for chunk
+                  in np.array_split(candidates, max(workers, 1))
+                  if chunk.size]
+    spec = {"order": order, "inputs": inputs, "semiring": semiring,
+            "config": database.config}
+    if workers <= 1 or len(partitions) <= 1 or not _can_fork():
+        partials = [_run_inline(spec, chunk) for chunk in partitions]
+    else:
+        _SHARED["spec"] = spec
+        try:
+            context = multiprocessing.get_context("fork")
+            with context.Pool(processes=len(partitions)) as pool:
+                partials = pool.map(_count_partition, partitions)
+        finally:
+            _SHARED.pop("spec", None)
+    total = semiring.zero
+    for partial in partials:
+        total = semiring.plus(total, partial)
+    value = eval_expression(rule.assignment, total, dict(database._env))
+    return float(value)
+
+
+def _run_inline(spec, values):
+    evaluator = BagEvaluator(spec["order"], 0, spec["inputs"],
+                             spec["semiring"], spec["config"],
+                             restrict_level0=UintSet(values))
+    return evaluator.run().scalar
+
+
+def _can_fork():
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - platform probing
+        return False
+
+
+class _View:
+    """Hypergraph adapter (same protocol as the executor's)."""
+
+    def __init__(self, atom):
+        self.name = atom.name
+        self.variables = atom.variables

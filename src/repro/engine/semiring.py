@@ -1,0 +1,71 @@
+"""Semiring annotations and aggregation operators (paper §2.3, §3.2).
+
+Following Green et al.'s provenance semirings, every tuple carries an
+annotation; annotations *multiply* when tuples join and are folded with
+the aggregate's *plus* when attributes are projected away.  This single
+mechanism yields SUM/COUNT (the numeric semiring), MIN/MAX (tropical
+semirings), and the EXISTS fold used for set-semantics projection.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """One commutative aggregation monoid (the "plus" of a semiring whose
+    "times" is ordinary multiplication of float annotations).
+
+    Attributes
+    ----------
+    name:
+        Operator name (``SUM``, ``MIN``, ...).
+    zero:
+        Identity of ``plus`` — also the "no bindings" marker.
+    plus:
+        Binary fold.
+    reduce:
+        Vectorized fold of a numpy array (the leaf-level fast path).
+    """
+
+    name: str
+    zero: float
+    plus: Callable
+    reduce: Callable
+
+    def fold_leaf(self, values):
+        """Fold a numpy array of annotation products in one shot."""
+        if len(values) == 0:
+            return self.zero
+        return float(self.reduce(values))
+
+
+SUM = Semiring("SUM", 0.0, lambda a, b: a + b, np.sum)
+COUNT = Semiring("COUNT", 0.0, lambda a, b: a + b, np.sum)
+MIN = Semiring("MIN", math.inf, min, np.min)
+MAX = Semiring("MAX", -math.inf, max, np.max)
+#: Boolean OR fold used when projecting under set semantics: a tuple is
+#: kept iff at least one extension exists.
+EXISTS = Semiring("EXISTS", 0.0, lambda a, b: max(a, b),
+                  lambda v: 1.0 if len(v) else 0.0)
+
+_BY_NAME = {"SUM": SUM, "COUNT": COUNT, "MIN": MIN, "MAX": MAX,
+            "EXISTS": EXISTS}
+
+
+def semiring_for(op_name):
+    """Look up the semiring for an aggregate operator name."""
+    try:
+        return _BY_NAME[op_name.upper()]
+    except KeyError:
+        raise ValueError("unsupported aggregate %r" % (op_name,)) from None
+
+
+def is_monotone(op_name):
+    """MIN/MAX aggregations are monotone, enabling seminaive recursion
+    (paper §3.3.2: "we check if the aggregation is monotonically
+    increasing or decreasing with a MIN or MAX operator")."""
+    return op_name.upper() in ("MIN", "MAX")

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the EmptyHeaded reproduction.
+
+Every error raised by the public API derives from :class:`EmptyHeadedError`
+so callers can catch engine failures with a single except clause while the
+subclasses preserve which compilation phase failed (parse, plan, execute).
+"""
+
+
+class EmptyHeadedError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class QuerySyntaxError(EmptyHeadedError):
+    """The query text could not be tokenized or parsed.
+
+    Carries the offending position so callers can point at the bad token.
+    """
+
+    def __init__(self, message, position=None, text=None):
+        self.position = position
+        self.text = text
+        if position is not None and text is not None:
+            snippet = text[max(0, position - 20):position + 20]
+            message = "%s (near position %d: %r)" % (
+                message, position, snippet)
+        super().__init__(message)
+
+
+class PlanError(EmptyHeadedError):
+    """The query parsed but no valid GHD / physical plan could be built."""
+
+
+class ExecutionError(EmptyHeadedError):
+    """A physical plan failed while running."""
+
+
+class SchemaError(EmptyHeadedError):
+    """A relation was used inconsistently with its declared schema."""
+
+
+class UnknownRelationError(SchemaError):
+    """A query referenced a relation that is not loaded in the database."""
+
+    def __init__(self, name, known=()):
+        self.name = name
+        known_part = ""
+        if known:
+            known_part = " (loaded relations: %s)" % ", ".join(sorted(known))
+        super().__init__("unknown relation %r%s" % (name, known_part))
+
+
+class LayoutError(EmptyHeadedError):
+    """A set layout was constructed from or asked for invalid data."""

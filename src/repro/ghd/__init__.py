@@ -1,0 +1,19 @@
+"""GHD query compiler: AGM bounds, decomposition search, attribute order."""
+
+from .agm import (agm_bound, cover_bound_value, fractional_cover,
+                  is_feasible_cover, rho_star)
+from .attribute_order import bag_evaluation_order, global_attribute_order
+from .decompose import (GHDSearch, all_decompositions, decompose,
+                        push_selections_into_bags)
+from .equivalence import bag_signature, can_skip_top_down
+from .ghd import GHD, GHDNode, single_node_ghd
+
+__all__ = [
+    "agm_bound", "cover_bound_value", "fractional_cover",
+    "is_feasible_cover", "rho_star",
+    "bag_evaluation_order", "global_attribute_order",
+    "GHDSearch", "all_decompositions", "decompose",
+    "push_selections_into_bags",
+    "bag_signature", "can_skip_top_down",
+    "GHD", "GHDNode", "single_node_ghd",
+]

@@ -1,0 +1,80 @@
+"""Redundant-work elimination across GHD nodes (paper Appendix B.2).
+
+Two GHD nodes produce equivalent bottom-up results when they join the
+same relations with the same pattern, apply the same selections,
+projections and aggregations, and their subtrees are themselves
+equivalent.  The Barbell query is the paper's example: both triangle
+bags compute the *same* set of triangles, so one evaluation suffices
+(a 2x win).  This module computes structural signatures the executor
+uses as a memo key.
+
+The top-down pass of Yannakakis can likewise be skipped when every head
+attribute already appears in the root bag — the second B.2 optimization.
+"""
+
+
+def _canonical_pattern(edges, chi, out_attrs):
+    """Rename a bag's attributes by first use so isomorphic bags match.
+
+    Attribute names are replaced with dense indexes in order of first
+    appearance across the (sorted) edge list, which makes e.g.
+    ``R(x,y),S(y,z),T(x,z)`` and ``R(x',y'),S(y',z'),T(x',z')`` hash
+    identically while keeping genuinely different patterns apart.
+    """
+    rename = {}
+
+    def index_of(attr):
+        if attr not in rename:
+            rename[attr] = len(rename)
+        return rename[attr]
+
+    edge_sigs = []
+    for edge in sorted(edges, key=lambda e: (e.relation, e.variables)):
+        edge_sigs.append((edge.relation,
+                          tuple(index_of(v) for v in edge.variables)))
+    chi_sig = tuple(sorted(index_of(v) for v in chi if v in rename))
+    out_sig = tuple(sorted(index_of(v) for v in out_attrs if v in rename))
+    return (tuple(edge_sigs), chi_sig, out_sig)
+
+
+def bag_signature(node, out_attrs, child_signatures, aggregation_sig=None):
+    """Structural signature of one bag's bottom-up result.
+
+    Parameters
+    ----------
+    node:
+        The :class:`~repro.ghd.ghd.GHDNode`.
+    out_attrs:
+        The attributes this bag's result retains.
+    child_signatures:
+        Signatures of the children's results (order-insensitive).
+    aggregation_sig:
+        Hashable description of the rule's aggregation as it applies to
+        this bag (op + which attributes are aggregated away).
+    """
+    return (_canonical_pattern(node.edges, node.chi, out_attrs),
+            tuple(sorted(map(repr, child_signatures))),
+            aggregation_sig)
+
+
+def canonical_attr_indexes(edges, attrs):
+    """Canonical index of each attribute under the bag's renaming.
+
+    Two bags with equal :func:`bag_signature` may still list their output
+    attributes in different positions; the executor uses these indexes to
+    permute a memoized bag result's columns onto the reusing bag's
+    attribute names.
+    """
+    rename = {}
+    for edge in sorted(edges, key=lambda e: (e.relation, e.variables)):
+        for variable in edge.variables:
+            if variable not in rename:
+                rename[variable] = len(rename)
+    return tuple(rename[a] for a in attrs)
+
+
+def can_skip_top_down(ghd, head_vars, root_out_attrs):
+    """True when the root's retained attributes already contain every
+    head attribute — then the bottom-up pass alone yields the answer."""
+    del ghd  # signature kept symmetric with the paper's description
+    return frozenset(head_vars) <= frozenset(root_out_attrs)

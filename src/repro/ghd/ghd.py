@@ -1,0 +1,176 @@
+"""Generalized hypertree decompositions (paper §3.1, Definition 1).
+
+A GHD is a tree whose nodes ("bags") each carry a set of attributes
+``χ(v)`` and a set of hyperedges ``λ(v)``.  It replaces relational
+algebra as EmptyHeaded's logical query plan: each bag is evaluated with
+the generic worst-case optimal join, and Yannakakis' algorithm stitches
+the bags together.
+"""
+
+from .agm import rho_star
+
+
+class GHDNode:
+    """One bag of a GHD.
+
+    Attributes
+    ----------
+    chi:
+        ``χ(v)`` — attributes retained at this node, as an *ordered*
+        tuple (order is refined later into the evaluation order).
+    edges:
+        ``λ(v)`` — the :class:`~repro.query.hypergraph.HyperEdge` objects
+        joined at this node.
+    children:
+        Child :class:`GHDNode` objects.
+    """
+
+    def __init__(self, chi, edges, children=()):
+        self.chi = tuple(chi)
+        self.edges = list(edges)
+        self.children = list(children)
+
+    @property
+    def chi_set(self):
+        """``χ(v)`` as a frozenset."""
+        return frozenset(self.chi)
+
+    def width(self):
+        """Fractional cover number of ``χ(v)`` using ``λ(v)``'s edges."""
+        return rho_star(self.chi, [e.varset for e in self.edges])
+
+    def __repr__(self):
+        return "GHDNode(chi=%s, lambda=[%s], %d children)" % (
+            list(self.chi), ", ".join(str(e) for e in self.edges),
+            len(self.children))
+
+
+class GHD:
+    """A rooted GHD over a query hypergraph."""
+
+    def __init__(self, root, hypergraph):
+        self.root = root
+        self.hypergraph = hypergraph
+
+    # -- traversal ----------------------------------------------------------
+
+    def nodes_preorder(self):
+        """Nodes in pre-order (root first) — also the order that defines
+        the global attribute ordering (paper §3.2)."""
+        out = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            stack.extend(reversed(node.children))
+        return out
+
+    def nodes_bottom_up(self):
+        """Nodes in reverse level order (children before parents), as
+        Yannakakis' bottom-up pass requires."""
+        order = []
+        frontier = [self.root]
+        while frontier:
+            order.extend(frontier)
+            frontier = [c for node in frontier for c in node.children]
+        return list(reversed(order))
+
+    def parent_map(self):
+        """Dict mapping each node to its parent (root maps to ``None``)."""
+        parents = {id(self.root): None}
+        by_id = {id(self.root): self.root}
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            for child in node.children:
+                parents[id(child)] = node
+                by_id[id(child)] = child
+                stack.append(child)
+        return {by_id[k]: v for k, v in parents.items()}
+
+    @property
+    def n_nodes(self):
+        """Number of bags in the decomposition."""
+        return len(self.nodes_preorder())
+
+    def width(self):
+        """The decomposition's (fractional) width: max bag width."""
+        return max(node.width() for node in self.nodes_preorder())
+
+    def depth_of(self, predicate):
+        """Max root-distance of nodes satisfying ``predicate`` (or -1)."""
+        best = -1
+        stack = [(self.root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if predicate(node):
+                best = max(best, depth)
+            stack.extend((c, depth + 1) for c in node.children)
+        return best
+
+    # -- validity (Definition 1) ---------------------------------------------
+
+    def validate(self):
+        """Check the three GHD properties of Definition 1.
+
+        Returns a list of violation strings; empty means valid.
+        """
+        problems = []
+        nodes = self.nodes_preorder()
+        # Property 1: every hyperedge is contained in some bag that also
+        # lists it in λ.
+        for edge in self.hypergraph.edges:
+            if not any(edge.varset <= node.chi_set
+                       and any(e.index == edge.index for e in node.edges)
+                       for node in nodes):
+                problems.append("edge %s not covered by any bag" % edge)
+        # Property 2: running intersection — for each attribute, the bags
+        # containing it form a connected subtree.
+        parents = self.parent_map()
+        for vertex in self.hypergraph.vertices:
+            holders = [n for n in nodes if vertex in n.chi_set]
+            if len(holders) <= 1:
+                continue
+            # The subtree is connected iff exactly one holder's parent is
+            # not itself a holder (that one is the subtree's top).
+            holder_ids = {id(n) for n in holders}
+            tops = [n for n in holders
+                    if parents[n] is None or id(parents[n]) not in holder_ids]
+            if len(tops) != 1:
+                problems.append(
+                    "attribute %r violates the running intersection "
+                    "property (%d disconnected groups)" % (vertex, len(tops)))
+        # Property 3: χ(v) ⊆ ∪λ(v).
+        for node in nodes:
+            available = set()
+            for edge in node.edges:
+                available |= edge.varset
+            if not node.chi_set <= available:
+                problems.append(
+                    "bag %s retains attributes not provided by its "
+                    "relations: %s" % (node, node.chi_set - available))
+        return problems
+
+    def is_valid(self):
+        """True when all three Definition 1 properties hold."""
+        return not self.validate()
+
+    def describe(self, indent=0, node=None):
+        """Human-readable tree rendering for ``explain`` output."""
+        node = self.root if node is None else node
+        lines = ["%s- chi=(%s) lambda=[%s] width=%.2f" % (
+            "  " * indent, ",".join(node.chi),
+            ", ".join(str(e) for e in node.edges), node.width())]
+        for child in node.children:
+            lines.extend(self.describe(indent + 1, child))
+        return lines
+
+    def __str__(self):
+        return "\n".join(self.describe())
+
+
+def single_node_ghd(hypergraph, chi_order=None):
+    """The trivial one-bag GHD: the plan LogicBlox-style engines run
+    (paper Figure 3b) and the "-GHD" ablation's plan."""
+    chi = chi_order if chi_order is not None else hypergraph.vertices
+    return GHD(GHDNode(chi, list(hypergraph.edges)), hypergraph)

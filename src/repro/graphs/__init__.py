@@ -1,0 +1,33 @@
+"""Graph workload substrate: datasets, pruning, patterns, analytics."""
+
+from .analytics import (pagerank, pagerank_program, run_pagerank_on_edges,
+                        run_sssp_on_edges, sssp, sssp_program)
+from .datasets import (DATASETS, MICRO_DATASETS, DatasetSpec,
+                       chung_lu_graph, complete_graph, load_dataset,
+                       read_edgelist, rmat_graph, set_with_dense_region,
+                       synthetic_set, uniform_graph)
+from .motifs import (PAPER_MOTIFS, barbell, clique, count_motif,
+                     cycle, lollipop, path, star)
+from .patterns import (BARBELL_COUNT, FOUR_CLIQUE_COUNT, LOLLIPOP_COUNT,
+                       PATTERN_QUERIES, TRIANGLE, TRIANGLE_COUNT,
+                       barbell_count, four_clique_count, lollipop_count,
+                       selection_barbell_count,
+                       selection_four_clique_count, triangle_count)
+from .pruning import (degrees, highest_degree_node, neighborhoods,
+                      symmetric_filter, undirect)
+
+__all__ = [
+    "pagerank", "pagerank_program", "run_pagerank_on_edges",
+    "run_sssp_on_edges", "sssp", "sssp_program",
+    "DATASETS", "MICRO_DATASETS", "DatasetSpec", "chung_lu_graph",
+    "complete_graph", "load_dataset", "read_edgelist", "rmat_graph",
+    "set_with_dense_region", "synthetic_set", "uniform_graph",
+    "PAPER_MOTIFS", "barbell", "clique", "count_motif", "cycle",
+    "lollipop", "path", "star",
+    "BARBELL_COUNT", "FOUR_CLIQUE_COUNT", "LOLLIPOP_COUNT",
+    "PATTERN_QUERIES", "TRIANGLE", "TRIANGLE_COUNT", "barbell_count",
+    "four_clique_count", "lollipop_count", "selection_barbell_count",
+    "selection_four_clique_count", "triangle_count",
+    "degrees", "highest_degree_node", "neighborhoods", "symmetric_filter",
+    "undirect",
+]

@@ -1,0 +1,219 @@
+"""Synthetic graph datasets: scaled-down analogs of the paper's Table 3.
+
+The paper evaluates on six real social/citation graphs (Google+, Higgs,
+LiveJournal, Orkut, Patents, Twitter).  Those inputs are not available
+offline, so this module generates seeded synthetic graphs whose *density
+skew* — the property that drives every layout/ordering effect the paper
+measures — matches each dataset's character: Google+ is small with very
+heavy hubs (high skew), Patents is sparse and homogeneous (low skew),
+Twitter is the largest with moderate skew, and so on.  Generation uses
+the Chung–Lu model (edge probability proportional to the product of
+power-law weights), which reproduces heavy-tailed degree distributions
+with controllable exponents, plus an RMAT-style recursive generator used
+by the ordering experiments.
+
+Every generator is deterministic given its seed, so benchmark runs are
+reproducible.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def chung_lu_graph(n_nodes, n_edges, exponent=2.5, seed=0):
+    """Power-law graph via the Chung–Lu model.
+
+    Node ``i`` gets weight ``(i + 1)^(-1/(exponent-1))``; edges sample
+    both endpoints proportionally to weight, rejecting self-loops and
+    duplicates.  Lower ``exponent`` ⇒ heavier hubs ⇒ more density skew.
+
+    Returns a sorted, duplicate-free ``(m, 2)`` int64 array of undirected
+    edges with ``src < dst``.
+    """
+    rng = np.random.default_rng(seed)
+    weights = np.power(np.arange(1, n_nodes + 1, dtype=np.float64),
+                       -1.0 / max(exponent - 1.0, 0.05))
+    probabilities = weights / weights.sum()
+    edges = set()
+    attempts = 0
+    max_attempts = 60 * n_edges
+    while len(edges) < n_edges and attempts < max_attempts:
+        budget = (n_edges - len(edges)) * 2 + 16
+        sources = rng.choice(n_nodes, size=budget, p=probabilities)
+        targets = rng.choice(n_nodes, size=budget, p=probabilities)
+        for u, v in zip(sources.tolist(), targets.tolist()):
+            if u == v:
+                continue
+            edge = (u, v) if u < v else (v, u)
+            edges.add(edge)
+            if len(edges) >= n_edges:
+                break
+        attempts += budget
+    return np.asarray(sorted(edges), dtype=np.int64).reshape(-1, 2)
+
+
+def rmat_graph(scale, n_edges, a=0.57, b=0.19, c=0.19, seed=0):
+    """RMAT recursive-matrix generator (Graph500-style parameters).
+
+    Produces ``2**scale`` nodes; skew grows with ``a``.  Returns a
+    deduplicated undirected edge array with ``src < dst``.
+    """
+    rng = np.random.default_rng(seed)
+    n_nodes = 2 ** scale
+    edges = set()
+    max_rounds = 50
+    for _ in range(max_rounds):
+        need = n_edges - len(edges)
+        if need <= 0:
+            break
+        sources = np.zeros(2 * need, dtype=np.int64)
+        targets = np.zeros(2 * need, dtype=np.int64)
+        for bit in range(scale):
+            r = rng.random(2 * need)
+            # Quadrant choice: a | b / c | d.
+            right = r >= a + b
+            down = ((r >= a) & (r < a + b)) | (r >= a + b + c)
+            sources |= (right.astype(np.int64) << bit)
+            targets |= (down.astype(np.int64) << bit)
+        for u, v in zip(sources.tolist(), targets.tolist()):
+            if u == v:
+                continue
+            edges.add((u, v) if u < v else (v, u))
+            if len(edges) >= n_edges:
+                break
+    return np.asarray(sorted(edges), dtype=np.int64).reshape(-1, 2)
+
+
+def uniform_graph(n_nodes, n_edges, seed=0):
+    """Erdős–Rényi-style uniform random graph (no skew baseline)."""
+    rng = np.random.default_rng(seed)
+    edges = set()
+    while len(edges) < n_edges:
+        need = (n_edges - len(edges)) * 2 + 8
+        pairs = rng.integers(0, n_nodes, size=(need, 2))
+        for u, v in pairs.tolist():
+            if u == v:
+                continue
+            edges.add((u, v) if u < v else (v, u))
+            if len(edges) >= n_edges:
+                break
+    return np.asarray(sorted(edges), dtype=np.int64).reshape(-1, 2)
+
+
+def complete_graph(n_nodes):
+    """K_n — the AGM worst-case instance for the triangle query."""
+    pairs = [(u, v) for u in range(n_nodes) for v in range(u + 1, n_nodes)]
+    return np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+
+
+def read_edgelist(path, comment="#"):
+    """Load a whitespace-separated edge list file (SNAP format)."""
+    rows = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split()
+            rows.append((int(parts[0]), int(parts[1])))
+    return np.asarray(rows, dtype=np.int64).reshape(-1, 2)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Recipe for one Table 3 analog."""
+
+    name: str
+    description: str
+    n_nodes: int
+    n_edges: int
+    exponent: float
+    seed: int
+    skew_class: str  # "high", "modest", or "low" — the paper's wording
+
+
+#: Scaled-down analogs of the paper's Table 3 datasets.  Relative sizes
+#: and skew classes follow the paper: Patents is the smallest/least
+#: skewed, Twitter the largest, Google+ the most skewed.
+DATASETS = {
+    "googleplus": DatasetSpec(
+        "googleplus", "user network analog: few nodes, heavy hubs "
+        "(high density skew, like Google+)", 900, 8000, 1.7, 11, "high"),
+    "higgs": DatasetSpec(
+        "higgs", "tweet-interaction analog (modest density skew, like "
+        "Higgs)", 2200, 9000, 2.1, 12, "modest"),
+    "livejournal": DatasetSpec(
+        "livejournal", "user network analog (low density skew, like "
+        "LiveJournal)", 5000, 16000, 3.0, 13, "low"),
+    "orkut": DatasetSpec(
+        "orkut", "user network analog (low density skew, like Orkut)",
+        4200, 18000, 2.7, 14, "low"),
+    "patents": DatasetSpec(
+        "patents", "citation network analog: small and homogeneous "
+        "(low density skew, like Patents)", 3500, 7000, 4.5, 15, "low"),
+    "twitter": DatasetSpec(
+        "twitter", "follower network analog: the largest, modest "
+        "density skew (like Twitter)", 9000, 42000, 2.1, 16, "modest"),
+}
+
+#: The five datasets the paper's micro-benchmarks (Tables 4, 8–11, 13)
+#: run on — everything except Twitter.
+MICRO_DATASETS = ("googleplus", "higgs", "livejournal", "orkut", "patents")
+
+
+def load_dataset(name):
+    """Generate one Table 3 analog; returns an ``(m, 2)`` edge array."""
+    spec = DATASETS[name]
+    return chung_lu_graph(spec.n_nodes, spec.n_edges, spec.exponent,
+                          spec.seed)
+
+
+def dataset_profile(name):
+    """The dataset's Table 3 row: nodes, directed/undirected edge counts,
+    and measured density skew."""
+    from ..sets.skew import density_skew
+    from .pruning import neighborhoods
+
+    edges = load_dataset(name)
+    nodes = np.unique(edges)
+    spec = DATASETS[name]
+    return {
+        "name": name,
+        "description": spec.description,
+        "nodes": int(nodes.size),
+        "directed_edges": int(edges.shape[0]) * 2,
+        "undirected_edges": int(edges.shape[0]),
+        "density_skew": round(density_skew(neighborhoods(edges)), 3),
+        "skew_class": spec.skew_class,
+    }
+
+
+# -- synthetic sets for the intersection micro-benchmarks --------------------
+
+
+def synthetic_set(cardinality, value_range, seed=0):
+    """Uniform random sorted set of ``cardinality`` values in
+    ``[0, value_range)`` — the Figure 5/10/11 workload."""
+    rng = np.random.default_rng(seed)
+    if cardinality >= value_range:
+        return np.arange(value_range, dtype=np.int64)
+    values = rng.choice(value_range, size=cardinality, replace=False)
+    return np.sort(values.astype(np.int64))
+
+
+def set_with_dense_region(total, value_range, dense_fraction, seed=0):
+    """A set that is sparse except for one dense run (Figure 6 workload).
+
+    ``dense_fraction`` of the elements form one contiguous run; the rest
+    scatter uniformly over the remaining range.
+    """
+    rng = np.random.default_rng(seed)
+    dense_count = int(total * dense_fraction)
+    sparse_count = total - dense_count
+    dense_start = int(value_range * 0.6)
+    dense = np.arange(dense_start, dense_start + dense_count)
+    population = dense_start
+    sparse_count = min(sparse_count, population)
+    sparse = rng.choice(population, size=sparse_count, replace=False)
+    return np.unique(np.concatenate([sparse, dense]).astype(np.int64))

@@ -1,0 +1,128 @@
+"""Motif query builders: datalog generators for pattern families.
+
+The paper's benchmark patterns (triangle, 4-clique, lollipop, barbell)
+are instances of families this module generates for any size: cliques
+``K_k``, cycles ``C_k``, paths ``P_k``, stars ``S_k``, and the
+lollipop/barbell generalizations ``L_{k,1}`` / ``B_{k,1}``.  Queries are
+produced in the engine's language over a single ``Edge`` relation, so
+downstream users can count or list any of these motifs in one call.
+"""
+
+import itertools
+
+from ..errors import PlanError
+
+#: Variable name pool for generated queries.
+_VARS = ("a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l",
+         "m", "n", "o", "p", "q", "r", "s", "t", "u", "v", "w")
+
+
+def _edges_to_body(edge_pairs):
+    return ",".join("Edge(%s,%s)" % pair for pair in edge_pairs)
+
+
+def _count_query(name, edge_pairs):
+    return "%s(;w:long) :- %s; w=<<COUNT(*)>>." % (
+        name, _edges_to_body(edge_pairs))
+
+
+def _listing_query(name, variables, edge_pairs):
+    return "%s(%s) :- %s." % (name, ",".join(variables),
+                              _edges_to_body(edge_pairs))
+
+
+def _take_vars(count):
+    if count > len(_VARS):
+        raise PlanError("motif too large: %d variables (max %d)"
+                        % (count, len(_VARS)))
+    return _VARS[:count]
+
+
+def clique(k, count=True):
+    """``K_k``: every pair of ``k`` vertices adjacent.
+
+    On symmetrically filtered (pruned) edges each clique is counted
+    exactly once; on undirected edges, once per automorphism (``k!``).
+    """
+    if k < 2:
+        raise PlanError("a clique needs at least 2 vertices")
+    variables = _take_vars(k)
+    pairs = list(itertools.combinations(variables, 2))
+    name = "K%d" % k
+    return _count_query(name, pairs) if count \
+        else _listing_query(name, variables, pairs)
+
+
+def cycle(k, count=True):
+    """``C_k``: a closed walk over ``k`` distinct positions."""
+    if k < 3:
+        raise PlanError("a cycle needs at least 3 vertices")
+    variables = _take_vars(k)
+    pairs = [(variables[i], variables[(i + 1) % k]) for i in range(k)]
+    name = "C%d" % k
+    return _count_query(name, pairs) if count \
+        else _listing_query(name, variables, pairs)
+
+
+def path(k, count=True):
+    """``P_k``: a walk over ``k`` vertices (``k-1`` edges)."""
+    if k < 2:
+        raise PlanError("a path needs at least 2 vertices")
+    variables = _take_vars(k)
+    pairs = [(variables[i], variables[i + 1]) for i in range(k - 1)]
+    name = "P%d" % k
+    return _count_query(name, pairs) if count \
+        else _listing_query(name, variables, pairs)
+
+
+def star(k, count=True):
+    """``S_k``: a hub adjacent to ``k`` leaves (ordered leaves)."""
+    if k < 1:
+        raise PlanError("a star needs at least one leaf")
+    variables = _take_vars(k + 1)
+    hub, leaves = variables[0], variables[1:]
+    pairs = [(hub, leaf) for leaf in leaves]
+    name = "S%d" % k
+    return _count_query(name, pairs) if count \
+        else _listing_query(name, variables, pairs)
+
+
+def lollipop(k, count=True):
+    """``L_{k,1}``: a ``K_k`` with one extra edge off its first vertex —
+    the paper's L_{3,1} generalized."""
+    variables = _take_vars(k + 1)
+    body_vars = variables[:k]
+    tail = variables[k]
+    pairs = list(itertools.combinations(body_vars, 2)) \
+        + [(body_vars[0], tail)]
+    name = "L%d_1" % k
+    return _count_query(name, pairs) if count \
+        else _listing_query(name, variables, pairs)
+
+
+def barbell(k, count=True):
+    """``B_{k,1}``: two ``K_k``s joined by one bridge edge — the paper's
+    B_{3,1} generalized.  The GHD optimizer decomposes this into two
+    clique bags plus the bridge (Figure 3c)."""
+    variables = _take_vars(2 * k)
+    left, right = variables[:k], variables[k:]
+    pairs = list(itertools.combinations(left, 2)) \
+        + [(left[0], right[0])] \
+        + list(itertools.combinations(right, 2))
+    name = "B%d_1" % k
+    return _count_query(name, pairs) if count \
+        else _listing_query(name, variables, pairs)
+
+
+def count_motif(db, query_text):
+    """Run a generated count query; returns the (ordered) motif count."""
+    return db.query(query_text).scalar
+
+
+#: The paper's Table 1/§5.3 patterns expressed through the generators.
+PAPER_MOTIFS = {
+    "triangle": clique(3),
+    "four_clique": clique(4),
+    "lollipop": lollipop(3),
+    "barbell": barbell(3),
+}

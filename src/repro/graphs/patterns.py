@@ -1,0 +1,79 @@
+"""Graph pattern queries from the paper (Table 1 and §5.3).
+
+All queries are expressed over a single symmetric ``Edge`` relation, the
+form the benchmarks use.  Each helper returns the count through the full
+EmptyHeaded pipeline; the raw query strings are exported for tests and
+for the ablation benchmarks that need to run them under several engine
+configurations.
+"""
+
+#: Triangle listing (K3) — Table 1's flagship pattern.
+TRIANGLE = "Triangle(x,y,z) :- Edge(x,y),Edge(y,z),Edge(x,z)."
+
+#: Triangle counting — the §5.2.1 benchmark.
+TRIANGLE_COUNT = ("TriangleCount(;w:long) :- Edge(x,y),Edge(y,z),"
+                  "Edge(x,z); w=<<COUNT(*)>>.")
+
+#: 4-clique counting (K4, §5.3).
+FOUR_CLIQUE_COUNT = ("FourCliqueCount(;w:long) :- Edge(x,y),Edge(y,z),"
+                     "Edge(x,z),Edge(x,u),Edge(y,u),Edge(z,u); "
+                     "w=<<COUNT(*)>>.")
+
+#: Lollipop counting (L_{3,1}): a triangle with a one-edge tail (§5.3).
+LOLLIPOP_COUNT = ("LollipopCount(;w:long) :- Edge(x,y),Edge(y,z),"
+                  "Edge(x,z),Edge(x,u); w=<<COUNT(*)>>.")
+
+#: Barbell counting (B_{3,1}): two triangles joined by one edge (§5.3).
+BARBELL_COUNT = ("BarbellCount(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z),"
+                 "Edge(x,p),Edge(p,q),Edge(q,r),Edge(p,r); "
+                 "w=<<COUNT(*)>>.")
+
+
+def selection_four_clique_count(node):
+    """SK4 (Appendix B.1.2): 4-cliques containing a selected node."""
+    return ("SK4(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z),Edge(x,u),"
+            "Edge(y,u),Edge(z,u),Edge(x,%s); w=<<COUNT(*)>>."
+            % _literal(node))
+
+
+def selection_barbell_count(node):
+    """SB_{3,1} (Appendix B.1.2): triangle pairs through a selected node."""
+    return ("SB(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z),Edge(x,%s),"
+            "Edge(%s,u),Edge(u,v),Edge(v,t),Edge(u,t); w=<<COUNT(*)>>."
+            % (_literal(node), _literal(node)))
+
+
+def _literal(node):
+    if isinstance(node, str):
+        return "'%s'" % node
+    return str(node)
+
+
+#: Named count queries used by the Table 8 micro-benchmarks.
+PATTERN_QUERIES = {
+    "triangle": TRIANGLE_COUNT,
+    "four_clique": FOUR_CLIQUE_COUNT,
+    "lollipop": LOLLIPOP_COUNT,
+    "barbell": BARBELL_COUNT,
+}
+
+
+def triangle_count(db):
+    """Triangle count through the engine; the Edge relation should be
+    symmetrically filtered for the standard benchmark setting."""
+    return db.query(TRIANGLE_COUNT).scalar
+
+
+def four_clique_count(db):
+    """4-clique count (K4)."""
+    return db.query(FOUR_CLIQUE_COUNT).scalar
+
+
+def lollipop_count(db):
+    """Lollipop count (L_{3,1}); runs on undirected (unpruned) edges."""
+    return db.query(LOLLIPOP_COUNT).scalar
+
+
+def barbell_count(db):
+    """Barbell count (B_{3,1}); runs on undirected (unpruned) edges."""
+    return db.query(BARBELL_COUNT).scalar

@@ -1,0 +1,17 @@
+"""Query language: AST, lexer, parser, and hypergraph representation."""
+
+from .ast import (AGGREGATE_OPS, Agg, Atom, BinOp, Constant, HeadAnnotation,
+                  Num, Program, Ref, Rule, Variable, expression_aggregates,
+                  expression_refs)
+from .hypergraph import HyperEdge, Hypergraph
+from .lexer import Token, tokenize
+from .parser import parse, parse_rule
+
+__all__ = [
+    "AGGREGATE_OPS", "Agg", "Atom", "BinOp", "Constant", "HeadAnnotation",
+    "Num", "Program", "Ref", "Rule", "Variable", "expression_aggregates",
+    "expression_refs",
+    "HyperEdge", "Hypergraph",
+    "Token", "tokenize",
+    "parse", "parse_rule",
+]

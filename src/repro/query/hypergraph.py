@@ -1,0 +1,100 @@
+"""Query hypergraphs (paper §2.1).
+
+A conjunctive query maps to a hypergraph with one vertex per variable and
+one hyperedge per body atom.  The GHD compiler and the AGM-bound machinery
+both operate on this representation.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class HyperEdge:
+    """One hyperedge: a body atom's variable set plus its identity.
+
+    ``index`` keeps atoms with identical variable sets distinct (the
+    triangle query has three edges over pairwise-different variables, but
+    e.g. self-join queries repeat variable sets).
+    """
+
+    index: int
+    relation: str
+    variables: Tuple[str, ...]
+
+    @property
+    def varset(self):
+        """The hyperedge's variables as a frozenset."""
+        return frozenset(self.variables)
+
+    def __str__(self):
+        return "%s(%s)" % (self.relation, ",".join(self.variables))
+
+
+class Hypergraph:
+    """Hypergraph of a conjunctive rule body."""
+
+    def __init__(self, atoms):
+        self.edges = []
+        vertices = []
+        for index, atom in enumerate(atoms):
+            variables = atom.variables
+            self.edges.append(HyperEdge(index, atom.name, variables))
+            for v in variables:
+                if v not in vertices:
+                    vertices.append(v)
+        self.vertices = tuple(vertices)
+        self.atoms = tuple(atoms)
+
+    @property
+    def n_vertices(self):
+        """Number of distinct variables."""
+        return len(self.vertices)
+
+    @property
+    def n_edges(self):
+        """Number of hyperedges (body atoms)."""
+        return len(self.edges)
+
+    def edges_covering(self, vertex):
+        """Hyperedges whose variable set contains ``vertex``."""
+        return [e for e in self.edges if vertex in e.varset]
+
+    def connected_components(self, edges=None, separator=frozenset()):
+        """Partition ``edges`` into components connected through variables
+        *outside* ``separator``.
+
+        This is the decomposition step of the GHD search: after a bag
+        covers ``separator``, the remaining edges split into independent
+        subproblems.  Returns a list of edge lists.
+        """
+        remaining = list(self.edges if edges is None else edges)
+        components = []
+        while remaining:
+            seed = remaining.pop()
+            component = [seed]
+            frontier = set(seed.varset) - separator
+            changed = True
+            while changed:
+                changed = False
+                still = []
+                for edge in remaining:
+                    if (edge.varset - separator) & frontier:
+                        component.append(edge)
+                        frontier |= edge.varset - separator
+                        changed = True
+                    else:
+                        still.append(edge)
+                remaining = still
+            components.append(component)
+        return components
+
+    def is_connected(self):
+        """Whether the whole query is one connected component."""
+        if not self.edges:
+            return True
+        return len(self.connected_components()) == 1
+
+    def __str__(self):
+        return "Hypergraph(V=%s, E=[%s])" % (
+            list(self.vertices), ", ".join(str(e) for e in self.edges))

@@ -1,0 +1,50 @@
+"""Tokenizer for the EmptyHeaded query language."""
+
+import re
+from dataclasses import dataclass
+
+from ..errors import QuerySyntaxError
+
+#: Token kinds emitted by the lexer.
+TOKEN_KINDS = ("IDENT", "NUMBER", "STRING", "SYMBOL", "EOF")
+
+_TOKEN_RE = re.compile(r"""
+    (?P<WS>\s+|\#[^\n]*|//[^\n]*)
+  | (?P<NUMBER>\d+\.\d+|\.\d+|\d+)
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_']*)
+  | (?P<STRING>'[^']*'|"[^"]*")
+  | (?P<SYMBOL>:-|<<|>>|[(),;:.*\[\]=+\-/<>])
+""", re.VERBOSE)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str
+    text: str
+    position: int
+
+    def __repr__(self):
+        return "Token(%s, %r)" % (self.kind, self.text)
+
+
+def tokenize(text):
+    """Split query text into tokens, dropping whitespace and comments.
+
+    Comments run from ``#`` or ``//`` to end of line.  Raises
+    :class:`~repro.errors.QuerySyntaxError` on unrecognized characters.
+    """
+    tokens = []
+    position = 0
+    length = len(text)
+    while position < length:
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise QuerySyntaxError("unexpected character %r"
+                                   % text[position], position, text)
+        if match.lastgroup != "WS":
+            tokens.append(Token(match.lastgroup, match.group(), position))
+        position = match.end()
+    tokens.append(Token("EOF", "", length))
+    return tokens

@@ -1,0 +1,198 @@
+"""Recursive-descent parser for the EmptyHeaded query language.
+
+Grammar (Table 1 of the paper, plus Appendix A.2 / B.1.2 forms)::
+
+    program    := rule+
+    rule       := head ':-' atoms (';' assignment)? '.'
+    head       := IDENT '(' vars? (';' IDENT ':' IDENT)? ')' star?
+    star       := '*' ('[' 'i' '=' NUMBER ']')?
+    atoms      := atom (',' atom)*
+    atom       := IDENT '(' term (',' term)* ')'
+    term       := IDENT | STRING | NUMBER
+    assignment := IDENT '=' expr
+    expr       := mul (('+'|'-') mul)*
+    mul        := unit (('*'|'/') unit)*
+    unit       := NUMBER | IDENT | aggregate | '(' expr ')'
+    aggregate  := '<<' IDENT '(' ('*' | IDENT) ')' '>>'
+
+Identifiers may end in primes (``x'``, ``R'``) as the paper's Barbell
+query uses.
+"""
+
+from ..errors import QuerySyntaxError
+from .ast import (AGGREGATE_OPS, Agg, Atom, BinOp, Constant, HeadAnnotation,
+                  Num, Program, Ref, Rule, Variable)
+from .lexer import tokenize
+
+
+class _Parser:
+    def __init__(self, text):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    @property
+    def current(self):
+        return self.tokens[self.index]
+
+    def error(self, message):
+        raise QuerySyntaxError(message, self.current.position, self.text)
+
+    def advance(self):
+        token = self.current
+        self.index += 1
+        return token
+
+    def accept(self, kind, text=None):
+        token = self.current
+        if token.kind != kind or (text is not None and token.text != text):
+            return None
+        return self.advance()
+
+    def expect(self, kind, text=None):
+        token = self.accept(kind, text)
+        if token is None:
+            want = text if text is not None else kind
+            self.error("expected %r, found %r" % (want, self.current.text))
+        return token
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_program(self):
+        rules = []
+        while self.current.kind != "EOF":
+            rules.append(self.parse_rule())
+        if not rules:
+            self.error("empty query")
+        return Program(rules)
+
+    def parse_rule(self):
+        head_name = self.expect("IDENT").text
+        self.expect("SYMBOL", "(")
+        head_vars = []
+        annotation = None
+        if not self.accept("SYMBOL", ")"):
+            while self.current.kind == "IDENT" \
+                    and self.tokens[self.index + 1].text != ":":
+                head_vars.append(self.advance().text)
+                if not self.accept("SYMBOL", ","):
+                    break
+            if self.accept("SYMBOL", ";") or (head_vars == []
+                                              and self.current.kind
+                                              == "IDENT"):
+                ann_var = self.expect("IDENT").text
+                self.expect("SYMBOL", ":")
+                ann_type = self.expect("IDENT").text
+                annotation = HeadAnnotation(ann_var, ann_type)
+            self.expect("SYMBOL", ")")
+        recursive = False
+        iterations = None
+        if self.accept("SYMBOL", "*"):
+            recursive = True
+            if self.accept("SYMBOL", "["):
+                self.expect("IDENT", "i")
+                self.expect("SYMBOL", "=")
+                iterations = int(self.expect("NUMBER").text)
+                self.expect("SYMBOL", "]")
+        self.expect("SYMBOL", ":-")
+        body = [self.parse_atom()]
+        while self.accept("SYMBOL", ","):
+            body.append(self.parse_atom())
+        assignment = None
+        if self.accept("SYMBOL", ";"):
+            assigned_var = self.expect("IDENT").text
+            if annotation is not None and assigned_var != annotation.var:
+                self.error("assignment to %r but head annotates %r"
+                           % (assigned_var, annotation.var))
+            self.expect("SYMBOL", "=")
+            assignment = self.parse_expression()
+        self.expect("SYMBOL", ".")
+        if annotation is not None and assignment is None:
+            self.error("head annotation %r lacks an assignment"
+                       % annotation.var)
+        return Rule(head_name=head_name, head_vars=tuple(head_vars),
+                    annotation=annotation, recursive=recursive,
+                    iterations=iterations, body=tuple(body),
+                    assignment=assignment)
+
+    def parse_atom(self):
+        name = self.expect("IDENT").text
+        self.expect("SYMBOL", "(")
+        terms = [self.parse_term()]
+        while self.accept("SYMBOL", ","):
+            terms.append(self.parse_term())
+        self.expect("SYMBOL", ")")
+        return Atom(name, tuple(terms))
+
+    def parse_term(self):
+        token = self.current
+        if token.kind == "IDENT":
+            self.advance()
+            return Variable(token.text)
+        if token.kind == "STRING":
+            self.advance()
+            return Constant(token.text[1:-1])
+        if token.kind == "NUMBER":
+            self.advance()
+            value = float(token.text)
+            return Constant(int(value) if value.is_integer() else value)
+        self.error("expected a term, found %r" % token.text)
+
+    # -- annotation expressions ---------------------------------------------
+
+    def parse_expression(self):
+        node = self.parse_mul()
+        while self.current.text in ("+", "-") \
+                and self.current.kind == "SYMBOL":
+            op = self.advance().text
+            node = BinOp(op, node, self.parse_mul())
+        return node
+
+    def parse_mul(self):
+        node = self.parse_unit()
+        while self.current.text in ("*", "/") \
+                and self.current.kind == "SYMBOL":
+            op = self.advance().text
+            node = BinOp(op, node, self.parse_unit())
+        return node
+
+    def parse_unit(self):
+        if self.accept("SYMBOL", "<<"):
+            op = self.expect("IDENT").text.upper()
+            if op not in AGGREGATE_OPS:
+                self.error("unknown aggregate %r (supported: %s)"
+                           % (op, ", ".join(AGGREGATE_OPS)))
+            self.expect("SYMBOL", "(")
+            if self.accept("SYMBOL", "*"):
+                arg = "*"
+            else:
+                arg = self.expect("IDENT").text
+            self.expect("SYMBOL", ")")
+            self.expect("SYMBOL", ">>")
+            return Agg(op, arg)
+        if self.current.kind == "NUMBER":
+            return Num(float(self.advance().text))
+        if self.current.kind == "IDENT":
+            return Ref(self.advance().text)
+        if self.accept("SYMBOL", "("):
+            node = self.parse_expression()
+            self.expect("SYMBOL", ")")
+            return node
+        self.error("expected an expression, found %r" % self.current.text)
+        return None
+
+
+def parse(text):
+    """Parse query text into a :class:`~repro.query.ast.Program`."""
+    return _Parser(text).parse_program()
+
+
+def parse_rule(text):
+    """Parse text expected to contain exactly one rule."""
+    program = parse(text)
+    if len(program) != 1:
+        raise QuerySyntaxError("expected exactly one rule, found %d"
+                               % len(program))
+    return program.rules[0]

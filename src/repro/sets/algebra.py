@@ -1,0 +1,98 @@
+"""Set union and difference over the physical layouts.
+
+Intersection is the engine's core operation (§4), but a usable set
+library also needs union and difference — the recursion driver's
+delta maintenance and downstream users both want them.  Kernels follow
+the same pattern as :mod:`repro.sets.intersect`: vectorized numpy for
+uint pairs, word-wise OR / AND-NOT for aligned bitset pairs, decode for
+everything else, with cost-model charges in the same currency.
+"""
+
+import numpy as np
+
+from .base import SetLayout
+from .bitset import BitSet
+from .cost import SIMD_REGISTER_BITS, SIMD_UINT32_LANES, get_counter
+from .uint import UintSet
+
+
+def _as_array(layout):
+    return layout.values if isinstance(layout, UintSet) \
+        else layout.to_array()
+
+
+def union(x, y, counter=None):
+    """Set union; returns a :class:`BitSet` for bitset pairs (the result
+    is at least as dense as the denser input) and a :class:`UintSet`
+    otherwise."""
+    if not isinstance(x, SetLayout) or not isinstance(y, SetLayout):
+        raise TypeError("union expects SetLayout operands")
+    counter = get_counter(counter)
+    if x.kind == "bitset" and y.kind == "bitset":
+        return _union_bitsets(x, y, counter)
+    a, b = _as_array(x), _as_array(y)
+    out = np.union1d(a, b)
+    counter.charge("union",
+                   simd=-(-(int(a.size) + int(b.size))
+                          // SIMD_UINT32_LANES),
+                   elements=int(a.size + b.size))
+    return UintSet.from_sorted(out.astype(np.uint32))
+
+
+def _union_bitsets(x, y, counter):
+    offsets = np.union1d(x.offsets, y.offsets).astype(np.uint32)
+    words = np.zeros((offsets.size, x.words.shape[1] if x.words.size
+                      else 4), dtype=np.uint64)
+    position_x = np.searchsorted(offsets, x.offsets)
+    position_y = np.searchsorted(offsets, y.offsets)
+    if x.offsets.size:
+        words[position_x] |= x.words
+    if y.offsets.size:
+        words[position_y] |= y.words
+    counter.charge("bitset_or",
+                   simd=3 * int(offsets.size),
+                   elements=int(offsets.size) * SIMD_REGISTER_BITS)
+    return BitSet.from_blocks(offsets, words)
+
+
+def difference(x, y, counter=None):
+    """Elements of ``x`` not in ``y``; result layout follows ``x``'s
+    sparsity (uint unless both operands are bitsets)."""
+    if not isinstance(x, SetLayout) or not isinstance(y, SetLayout):
+        raise TypeError("difference expects SetLayout operands")
+    counter = get_counter(counter)
+    if x.kind == "bitset" and y.kind == "bitset":
+        return _difference_bitsets(x, y, counter)
+    a, b = _as_array(x), _as_array(y)
+    out = np.setdiff1d(a, b, assume_unique=True)
+    counter.charge("difference",
+                   simd=-(-(int(a.size) + int(b.size))
+                          // SIMD_UINT32_LANES),
+                   elements=int(a.size + b.size))
+    return UintSet.from_sorted(out.astype(np.uint32))
+
+
+def _difference_bitsets(x, y, counter):
+    if x.offsets.size == 0:
+        return BitSet([])
+    words = x.words.copy()
+    common, ix, iy = np.intersect1d(x.offsets, y.offsets,
+                                    assume_unique=True,
+                                    return_indices=True)
+    if common.size:
+        words[ix] &= ~y.words[iy]
+    counter.charge("bitset_andnot",
+                   simd=3 * int(max(common.size, 1)),
+                   elements=int(common.size) * SIMD_REGISTER_BITS)
+    return BitSet.from_blocks(x.offsets.copy(), words)
+
+
+def union_many(sets, counter=None):
+    """Fold :func:`union` over an iterable of layouts."""
+    sets = list(sets)
+    if not sets:
+        raise ValueError("union_many requires at least one set")
+    acc = sets[0]
+    for other in sets[1:]:
+        acc = union(acc, other, counter)
+    return acc

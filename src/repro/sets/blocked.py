@@ -1,0 +1,106 @@
+"""Block-level composite layout (paper Section 4.3, "Block Level").
+
+The domain is cut into fixed-size blocks; each block independently picks
+the uint layout (sparse block) or the bitset layout (dense block).  This
+is the finest granularity at which the paper's layout optimizer can act:
+it handles *internal* density skew — e.g. a set with a long sparse region
+followed by a dense run — that set-level decisions cannot express.
+"""
+
+import numpy as np
+
+from .base import SetLayout, as_sorted_uint32
+from .bitset import BLOCK_BITS, BitSet
+from .uint import UintSet
+
+#: Values per composite block.  Matches the bitset block size so a dense
+#: composite block is exactly one bitset block.
+BLOCK_SPAN = BLOCK_BITS
+
+#: A block is stored dense when it holds at least this fraction of its
+#: span; below that, 32-bit values are cheaper than the bitvector.
+DENSE_THRESHOLD = 1.0 / 8.0
+
+
+class BlockedSet(SetLayout):
+    """Composite layout: per-256-value block, uint or bitset as density
+    dictates.
+
+    Parameters
+    ----------
+    values:
+        Iterable of integers to encode.
+    dense_threshold:
+        Minimum in-block density at which a block is stored as a bitset.
+    """
+
+    kind = "block"
+
+    __slots__ = ("_block_ids", "_blocks", "_cardinality", "_min", "_max",
+                 "dense_threshold")
+
+    def __init__(self, values, dense_threshold=DENSE_THRESHOLD):
+        arr = as_sorted_uint32(values)
+        self.dense_threshold = dense_threshold
+        self._cardinality = int(arr.size)
+        self._min = int(arr[0]) if arr.size else None
+        self._max = int(arr[-1]) if arr.size else None
+        if arr.size == 0:
+            self._block_ids = np.empty(0, dtype=np.uint32)
+            self._blocks = []
+            return
+        ids = (arr // BLOCK_SPAN).astype(np.uint32)
+        block_ids, starts = np.unique(ids, return_index=True)
+        bounds = np.append(starts, arr.size)
+        blocks = []
+        for i in range(block_ids.size):
+            chunk = arr[bounds[i]:bounds[i + 1]]
+            if chunk.size >= dense_threshold * BLOCK_SPAN:
+                blocks.append(BitSet(chunk))
+            else:
+                blocks.append(UintSet(chunk))
+        self._block_ids = block_ids
+        self._blocks = blocks
+
+    @property
+    def block_ids(self):
+        """Sorted ``uint32`` array of non-empty block indices."""
+        return self._block_ids
+
+    @property
+    def blocks(self):
+        """Per-block layout objects, parallel to :attr:`block_ids`."""
+        return self._blocks
+
+    @property
+    def cardinality(self):
+        return self._cardinality
+
+    def to_array(self):
+        if self._cardinality == 0:
+            return np.empty(0, dtype=np.uint32)
+        return np.concatenate([b.to_array() for b in self._blocks])
+
+    @property
+    def min_value(self):
+        return self._min
+
+    @property
+    def max_value(self):
+        return self._max
+
+    def contains(self, value):
+        block = int(value) // BLOCK_SPAN
+        idx = int(np.searchsorted(self._block_ids, np.uint32(block)))
+        if idx >= self._block_ids.size or self._block_ids[idx] != block:
+            return False
+        return self._blocks[idx].contains(value)
+
+    @property
+    def nbytes(self):
+        header = 4 * self._block_ids.size
+        return int(header + sum(b.nbytes for b in self._blocks))
+
+    def block_kinds(self):
+        """Return the kind string of each block, for introspection/tests."""
+        return [b.kind for b in self._blocks]

@@ -1,0 +1,103 @@
+"""SIMD lane-op cost model for set operations.
+
+The paper's engine exploits AVX SIMD registers: 128-bit lanes for 32-bit
+integer comparisons (four ``uint32`` values per instruction, the paper's
+footnote 7) and 256-bit registers for bitset AND operations (256 set
+elements per instruction, Section 4.2).  Pure Python cannot issue SIMD
+instructions, so this module provides the measurement substrate that the
+benchmarks use instead of raw cycle counts: every intersection algorithm
+*charges* the number of simulated SIMD instructions and scalar operations
+it would execute on the paper's hardware.
+
+The wall-clock behaviour of the numpy kernels tracks these counters closely
+(numpy processes many lanes per interpreter operation, the same economics
+as SIMD), but the counters are exact and deterministic, which lets the
+benchmark harness reproduce the paper's crossover points — e.g. the 32:1
+cardinality ratio where galloping overtakes shuffling — independent of
+interpreter noise.
+"""
+
+from dataclasses import dataclass, field
+
+#: Number of 32-bit integer lanes in one SIMD comparison (SSE, 128-bit).
+SIMD_UINT32_LANES = 4
+
+#: Number of bits processed by one SIMD AND over a 256-bit AVX register.
+SIMD_REGISTER_BITS = 256
+
+#: Number of 16-bit lanes compared by one STTNI string-compare instruction,
+#: used by the pshort layout (Appendix C.2.2).
+SIMD_UINT16_LANES = 8
+
+
+@dataclass
+class OpCounter:
+    """Accumulates simulated hardware operations for one measured region.
+
+    Attributes
+    ----------
+    simd_ops:
+        Simulated wide instructions (comparisons, shuffles, ANDs).
+    scalar_ops:
+        Simulated scalar instructions (branches, scalar compares, probes).
+    elements:
+        Total input set elements touched, for throughput reporting.
+    bytes_touched:
+        Approximate bytes of set data read, for memory-traffic reporting.
+    """
+
+    simd_ops: int = 0
+    scalar_ops: int = 0
+    elements: int = 0
+    bytes_touched: int = 0
+    intersections: int = 0
+    by_algorithm: dict = field(default_factory=dict)
+
+    def charge(self, algorithm, simd=0, scalar=0, elements=0, nbytes=0):
+        """Record one intersection's worth of simulated work."""
+        self.simd_ops += simd
+        self.scalar_ops += scalar
+        self.elements += elements
+        self.bytes_touched += nbytes
+        self.intersections += 1
+        per_algo = self.by_algorithm.setdefault(
+            algorithm, {"simd": 0, "scalar": 0, "calls": 0})
+        per_algo["simd"] += simd
+        per_algo["scalar"] += scalar
+        per_algo["calls"] += 1
+
+    @property
+    def total_ops(self):
+        """Total simulated instruction count (wide + scalar)."""
+        return self.simd_ops + self.scalar_ops
+
+    def reset(self):
+        """Zero every counter, keeping the object identity."""
+        self.simd_ops = 0
+        self.scalar_ops = 0
+        self.elements = 0
+        self.bytes_touched = 0
+        self.intersections = 0
+        self.by_algorithm.clear()
+
+    def snapshot(self):
+        """Return a plain dict copy of the counters for reporting."""
+        return {
+            "simd_ops": self.simd_ops,
+            "scalar_ops": self.scalar_ops,
+            "total_ops": self.total_ops,
+            "elements": self.elements,
+            "bytes_touched": self.bytes_touched,
+            "intersections": self.intersections,
+            "by_algorithm": {k: dict(v) for k, v in self.by_algorithm.items()},
+        }
+
+
+#: A shared counter used when callers do not pass their own.  Benchmarks
+#: that care about attribution construct a private :class:`OpCounter`.
+GLOBAL_COUNTER = OpCounter()
+
+
+def get_counter(counter=None):
+    """Return ``counter`` if given, else the module-level shared counter."""
+    return GLOBAL_COUNTER if counter is None else counter

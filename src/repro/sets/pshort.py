@@ -1,0 +1,92 @@
+"""The ``pshort`` (Prefix Short) layout (paper Appendix C.1.1).
+
+Values are grouped by their upper 16 bits; each group stores the common
+prefix once plus the group's lower 16-bit halves.  On the paper's hardware
+this enables the STTNI string-compare instruction to match eight 16-bit
+values at once; here the lower halves are ``uint16`` numpy arrays so
+vectorized comparisons play the same role.
+"""
+
+import numpy as np
+
+from .base import SetLayout, as_sorted_uint32
+
+
+class PShortSet(SetLayout):
+    """Prefix-compressed layout: ``[(prefix, uint16 lower-half array)]``.
+
+    The groups are stored in ascending prefix order and each group's lower
+    halves are sorted, so global sorted order is groups-then-members.
+    """
+
+    kind = "pshort"
+
+    __slots__ = ("_prefixes", "_groups", "_cardinality")
+
+    def __init__(self, values):
+        arr = as_sorted_uint32(values)
+        if arr.size == 0:
+            self._prefixes = np.empty(0, dtype=np.uint16)
+            self._groups = []
+            self._cardinality = 0
+            return
+        high = (arr >> 16).astype(np.uint16)
+        low = (arr & 0xFFFF).astype(np.uint16)
+        prefixes, starts = np.unique(high, return_index=True)
+        bounds = np.append(starts, arr.size)
+        self._prefixes = prefixes
+        self._groups = [low[bounds[i]:bounds[i + 1]]
+                        for i in range(prefixes.size)]
+        self._cardinality = int(arr.size)
+
+    @property
+    def prefixes(self):
+        """Sorted ``uint16`` array of 16-bit prefixes present."""
+        return self._prefixes
+
+    @property
+    def groups(self):
+        """List of sorted ``uint16`` arrays, parallel to :attr:`prefixes`."""
+        return self._groups
+
+    @property
+    def cardinality(self):
+        return self._cardinality
+
+    def to_array(self):
+        if self._cardinality == 0:
+            return np.empty(0, dtype=np.uint32)
+        parts = [
+            (np.uint32(prefix) << np.uint32(16)) | group.astype(np.uint32)
+            for prefix, group in zip(self._prefixes, self._groups)
+        ]
+        return np.concatenate(parts)
+
+    @property
+    def min_value(self):
+        if self._cardinality == 0:
+            return None
+        return (int(self._prefixes[0]) << 16) | int(self._groups[0][0])
+
+    @property
+    def max_value(self):
+        if self._cardinality == 0:
+            return None
+        return (int(self._prefixes[-1]) << 16) | int(self._groups[-1][-1])
+
+    def contains(self, value):
+        value = int(value)
+        prefix = value >> 16
+        idx = int(np.searchsorted(self._prefixes, np.uint16(prefix)))
+        if idx >= self._prefixes.size or self._prefixes[idx] != prefix:
+            return False
+        group = self._groups[idx]
+        low = np.uint16(value & 0xFFFF)
+        pos = int(np.searchsorted(group, low))
+        return bool(pos < group.size and group[pos] == low)
+
+    @property
+    def nbytes(self):
+        # Each partition stores its prefix and length once (paper C.1.1).
+        header = 4 * self._prefixes.size
+        return int(header + sum(g.nbytes for g in self._groups))

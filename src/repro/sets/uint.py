@@ -1,0 +1,86 @@
+"""The ``uint`` layout: a sorted array of 32-bit unsigned integers.
+
+This is the paper's sparse workhorse layout (Section 4.1).  It is the
+cheapest layout to build and decode and the best choice for sparse sets,
+at the cost of offering only four SIMD lanes per 128-bit comparison
+(footnote 7 in the paper).
+"""
+
+import numpy as np
+
+from .base import SetLayout, as_sorted_uint32
+
+
+class UintSet(SetLayout):
+    """Sorted ``uint32`` array layout.
+
+    Parameters
+    ----------
+    values:
+        Any iterable of integers; deduplicated and sorted on construction.
+
+    Examples
+    --------
+    >>> s = UintSet([5, 1, 3, 3])
+    >>> list(s)
+    [1, 3, 5]
+    >>> s.cardinality
+    3
+    """
+
+    kind = "uint"
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values):
+        if isinstance(values, np.ndarray) and values.dtype == np.uint32 \
+                and values.ndim == 1:
+            # Fast path for internal callers that guarantee sortedness.
+            if values.size > 1 and not np.all(values[1:] > values[:-1]):
+                values = as_sorted_uint32(values)
+        else:
+            values = as_sorted_uint32(values)
+        self._values = values
+
+    @classmethod
+    def from_sorted(cls, arr):
+        """Wrap an already-sorted, duplicate-free ``uint32`` array without
+        validation.  Internal fast path for intersection results."""
+        out = cls.__new__(cls)
+        out._values = arr
+        return out
+
+    @property
+    def values(self):
+        """The backing sorted ``uint32`` array (do not mutate)."""
+        return self._values
+
+    @property
+    def cardinality(self):
+        return int(self._values.size)
+
+    def to_array(self):
+        return self._values
+
+    @property
+    def min_value(self):
+        return int(self._values[0]) if self._values.size else None
+
+    @property
+    def max_value(self):
+        return int(self._values[-1]) if self._values.size else None
+
+    def contains(self, value):
+        idx = np.searchsorted(self._values, np.uint32(value))
+        return bool(idx < self._values.size
+                    and self._values[idx] == np.uint32(value))
+
+    def rank(self, value):
+        idx = int(np.searchsorted(self._values, np.uint32(value)))
+        if idx >= self._values.size or self._values[idx] != np.uint32(value):
+            raise KeyError(value)
+        return idx
+
+    @property
+    def nbytes(self):
+        return int(self._values.nbytes)

@@ -1,0 +1,103 @@
+"""Dictionary encoding: arbitrary values ↔ dense 32-bit keys (paper §2.2).
+
+EmptyHeaded tries store only ``uint32`` values, so input tables of
+arbitrary type are dictionary-encoded first.  The *order* in which ids are
+assigned matters for performance (it determines set density in the trie),
+which is why :mod:`repro.storage.ordering` produces id permutations that
+this class can be rebuilt around.
+"""
+
+import numpy as np
+
+from ..errors import SchemaError
+
+
+class Dictionary:
+    """A bijective mapping from hashable values to dense ``uint32`` ids.
+
+    Ids are assigned on first encode in insertion order; use
+    :meth:`remap` to apply a node-ordering permutation afterwards.
+
+    Examples
+    --------
+    >>> d = Dictionary()
+    >>> d.encode("alice"), d.encode("bob"), d.encode("alice")
+    (0, 1, 0)
+    >>> d.decode(1)
+    'bob'
+    """
+
+    def __init__(self):
+        self._value_to_id = {}
+        self._id_to_value = []
+
+    def __len__(self):
+        return len(self._id_to_value)
+
+    def __contains__(self, value):
+        return value in self._value_to_id
+
+    def encode(self, value):
+        """Return the id for ``value``, assigning a fresh one on miss."""
+        existing = self._value_to_id.get(value)
+        if existing is not None:
+            return existing
+        new_id = len(self._id_to_value)
+        if new_id > 2 ** 32 - 1:
+            raise SchemaError("dictionary exceeded the 32-bit key space")
+        self._value_to_id[value] = new_id
+        self._id_to_value.append(value)
+        return new_id
+
+    def encode_many(self, values):
+        """Encode an iterable of values to a ``uint32`` array."""
+        return np.fromiter((self.encode(v) for v in values),
+                           dtype=np.uint32, count=len(values)
+                           if hasattr(values, "__len__") else -1)
+
+    def lookup(self, value):
+        """Id for ``value`` without assigning; raises ``KeyError`` on miss."""
+        return self._value_to_id[value]
+
+    def decode(self, key):
+        """Original value for id ``key``."""
+        key = int(key)
+        if not 0 <= key < len(self._id_to_value):
+            raise KeyError(key)
+        return self._id_to_value[key]
+
+    def decode_many(self, keys):
+        """Decode an iterable of ids to a list of original values."""
+        table = self._id_to_value
+        return [table[int(k)] for k in keys]
+
+    def remap(self, permutation):
+        """Apply a node-ordering permutation in place.
+
+        ``permutation[old_id] == new_id``; must be a bijection over the
+        current id range.  Returns the permutation for chaining so callers
+        can remap already-encoded columns with ``permutation[column]``.
+        """
+        perm = np.asarray(permutation)
+        n = len(self._id_to_value)
+        if perm.shape != (n,) or not np.array_equal(np.sort(perm),
+                                                    np.arange(n)):
+            raise SchemaError("permutation must be a bijection over %d ids"
+                              % n)
+        new_table = [None] * n
+        for old_id, value in enumerate(self._id_to_value):
+            new_table[int(perm[old_id])] = value
+        self._id_to_value = new_table
+        self._value_to_id = {v: i for i, v in enumerate(new_table)}
+        return perm
+
+
+def identity_dictionary(n):
+    """A dictionary over ``range(n)`` mapping each integer to itself.
+
+    Convenience for graph inputs whose node ids are already dense ints.
+    """
+    d = Dictionary()
+    for i in range(n):
+        d.encode(i)
+    return d

@@ -1,0 +1,166 @@
+"""Relations: named, dictionary-encoded tables with optional annotations.
+
+A :class:`Relation` is the logical object the query engine sees: an
+``(n, arity)`` matrix of ``uint32`` keys plus an optional per-tuple
+*annotation* (paper §2.2, "Trie Annotations") carrying a semiring value —
+e.g. an edge weight, a PageRank contribution, or the implicit ``1`` that
+COUNT aggregates.
+"""
+
+import numpy as np
+
+from ..errors import SchemaError
+from .dictionary import Dictionary
+
+
+class Relation:
+    """An immutable dictionary-encoded relation.
+
+    Parameters
+    ----------
+    name:
+        Relation name as referenced in queries.
+    data:
+        ``(n, arity)`` array-like of ``uint32`` keys.  Arity-0 (scalar)
+        relations pass an empty ``(n, 0)`` array or ``None`` rows.
+    annotations:
+        Optional length-``n`` float array of semiring annotations.
+    dictionaries:
+        Per-column :class:`Dictionary` objects (may share one object when
+        columns draw from the same domain, as graph edges do).
+    """
+
+    def __init__(self, name, data, annotations=None, dictionaries=None):
+        self.name = name
+        data = np.asarray(data, dtype=np.uint32)
+        if data.ndim == 1:
+            data = data.reshape(-1, 1)
+        if data.ndim != 2:
+            raise SchemaError("relation data must be 2-dimensional")
+        self.data = data
+        self.arity = int(data.shape[1])
+        if annotations is not None:
+            annotations = np.asarray(annotations, dtype=np.float64)
+            if annotations.shape != (data.shape[0],):
+                raise SchemaError(
+                    "annotations must align with tuples: got %s for %d rows"
+                    % (annotations.shape, data.shape[0]))
+        self.annotations = annotations
+        if dictionaries is not None and len(dictionaries) != self.arity:
+            raise SchemaError("need one dictionary per column")
+        self.dictionaries = dictionaries
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_tuples(cls, name, tuples, annotations=None, dictionary=None):
+        """Encode raw (arbitrary-typed) tuples through a shared dictionary.
+
+        All columns share one dictionary, which is the right model for
+        graphs where both columns are node ids.
+        """
+        tuples = list(tuples)
+        if not tuples:
+            return cls(name, np.empty((0, 0), dtype=np.uint32),
+                       annotations=None, dictionaries=None)
+        arity = len(tuples[0])
+        shared = dictionary if dictionary is not None else Dictionary()
+        data = np.empty((len(tuples), arity), dtype=np.uint32)
+        for row, record in enumerate(tuples):
+            if len(record) != arity:
+                raise SchemaError("ragged tuple at row %d" % row)
+            for col, value in enumerate(record):
+                data[row, col] = shared.encode(value)
+        return cls(name, data, annotations=annotations,
+                   dictionaries=[shared] * arity)
+
+    @classmethod
+    def scalar(cls, name, value):
+        """A 0-ary relation holding a single annotation (e.g. ``N`` in the
+        paper's PageRank program)."""
+        rel = cls(name, np.empty((1, 0), dtype=np.uint32),
+                  annotations=np.asarray([value], dtype=np.float64))
+        return rel
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def cardinality(self):
+        """Number of tuples."""
+        return int(self.data.shape[0])
+
+    def column(self, index):
+        """One column as a ``uint32`` array."""
+        return self.data[:, index]
+
+    def is_scalar(self):
+        """True for 0-ary relations (a bare annotation value)."""
+        return self.arity == 0
+
+    @property
+    def scalar_value(self):
+        """The annotation of a 0-ary relation."""
+        if not self.is_scalar() or self.annotations is None \
+                or self.annotations.size != 1:
+            raise SchemaError("%s is not a scalar relation" % self.name)
+        return float(self.annotations[0])
+
+    # -- transformations ---------------------------------------------------
+
+    def deduplicated(self, combine="last"):
+        """Return a copy with duplicate key-tuples removed.
+
+        ``combine`` selects how annotations of duplicates merge:
+        ``"last"``, ``"sum"``, ``"min"``, or ``"max"``.
+        """
+        if self.cardinality == 0 or self.arity == 0:
+            return self
+        order = np.lexsort(tuple(self.data[:, c]
+                                 for c in range(self.arity - 1, -1, -1)))
+        data = self.data[order]
+        distinct = np.ones(data.shape[0], dtype=bool)
+        distinct[1:] = np.any(data[1:] != data[:-1], axis=1)
+        if self.annotations is None:
+            return Relation(self.name, data[distinct], None,
+                            self.dictionaries)
+        ann = self.annotations[order]
+        group_ids = np.cumsum(distinct) - 1
+        n_groups = int(group_ids[-1]) + 1
+        if combine == "last":
+            merged = np.empty(n_groups, dtype=np.float64)
+            merged[group_ids] = ann  # later rows overwrite earlier ones
+        elif combine == "sum":
+            merged = np.zeros(n_groups, dtype=np.float64)
+            np.add.at(merged, group_ids, ann)
+        elif combine == "min":
+            merged = np.full(n_groups, np.inf)
+            np.minimum.at(merged, group_ids, ann)
+        elif combine == "max":
+            merged = np.full(n_groups, -np.inf)
+            np.maximum.at(merged, group_ids, ann)
+        else:
+            raise ValueError("unknown combine mode %r" % (combine,))
+        return Relation(self.name, data[distinct], merged, self.dictionaries)
+
+    def project(self, columns):
+        """Project onto the given column indexes (no deduplication)."""
+        data = self.data[:, list(columns)]
+        dicts = None
+        if self.dictionaries is not None:
+            dicts = [self.dictionaries[c] for c in columns]
+        return Relation(self.name, data, self.annotations, dicts)
+
+    def decoded_tuples(self):
+        """Yield tuples with dictionary decoding applied (if available)."""
+        if self.dictionaries is None:
+            for row in self.data:
+                yield tuple(int(v) for v in row)
+            return
+        for row in self.data:
+            yield tuple(self.dictionaries[c].decode(v)
+                        for c, v in enumerate(row))
+
+    def __repr__(self):
+        ann = "" if self.annotations is None else ", annotated"
+        return "Relation(%s/%d, %d tuples%s)" % (
+            self.name, self.arity, self.cardinality, ann)

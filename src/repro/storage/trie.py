@@ -1,0 +1,241 @@
+"""The trie storage structure (paper §2.2, Figure 2).
+
+A relation with attribute order ``(a1, ..., ak)`` is stored as a k-level
+trie: level ``i`` holds, for every distinct prefix ``(v1, ..., v_{i-1})``,
+the *set* of ``a_i`` values extending that prefix.  Each set is stored in
+a physical layout chosen by the layout optimizer, which is where the
+engine's density-skew adaptivity lives.  Leaf sets optionally carry
+per-value semiring annotations.
+"""
+
+import numpy as np
+
+from ..errors import SchemaError
+from ..sets.optimizer import SetOptimizer
+from .relation import Relation
+
+
+class TrieNode:
+    """One trie node: a set of values plus per-value children/annotations.
+
+    ``children`` is a list parallel to the set's sorted order (``None`` at
+    the leaf level); ``annotations`` is a float array parallel to sorted
+    order (``None`` when the relation is unannotated or the level is not
+    the leaf).
+    """
+
+    __slots__ = ("set", "children", "annotations")
+
+    def __init__(self, set_layout, children=None, annotations=None):
+        self.set = set_layout
+        self.children = children
+        self.annotations = annotations
+
+    def child(self, value):
+        """Child node for ``value``; raises ``KeyError`` when absent."""
+        return self.children[self.set.rank(value)]
+
+    def child_at(self, index):
+        """Child node by rank (position in sorted order)."""
+        return self.children[index]
+
+    def annotation(self, value):
+        """Annotation for ``value`` at a leaf node."""
+        if self.annotations is None:
+            raise SchemaError("node carries no annotations")
+        return float(self.annotations[self.set.rank(value)])
+
+    @property
+    def is_leaf(self):
+        """True at the deepest trie level (no child pointers)."""
+        return self.children is None
+
+
+class Trie:
+    """A relation materialized as a trie under one attribute order.
+
+    Parameters
+    ----------
+    relation:
+        The (deduplicated) :class:`~repro.storage.relation.Relation`.
+    key_order:
+        Tuple of column indexes giving the trie's level order, e.g.
+        ``(1, 0)`` stores the transpose of a binary relation.
+    optimizer:
+        A :class:`~repro.sets.optimizer.SetOptimizer`; defaults to the
+        paper's set-level optimizer.
+    """
+
+    def __init__(self, relation, key_order=None, optimizer=None):
+        if key_order is None:
+            key_order = tuple(range(relation.arity))
+        if sorted(key_order) != list(range(relation.arity)):
+            raise SchemaError("key_order %r is not a permutation of the %d "
+                              "columns" % (key_order, relation.arity))
+        self.relation = relation
+        self.key_order = tuple(key_order)
+        self.optimizer = optimizer if optimizer is not None \
+            else SetOptimizer("set")
+        self.name = relation.name
+        self.arity = relation.arity
+        if relation.arity == 0:
+            self.root = TrieNode(_empty_set(self.optimizer))
+            self.scalar = (float(relation.annotations[0])
+                           if relation.annotations is not None
+                           and relation.annotations.size else None)
+            self.sorted_data = np.empty((0, 0), dtype=np.uint32)
+            self.sorted_annotations = None
+            return
+        self.scalar = None
+        deduped = relation.deduplicated()
+        data = deduped.data[:, list(self.key_order)]
+        annotations = deduped.annotations
+        if data.shape[0]:
+            sort_keys = tuple(data[:, c]
+                              for c in range(self.arity - 1, -1, -1))
+            order = np.lexsort(sort_keys)
+            data = data[order]
+            if annotations is not None:
+                annotations = annotations[order]
+        # Kept for the engine's vectorized fast paths: the tuples in trie
+        # (lexicographic) order, with annotations aligned.
+        self.sorted_data = data
+        self.sorted_annotations = annotations
+        self.root = self._build(data, annotations, 0)
+
+    def _build(self, data, annotations, depth):
+        column = data[:, depth]
+        values, starts = np.unique(column, return_index=True)
+        bounds = np.append(starts, column.shape[0])
+        set_layout = self.optimizer.build(values)
+        if depth == self.arity - 1:
+            leaf_annotations = None
+            if annotations is not None:
+                leaf_annotations = annotations[starts]
+            return TrieNode(set_layout, None, leaf_annotations)
+        children = [
+            self._build(data[bounds[i]:bounds[i + 1]],
+                        None if annotations is None
+                        else annotations[bounds[i]:bounds[i + 1]],
+                        depth + 1)
+            for i in range(values.size)
+        ]
+        return TrieNode(set_layout, children, None)
+
+    # -- traversal ---------------------------------------------------------
+
+    def lookup(self, prefix):
+        """Node reached by following ``prefix`` (a tuple of key values).
+
+        ``lookup(())`` is the root.  Raises ``KeyError`` when the prefix
+        is absent.
+        """
+        node = self.root
+        for value in prefix:
+            node = node.child(value)
+        return node
+
+    def contains(self, key):
+        """Membership test for a full key tuple."""
+        try:
+            node = self.root
+            for value in key[:-1]:
+                node = node.child(value)
+            return node.set.contains(key[-1]) if key else True
+        except KeyError:
+            return False
+
+    def tuples(self):
+        """Yield every stored key tuple in lexicographic (trie) order."""
+        if self.arity == 0:
+            return
+        yield from self._walk(self.root, ())
+
+    def _walk(self, node, prefix):
+        if node.is_leaf:
+            for value in node.set:
+                yield prefix + (value,)
+            return
+        for index, value in enumerate(node.set):
+            yield from self._walk(node.child_at(index), prefix + (value,))
+
+    def annotated_tuples(self):
+        """Yield ``(key_tuple, annotation)`` pairs in trie order."""
+        if self.arity == 0:
+            yield ((), self.scalar)
+            return
+        yield from self._walk_annotated(self.root, ())
+
+    def _walk_annotated(self, node, prefix):
+        if node.is_leaf:
+            for index, value in enumerate(node.set):
+                annotation = (None if node.annotations is None
+                              else float(node.annotations[index]))
+                yield (prefix + (value,), annotation)
+            return
+        for index, value in enumerate(node.set):
+            yield from self._walk_annotated(node.child_at(index),
+                                            prefix + (value,))
+
+    # -- statistics ---------------------------------------------------------
+
+    @property
+    def cardinality(self):
+        """Number of stored tuples (O(1): the build keeps the sorted
+        tuple array)."""
+        if self.arity == 0:
+            return 1 if self.scalar is not None else 0
+        return int(self.sorted_data.shape[0])
+
+    def _count(self, node):
+        """Recursive tuple count (kept for structural tests)."""
+        if node.is_leaf:
+            return node.set.cardinality
+        return sum(self._count(child) for child in node.children)
+
+    def level_sets(self, level):
+        """All set layouts at the given level (0 = root), for stats."""
+        nodes = [self.root]
+        for _ in range(level):
+            nodes = [child for node in nodes for child in node.children]
+        return [node.set for node in nodes]
+
+    def layout_histogram(self):
+        """Layout-kind counts across every set in the trie."""
+        histogram = {}
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            histogram[node.set.kind] = histogram.get(node.set.kind, 0) + 1
+            if node.children:
+                stack.extend(node.children)
+        return histogram
+
+    @property
+    def nbytes(self):
+        """Approximate encoded size of every set in the trie."""
+        total = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            total += node.set.nbytes
+            if node.annotations is not None:
+                total += node.annotations.nbytes
+            if node.children:
+                stack.extend(node.children)
+        return total
+
+    def __repr__(self):
+        return "Trie(%s, order=%s, %d tuples)" % (
+            self.name, self.key_order, self.cardinality)
+
+
+def _empty_set(optimizer):
+    return optimizer.build(np.empty(0, dtype=np.uint32))
+
+
+def trie_from_arrays(name, data, annotations=None, key_order=None,
+                     optimizer=None):
+    """Convenience: build a trie straight from a ``uint32`` array."""
+    relation = Relation(name, data, annotations)
+    return Trie(relation, key_order=key_order, optimizer=optimizer)

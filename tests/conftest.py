@@ -1,0 +1,85 @@
+"""Shared fixtures: small deterministic graphs and databases."""
+
+import itertools
+import random
+
+import numpy as np
+import pytest
+
+from repro import Database
+
+
+def random_undirected_edges(n_nodes, n_edges, seed=0):
+    """Deterministic random simple undirected edge list (src < dst)."""
+    rng = random.Random(seed)
+    edges = set()
+    attempts = 0
+    while len(edges) < n_edges and attempts < 50 * n_edges:
+        u, v = rng.randrange(n_nodes), rng.randrange(n_nodes)
+        attempts += 1
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return sorted(edges)
+
+
+def brute_force_triangles(edges):
+    """Reference triangle count over undirected edges."""
+    adjacency = {}
+    nodes = set()
+    for u, v in edges:
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+        nodes.update((u, v))
+    return sum(
+        1 for a, b, c in itertools.combinations(sorted(nodes), 3)
+        if b in adjacency[a] and c in adjacency[a] and c in adjacency[b])
+
+
+def brute_force_four_cliques(edges):
+    """Reference 4-clique count over undirected edges."""
+    adjacency = {}
+    nodes = set()
+    for u, v in edges:
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+        nodes.update((u, v))
+    return sum(
+        1 for combo in itertools.combinations(sorted(nodes), 4)
+        if all(b in adjacency[a]
+               for a, b in itertools.combinations(combo, 2)))
+
+
+@pytest.fixture
+def small_edges():
+    """40-node, 150-edge random graph with a few dozen triangles."""
+    return random_undirected_edges(40, 150, seed=42)
+
+
+@pytest.fixture
+def small_db(small_edges):
+    """Database with the small graph loaded undirected (not pruned)."""
+    db = Database()
+    db.load_graph("Edge", small_edges, undirected=True)
+    return db
+
+
+@pytest.fixture
+def pruned_db(small_edges):
+    """Database with the small graph symmetrically filtered."""
+    db = Database()
+    db.load_graph("Edge", small_edges, prune=True)
+    return db
+
+
+@pytest.fixture
+def k5_db():
+    """Complete graph K5, pruned — exactly C(5,3)=10 triangles."""
+    edges = [(u, v) for u in range(5) for v in range(u + 1, 5)]
+    db = Database()
+    db.load_graph("Edge", edges, prune=True)
+    return db
+
+
+def sorted_array(values):
+    """Sorted unique uint32 array from any iterable (test helper)."""
+    return np.unique(np.asarray(list(values), dtype=np.uint32))

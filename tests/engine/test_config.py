@@ -1,0 +1,35 @@
+"""Unit tests for EngineConfig and ablation plumbing."""
+
+from repro.engine import EngineConfig
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = EngineConfig()
+        assert config.layout_level == "set"       # §4.4's choice
+        assert config.simd
+        assert config.adaptive_algorithms
+        assert config.use_ghd
+        assert config.push_selections
+        assert config.eliminate_redundant_bags
+        assert config.skip_top_down
+        assert config.uint_algorithm is None
+
+    def test_ablated_copies(self):
+        base = EngineConfig()
+        no_layouts = base.ablated(layout_level="uint_only")
+        assert no_layouts.layout_level == "uint_only"
+        assert base.layout_level == "set"          # original untouched
+        assert no_layouts.counter is not base.counter
+
+    def test_ra_ablation(self):
+        """The paper's "-RA": no layout choices AND no algorithm
+        adaptivity."""
+        config = EngineConfig().ablated(layout_level="uint_only",
+                                        adaptive_algorithms=False)
+        assert config.layout_level == "uint_only"
+        assert not config.adaptive_algorithms
+        assert config.simd  # -RA keeps vectorized kernels
+
+    def test_counters_start_clean(self):
+        assert EngineConfig().counter.total_ops == 0

@@ -1,0 +1,181 @@
+"""Unit tests for the rule executor: normalization, expressions, plans."""
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.engine import EngineConfig, RuleExecutor, TrieCache
+from repro.engine.executor import eval_expression, normalize_atom
+from repro.errors import (ExecutionError, PlanError, UnknownRelationError)
+from repro.query import parse_rule
+from repro.query.ast import Agg, BinOp, Num, Ref
+from repro.storage import Relation
+
+
+def catalog_with_edges(rows, annotations=None):
+    return {"E": Relation("E", np.asarray(rows, dtype=np.uint32),
+                          annotations)}
+
+
+class TestNormalization:
+    def test_plain_atom_passthrough(self):
+        catalog = catalog_with_edges([[0, 1], [1, 2]])
+        atom = parse_rule("Q(x,y) :- E(x,y).").body[0]
+        normalized = normalize_atom(atom, catalog)
+        assert normalized.relation is catalog["E"]
+        assert normalized.variables == ("x", "y")
+        assert not normalized.is_selection
+
+    def test_constant_filters_rows(self):
+        catalog = catalog_with_edges([[0, 1], [0, 2], [1, 2]])
+        atom = parse_rule("Q(y) :- E(0,y).").body[0]
+        normalized = normalize_atom(atom, catalog)
+        assert normalized.is_selection
+        assert normalized.variables == ("y",)
+        assert normalized.relation.data.ravel().tolist() == [1, 2]
+
+    def test_missing_constant_empties_relation(self):
+        catalog = {"E": Relation.from_tuples("E", [("a", "b")])}
+        atom = parse_rule("Q(y) :- E('zzz',y).").body[0]
+        normalized = normalize_atom(atom, catalog)
+        assert normalized.relation.cardinality == 0
+
+    def test_repeated_variable_becomes_equality_filter(self):
+        catalog = catalog_with_edges([[0, 0], [0, 1], [2, 2]])
+        atom = parse_rule("Q(x) :- E(x,x).").body[0]
+        normalized = normalize_atom(atom, catalog)
+        assert normalized.variables == ("x",)
+        assert normalized.relation.data.ravel().tolist() == [0, 2]
+
+    def test_unknown_relation(self):
+        atom = parse_rule("Q(x) :- Nope(x,x).").body[0]
+        with pytest.raises(UnknownRelationError):
+            normalize_atom(atom, {})
+
+    def test_arity_mismatch(self):
+        catalog = catalog_with_edges([[0, 1]])
+        atom = parse_rule("Q(x) :- E(x,y,z).").body[0]
+        with pytest.raises(ExecutionError):
+            normalize_atom(atom, catalog)
+
+    def test_annotations_filtered_alongside(self):
+        catalog = catalog_with_edges([[0, 1], [1, 2]],
+                                     annotations=[5.0, 9.0])
+        atom = parse_rule("Q(y) :- E(1,y).").body[0]
+        normalized = normalize_atom(atom, catalog)
+        assert normalized.relation.annotations.tolist() == [9.0]
+
+
+class TestExpressionEvaluation:
+    def test_affine_over_aggregate(self):
+        expr = BinOp("+", Num(0.15), BinOp("*", Num(0.85),
+                                           Agg("SUM", "z")))
+        assert eval_expression(expr, 2.0, {}) == pytest.approx(1.85)
+
+    def test_vectorized_over_arrays(self):
+        expr = BinOp("*", Num(2.0), Agg("SUM", "z"))
+        out = eval_expression(expr, np.array([1.0, 2.0]), {})
+        assert out.tolist() == [2.0, 4.0]
+
+    def test_scalar_reference(self):
+        assert eval_expression(BinOp("/", Num(1.0), Ref("N")),
+                               None, {"N": 4.0}) == 0.25
+
+    def test_unknown_reference(self):
+        with pytest.raises(ExecutionError):
+            eval_expression(Ref("M"), None, {})
+
+    def test_aggregate_without_context(self):
+        with pytest.raises(ExecutionError):
+            eval_expression(Agg("SUM", "z"), None, {})
+
+    def test_subtraction_and_division(self):
+        expr = BinOp("-", Num(10.0), BinOp("/", Num(4.0), Num(2.0)))
+        assert eval_expression(expr, None, {}) == 8.0
+
+
+class TestExecutorPaths:
+    def test_head_var_unbound_rejected(self):
+        executor = RuleExecutor(catalog_with_edges([[0, 1]]),
+                                EngineConfig())
+        with pytest.raises(PlanError):
+            executor.execute(parse_rule("Q(q) :- E(x,y)."))
+
+    def test_multiple_aggregates_rejected(self):
+        executor = RuleExecutor(catalog_with_edges([[0, 1]]),
+                                EngineConfig())
+        rule = parse_rule(
+            "Q(;w:int) :- E(x,y); w=<<SUM(x)>>+<<SUM(y)>>.")
+        with pytest.raises(PlanError):
+            executor.execute(rule)
+
+    def test_count_distinct_scalar(self):
+        executor = RuleExecutor(catalog_with_edges(
+            [[0, 1], [0, 2], [1, 2]]), EngineConfig())
+        rule = parse_rule("N(;w:int) :- E(x,y); w=<<COUNT(x)>>.")
+        assert executor.execute(rule).scalar_value == 2.0  # x in {0, 1}
+
+    def test_count_distinct_per_key(self):
+        executor = RuleExecutor(catalog_with_edges(
+            [[0, 1], [0, 2], [1, 2]]), EngineConfig())
+        rule = parse_rule("D(x;c:int) :- E(x,y); c=<<COUNT(y)>>.")
+        out = executor.execute(rule)
+        got = {row[0]: ann for row, ann in zip(out.data.tolist(),
+                                               out.annotations)}
+        assert got == {0: 2.0, 1: 1.0}
+
+    def test_count_distinct_of_head_var_rejected(self):
+        executor = RuleExecutor(catalog_with_edges([[0, 1]]),
+                                EngineConfig())
+        rule = parse_rule("D(x;c:int) :- E(x,y); c=<<COUNT(x)>>.")
+        with pytest.raises(PlanError):
+            executor.execute(rule)
+
+    def test_guard_atom_empties_result(self):
+        catalog = catalog_with_edges([[0, 1]])
+        catalog["Flag"] = Relation("Flag", np.empty((0, 1),
+                                                    dtype=np.uint32))
+        executor = RuleExecutor(catalog, EngineConfig())
+        rule = parse_rule("Q(x,y) :- E(x,y),Flag(7).")
+        assert executor.execute(rule).cardinality == 0
+
+    def test_constant_expression_annotation(self):
+        executor = RuleExecutor(catalog_with_edges([[0, 1], [0, 2]]),
+                                EngineConfig())
+        rule = parse_rule("B(y;d:int) :- E(x,y); d=1.")
+        out = executor.execute(rule)
+        assert out.annotations.tolist() == [1.0, 1.0]
+
+    def test_last_plan_recorded(self):
+        executor = RuleExecutor(catalog_with_edges([[0, 1]]),
+                                EngineConfig())
+        executor.execute(parse_rule("Q(x,y) :- E(x,y)."))
+        assert "GHD" in executor.last_plan.describe()
+
+
+class TestTrieCache:
+    def test_caches_by_relation_identity(self):
+        cache = TrieCache()
+        relation = Relation("E", np.asarray([[0, 1]], dtype=np.uint32))
+        a = cache.get(relation, (0, 1), "set")
+        b = cache.get(relation, (0, 1), "set")
+        c = cache.get(relation, (1, 0), "set")
+        assert a is b
+        assert a is not c
+        assert len(cache) == 2
+
+    def test_invalidate(self):
+        cache = TrieCache()
+        relation = Relation("E", np.asarray([[0, 1]], dtype=np.uint32))
+        cache.get(relation, (0, 1), "set")
+        cache.invalidate(relation)
+        assert len(cache) == 0
+
+    def test_replacement_gets_fresh_trie(self):
+        cache = TrieCache()
+        first = Relation("E", np.asarray([[0, 1]], dtype=np.uint32))
+        second = Relation("E", np.asarray([[2, 3]], dtype=np.uint32))
+        trie_first = cache.get(first, (0, 1), "set")
+        trie_second = cache.get(second, (0, 1), "set")
+        assert trie_first is not trie_second
+        assert list(trie_second.tuples()) == [(2, 3)]

@@ -1,0 +1,82 @@
+"""Sum-product / max-product inference as aggregated joins (§3.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Database
+
+
+def load_factor(db, name, table):
+    indexes = np.stack(np.nonzero(table), axis=1).astype(np.uint32)
+    db.add_encoded(name, indexes, annotations=table[np.nonzero(table)])
+
+
+def chain_db(phi_ab, phi_bc, phi_cd):
+    db = Database()
+    load_factor(db, "AB", phi_ab)
+    load_factor(db, "BC", phi_bc)
+    load_factor(db, "CD", phi_cd)
+    return db
+
+
+factor_strategy = st.integers(0, 2 ** 31).map(
+    lambda seed: np.random.default_rng(seed).random((3, 3)) + 0.05)
+
+
+class TestChainInference:
+    @given(a=factor_strategy, b=factor_strategy, c=factor_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_marginal_matches_einsum(self, a, b, c):
+        db = chain_db(a, b, c)
+        marginal = db.query(
+            "M(d;p:float) :- AB(x,y),BC(y,z),CD(z,d); p=<<SUM(x)>>."
+        ).to_dict()
+        expected = np.einsum("ab,bc,cd->d", a, b, c)
+        for state in range(3):
+            assert marginal[state] == pytest.approx(expected[state])
+
+    @given(a=factor_strategy, b=factor_strategy, c=factor_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_partition_function(self, a, b, c):
+        db = chain_db(a, b, c)
+        z = db.query("Z(;p:float) :- AB(x,y),BC(y,z),CD(z,w); "
+                     "p=<<SUM(x)>>.").scalar
+        assert z == pytest.approx(float(np.einsum("ab,bc,cd->", a, b, c)))
+
+    @given(a=factor_strategy, b=factor_strategy, c=factor_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_viterbi_value(self, a, b, c):
+        db = chain_db(a, b, c)
+        best = db.query("B(;p:float) :- AB(x,y),BC(y,z),CD(z,w); "
+                        "p=<<MAX(x)>>.").scalar
+        brute = max(a[i, j] * b[j, k] * c[k, l]
+                    for i in range(3) for j in range(3)
+                    for k in range(3) for l in range(3))
+        assert best == pytest.approx(brute)
+
+    def test_conditioning_by_selection(self):
+        rng = np.random.default_rng(4)
+        a, b, c = (rng.random((3, 3)) + 0.1 for _ in range(3))
+        db = chain_db(a, b, c)
+        got = db.query(
+            "M(d;p:float) :- AB(1,y),BC(y,z),CD(z,d); p=<<SUM(y)>>."
+        ).to_dict()
+        expected = np.einsum("b,bc,cd->d", a[1], b, c)
+        for state in range(3):
+            assert got[state] == pytest.approx(expected[state])
+
+    def test_tree_model(self):
+        """A star factor graph: B, C, D all hanging off A."""
+        rng = np.random.default_rng(5)
+        ab, ac, ad = (rng.random((3, 3)) + 0.1 for _ in range(3))
+        db = Database()
+        load_factor(db, "AB", ab)
+        load_factor(db, "AC", ac)
+        load_factor(db, "AD", ad)
+        marginal = db.query(
+            "M(a;p:float) :- AB(a,b),AC(a,c),AD(a,d); p=<<SUM(b)>>."
+        ).to_dict()
+        expected = np.einsum("ab,ac,ad->a", ab, ac, ad)
+        for state in range(3):
+            assert marginal[state] == pytest.approx(expected[state])

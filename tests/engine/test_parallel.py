@@ -1,0 +1,76 @@
+"""Tests for the parallel (forked) counting driver."""
+
+import pytest
+
+from repro import Database, PlanError
+from repro.engine.parallel import parallel_count
+from tests.conftest import brute_force_triangles, random_undirected_edges
+
+TRIANGLES = ("T(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); "
+             "w=<<COUNT(*)>>.")
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database()
+    database.load_graph("Edge", random_undirected_edges(40, 170, seed=9),
+                        prune=True)
+    return database
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_matches_sequential(self, db, workers):
+        expected = db.query(TRIANGLES).scalar
+        assert parallel_count(db, TRIANGLES, workers=workers) == expected
+
+    def test_matches_brute_force(self):
+        edges = random_undirected_edges(30, 120, seed=10)
+        database = Database()
+        database.load_graph("Edge", edges, prune=True)
+        got = parallel_count(database, TRIANGLES, workers=3)
+        assert got == brute_force_triangles(edges)
+
+    def test_four_clique(self, db):
+        query = ("K(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z),"
+                 "Edge(x,u),Edge(y,u),Edge(z,u); w=<<COUNT(*)>>.")
+        assert parallel_count(db, query, workers=3) == \
+            db.query(query).scalar
+
+    def test_expression_applied_once(self, db):
+        query = ("T(;w:float) :- Edge(x,y),Edge(y,z),Edge(x,z); "
+                 "w=2*<<COUNT(*)>>+1.")
+        assert parallel_count(db, query, workers=2) == \
+            db.query(query).scalar
+
+    def test_more_workers_than_candidates(self):
+        database = Database()
+        database.load_graph("Edge", [(0, 1), (1, 2), (0, 2)], prune=True)
+        assert parallel_count(database, TRIANGLES, workers=16) == 1.0
+
+    def test_empty_graph(self):
+        import numpy as np
+        database = Database()
+        database.add_encoded("Edge", np.empty((0, 2), dtype=np.uint32))
+        assert parallel_count(database, TRIANGLES, workers=2) == 0.0
+
+
+class TestScope:
+    def test_materialize_rejected(self, db):
+        with pytest.raises(PlanError):
+            parallel_count(db, "Q(x,y) :- Edge(x,y).")
+
+    def test_keyed_head_rejected(self, db):
+        with pytest.raises(PlanError):
+            parallel_count(
+                db, "D(x;c:int) :- Edge(x,y); c=<<COUNT(*)>>.")
+
+    def test_recursion_rejected(self, db):
+        db.query("P(x,y) :- Edge(x,y).")
+        with pytest.raises(PlanError):
+            parallel_count(
+                db, "P(;c:long)* :- Edge(x,y),P(y,x); c=<<COUNT(*)>>.")
+
+    def test_count_distinct_rejected(self, db):
+        with pytest.raises(PlanError):
+            parallel_count(db, "N(;c:int) :- Edge(x,y); c=<<COUNT(x)>>.")

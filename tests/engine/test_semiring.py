@@ -1,0 +1,48 @@
+"""Unit tests for semiring aggregation machinery."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine import (COUNT, EXISTS, MAX, MIN, SUM, is_monotone,
+                          semiring_for)
+
+
+class TestSemirings:
+    def test_lookup_by_name(self):
+        assert semiring_for("sum") is SUM
+        assert semiring_for("MIN") is MIN
+        assert semiring_for("Max") is MAX
+        assert semiring_for("COUNT") is COUNT
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            semiring_for("AVG")
+
+    def test_identities(self):
+        assert SUM.zero == 0.0
+        assert MIN.zero == math.inf
+        assert MAX.zero == -math.inf
+        assert SUM.plus(SUM.zero, 5.0) == 5.0
+        assert MIN.plus(MIN.zero, 5.0) == 5.0
+        assert MAX.plus(MAX.zero, 5.0) == 5.0
+
+    def test_fold_leaf(self):
+        values = np.array([3.0, 1.0, 2.0])
+        assert SUM.fold_leaf(values) == 6.0
+        assert MIN.fold_leaf(values) == 1.0
+        assert MAX.fold_leaf(values) == 3.0
+        assert SUM.fold_leaf(np.empty(0)) == 0.0
+        assert MIN.fold_leaf(np.empty(0)) == math.inf
+
+    def test_exists(self):
+        assert EXISTS.fold_leaf(np.array([0.5])) == 1.0
+        assert EXISTS.fold_leaf(np.empty(0)) == 0.0
+        assert EXISTS.plus(0.0, 1.0) == 1.0
+
+    def test_monotonicity_classification(self):
+        assert is_monotone("MIN")
+        assert is_monotone("max")
+        assert not is_monotone("SUM")
+        assert not is_monotone("COUNT")

@@ -1,0 +1,111 @@
+"""Unit and property tests for AGM bounds (paper §2.1, Example 2.1)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ghd import (agm_bound, cover_bound_value, fractional_cover,
+                       is_feasible_cover, rho_star)
+
+TRIANGLE = [{"x", "y"}, {"y", "z"}, {"x", "z"}]
+
+
+class TestFractionalCover:
+    def test_triangle_rho_star_is_three_halves(self):
+        value, weights = fractional_cover(["x", "y", "z"], TRIANGLE)
+        assert value == pytest.approx(1.5)
+        assert weights == pytest.approx([0.5, 0.5, 0.5])
+
+    def test_single_edge(self):
+        value, weights = fractional_cover(["x", "y"], [{"x", "y"}])
+        assert value == pytest.approx(1.0)
+
+    def test_uncoverable_vertex_is_infinite(self):
+        value, _ = fractional_cover(["x", "q"], [{"x", "y"}])
+        assert value == math.inf
+
+    def test_no_vertices_costs_nothing(self):
+        value, weights = fractional_cover([], TRIANGLE)
+        assert value == 0.0
+
+    def test_four_clique_rho_star_is_two(self):
+        edges = [{"x", "y"}, {"y", "z"}, {"x", "z"}, {"x", "w"},
+                 {"y", "w"}, {"z", "w"}]
+        assert rho_star(["x", "y", "z", "w"], edges) == pytest.approx(2.0)
+
+    def test_path_query_integral_cover(self):
+        edges = [{"a", "b"}, {"b", "c"}, {"c", "d"}]
+        assert rho_star(["a", "b", "c", "d"], edges) == pytest.approx(2.0)
+
+
+class TestAGMBound:
+    def test_triangle_example_2_1(self):
+        """The paper's Example 2.1: N tuples per relation → N^{3/2}."""
+        n = 100
+        assert agm_bound(TRIANGLE, [n, n, n]) == pytest.approx(n ** 1.5,
+                                                               rel=1e-6)
+
+    def test_zero_relation_zero_bound(self):
+        assert agm_bound(TRIANGLE, [0, 10, 10]) == 0.0
+
+    def test_asymmetric_sizes(self):
+        # With one huge relation the LP shifts weight to the small ones.
+        balanced = agm_bound(TRIANGLE, [100, 100, 100])
+        lopsided = agm_bound(TRIANGLE, [100, 100, 10 ** 9])
+        assert lopsided == pytest.approx(100 * 100)  # weight on small edges
+        assert lopsided >= balanced / 2
+
+    def test_bound_is_tight_on_complete_graph(self):
+        """Example 2.1's tightness: K_k has Θ(N^{3/2}) triangles."""
+        from repro.graphs import complete_graph, undirect
+        k = 12
+        edges = undirect(complete_graph(k))
+        n = edges.shape[0]
+        output = k * (k - 1) * (k - 2)  # ordered triangles
+        bound = agm_bound(TRIANGLE, [n, n, n])
+        assert output <= bound
+        assert output >= bound / 8  # tight within a small constant
+
+
+class TestFeasibility:
+    def test_half_cover_feasible_for_triangle(self):
+        assert is_feasible_cover(TRIANGLE, [0.5, 0.5, 0.5])
+
+    def test_example_2_1_integral_cover(self):
+        assert is_feasible_cover(TRIANGLE, [1.0, 0.0, 1.0])
+
+    def test_insufficient_cover_rejected(self):
+        assert not is_feasible_cover(TRIANGLE, [0.5, 0.5, 0.0])
+
+    def test_negative_weights_rejected(self):
+        assert not is_feasible_cover(TRIANGLE, [2.0, 2.0, -0.1])
+
+    def test_cover_bound_value(self):
+        assert cover_bound_value([100, 100, 100], [0.5, 0.5, 0.5]) == \
+            pytest.approx(1000.0)
+
+
+@given(n_nodes=st.integers(4, 18), n_edges=st.integers(3, 60),
+       seed=st.integers(0, 10))
+@settings(max_examples=30, deadline=None)
+def test_agm_inequality_holds_on_random_graphs(n_nodes, n_edges, seed):
+    """Equation 1 of the paper: |OUT| ≤ ∏ |R_e|^{x_e} for the optimal
+    cover, measured against the true triangle-join output."""
+    from tests.conftest import random_undirected_edges
+    from repro.graphs import undirect
+
+    edges = random_undirected_edges(n_nodes, n_edges, seed=seed)
+    if not edges:
+        return
+    both = undirect(np.asarray(edges))
+    m = both.shape[0]
+    # Count ordered triangle-join output tuples.
+    adjacency = {}
+    for u, v in both.tolist():
+        adjacency.setdefault(u, set()).add(v)
+    out = sum(1 for u in adjacency for v in adjacency[u]
+              for w in adjacency.get(v, ())
+              if w in adjacency.get(u, set()))
+    assert out <= agm_bound(TRIANGLE, [m, m, m]) + 1e-6

@@ -1,0 +1,150 @@
+"""Unit tests for the GHD search (paper §3.2 and Appendix B.1.1)."""
+
+import pytest
+
+from repro.ghd import (all_decompositions, decompose, global_attribute_order,
+                       push_selections_into_bags, single_node_ghd)
+from repro.ghd.attribute_order import bag_evaluation_order
+from repro.query import Hypergraph, parse_rule
+
+
+def hypergraph_of(text):
+    return Hypergraph(parse_rule(text).body)
+
+
+TRIANGLE = hypergraph_of("T(x,y,z) :- R(x,y),S(y,z),T(x,z).")
+BARBELL = hypergraph_of(
+    "B(x,y,z,u,v,w) :- R(x,y),S(y,z),T(x,z),M(x,u),"
+    "A(u,v),B(v,w),C(u,w).")
+LOLLIPOP = hypergraph_of("L(x,y,z,w) :- R(x,y),S(y,z),T(x,z),U(x,w).")
+FOUR_CLIQUE = hypergraph_of(
+    "K(x,y,z,w) :- R(x,y),S(y,z),T(x,z),U(x,w),V(y,w),Q(z,w).")
+
+
+class TestOptimalPlans:
+    def test_triangle_single_bag(self):
+        ghd = decompose(TRIANGLE)
+        assert ghd.is_valid()
+        assert ghd.n_nodes == 1
+        assert ghd.width() == pytest.approx(1.5)
+
+    def test_barbell_matches_figure3c(self):
+        """The optimizer must find the O(N^{3/2}) plan of Figure 3c, not
+        the O(N^3) single bag of Figure 3b."""
+        ghd = decompose(BARBELL)
+        assert ghd.is_valid()
+        assert ghd.width() == pytest.approx(1.5)
+        assert ghd.n_nodes == 3
+        assert sorted(ghd.root.chi) == ["u", "x"]  # the bridge at root
+        child_chis = sorted(tuple(sorted(c.chi))
+                            for c in ghd.root.children)
+        assert child_chis == [("u", "v", "w"), ("x", "y", "z")]
+
+    def test_lollipop_splits_tail(self):
+        ghd = decompose(LOLLIPOP)
+        assert ghd.is_valid()
+        assert ghd.width() == pytest.approx(1.5)
+        assert ghd.n_nodes == 2
+
+    def test_four_clique_prefers_single_bag(self):
+        """The paper: 'GHD optimizations do not matter on the K4 query as
+        the optimal query plan is a single node GHD.'"""
+        ghd = decompose(FOUR_CLIQUE)
+        assert ghd.n_nodes == 1
+        assert ghd.width() == pytest.approx(2.0)
+
+    def test_use_ghd_false_forces_single_node(self):
+        ghd = decompose(BARBELL, use_ghd=False)
+        assert ghd.n_nodes == 1
+        assert ghd.width() == pytest.approx(3.0)
+
+    def test_disconnected_query_becomes_forest_tree(self):
+        hg = hypergraph_of("Q(a,b,c,d) :- R(a,b),S(c,d).")
+        ghd = decompose(hg)
+        assert ghd.is_valid()
+        assert ghd.n_nodes == 2
+
+    def test_chosen_width_is_minimum_over_all_decompositions(self):
+        best = decompose(LOLLIPOP).width()
+        for candidate in all_decompositions(LOLLIPOP):
+            assert candidate.width() >= best - 1e-9
+
+
+class TestAllDecompositions:
+    def test_every_enumerated_ghd_is_valid(self):
+        for hg in (TRIANGLE, LOLLIPOP):
+            count = 0
+            for ghd in all_decompositions(hg):
+                assert ghd.is_valid(), ghd.validate()
+                count += 1
+            assert count >= 2
+
+    def test_limit_respected(self):
+        listed = list(all_decompositions(BARBELL, limit=10))
+        assert len(listed) <= 10
+
+
+class TestSelections:
+    SELECTED = hypergraph_of(
+        "S(x,y,z,u) :- R(x,y),S(y,z),T(x,z),P(x),M(x,u).")
+
+    def test_selection_depth_preference(self):
+        """With push-down, the selection edge P should sit as deep as
+        possible; with the ablation it should not be forced deep."""
+        deep = decompose(self.SELECTED, selected_vars={"x"},
+                         selection_edges={3}, prefer_deep_selections=True)
+        shallow = decompose(self.SELECTED, selected_vars={"x"},
+                            selection_edges={3},
+                            prefer_deep_selections=False)
+
+        def selection_depth(ghd):
+            return ghd.depth_of(
+                lambda node: any(e.index == 3 for e in node.edges))
+
+        assert deep.is_valid() and shallow.is_valid()
+        assert selection_depth(deep) >= selection_depth(shallow)
+
+    def test_selected_vars_relax_width(self):
+        """B.1.1 step 1: attributes bound by selections need no cover."""
+        relaxed = decompose(self.SELECTED, selected_vars={"x", "y", "z"})
+        strict = decompose(self.SELECTED)
+        assert relaxed.is_valid() and strict.is_valid()
+
+    def test_push_selections_into_bags_duplicates_safely(self):
+        ghd = decompose(self.SELECTED, selected_vars={"x"},
+                        selection_edges={3})
+        selection_edge = next(e for e in self.SELECTED.edges
+                              if e.index == 3)
+        push_selections_into_bags(ghd, [selection_edge])
+        assert ghd.is_valid(), ghd.validate()
+        holders = [n for n in ghd.nodes_preorder()
+                   if any(e.index == 3 for e in n.edges)]
+        coverers = [n for n in ghd.nodes_preorder()
+                    if "x" in n.chi_set]
+        assert len(holders) == len(coverers)
+
+
+class TestAttributeOrder:
+    def test_preorder_queue_covers_all_vertices(self):
+        ghd = decompose(BARBELL)
+        order = global_attribute_order(ghd)
+        assert sorted(order) == sorted(BARBELL.vertices)
+        # root attributes (the bridge) come first
+        assert set(order[:2]) == {"x", "u"}
+
+    def test_selected_attributes_first_within_bag(self):
+        ghd = single_node_ghd(TRIANGLE)
+        order = global_attribute_order(ghd, selected_vars={"z"})
+        assert order[0] == "z"
+
+    def test_bag_evaluation_order_out_first(self):
+        order = bag_evaluation_order(
+            ("x", "y", "z"), out_attrs=("z",),
+            global_order=("x", "y", "z"))
+        assert order == ("z", "x", "y")
+
+    def test_bag_evaluation_order_respects_global_within_classes(self):
+        order = bag_evaluation_order(
+            ("a", "b", "c", "d"), out_attrs=("c", "a"),
+            global_order=("d", "c", "b", "a"))
+        assert order == ("c", "a", "d", "b")

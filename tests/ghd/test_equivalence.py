@@ -1,0 +1,73 @@
+"""Unit tests for redundant-bag detection (paper Appendix B.2)."""
+
+from repro.ghd import bag_signature, can_skip_top_down, decompose
+from repro.ghd.equivalence import canonical_attr_indexes
+from repro.query import Hypergraph, parse_rule
+
+#: Barbell written over a single Edge relation — the benchmark form where
+#: both triangle bags are structurally identical.
+EDGE_BARBELL = Hypergraph(parse_rule(
+    "B(x,y,z,u,v,w) :- Edge(x,y),Edge(y,z),Edge(x,z),Edge(x,u),"
+    "Edge(u,v),Edge(v,w),Edge(u,w).").body)
+
+
+class TestSignatures:
+    def test_isomorphic_triangle_bags_share_signature(self):
+        ghd = decompose(EDGE_BARBELL)
+        assert ghd.n_nodes == 3
+        left, right = ghd.root.children
+        sig_left = bag_signature(left, left.chi[:1], [])
+        sig_right = bag_signature(right, right.chi[:1], [])
+        assert sig_left == sig_right
+
+    def test_different_out_attrs_change_signature(self):
+        ghd = decompose(EDGE_BARBELL)
+        left = ghd.root.children[0]
+        full = bag_signature(left, left.chi, [])
+        projected = bag_signature(left, left.chi[:1], [])
+        assert full != projected
+
+    def test_different_relations_change_signature(self):
+        hg = Hypergraph(parse_rule(
+            "Q(x,y,u,v) :- R(x,y),S(u,v).").body)
+        ghd = decompose(hg)
+        nodes = ghd.nodes_preorder()
+        sigs = {bag_signature(n, n.chi, []) for n in nodes}
+        assert len(sigs) == len(nodes)
+
+    def test_child_signatures_matter(self):
+        ghd = decompose(EDGE_BARBELL)
+        left = ghd.root.children[0]
+        bare = bag_signature(left, left.chi[:1], [])
+        with_child = bag_signature(left, left.chi[:1], [("child",)])
+        assert bare != with_child
+
+    def test_aggregation_sig_matters(self):
+        ghd = decompose(EDGE_BARBELL)
+        left = ghd.root.children[0]
+        count = bag_signature(left, left.chi[:1], [],
+                              aggregation_sig=("COUNT", True))
+        minimum = bag_signature(left, left.chi[:1], [],
+                                aggregation_sig=("MIN", True))
+        assert count != minimum
+
+
+class TestCanonicalIndexes:
+    def test_isomorphic_bags_align_positionally(self):
+        ghd = decompose(EDGE_BARBELL)
+        left, right = ghd.root.children
+        left_out = [a for a in left.chi]
+        right_out = [a for a in right.chi]
+        assert canonical_attr_indexes(left.edges, left_out) == \
+            canonical_attr_indexes(right.edges, right_out)
+
+
+class TestTopDownElision:
+    def test_skippable_when_root_covers_head(self):
+        ghd = decompose(EDGE_BARBELL)
+        assert can_skip_top_down(ghd, ("x", "u"), ("x", "u"))
+        assert can_skip_top_down(ghd, (), ("x", "u"))
+
+    def test_not_skippable_otherwise(self):
+        ghd = decompose(EDGE_BARBELL)
+        assert not can_skip_top_down(ghd, ("x", "y"), ("x", "u"))

@@ -1,0 +1,93 @@
+"""Unit tests for GHD structure and Definition 1 validation."""
+
+import pytest
+
+from repro.ghd import GHD, GHDNode, single_node_ghd
+from repro.query import Hypergraph, parse_rule
+
+TRIANGLE = parse_rule("T(x,y,z) :- R(x,y),S(y,z),T(x,z).")
+BARBELL = parse_rule(
+    "B(x,y,z,u,v,w) :- R(x,y),S(y,z),T(x,z),M(x,u),A(u,v),B(v,w),C(u,w).")
+
+
+def barbell_figure3c():
+    """Hand-build the paper's Figure 3c decomposition."""
+    hg = Hypergraph(BARBELL.body)
+    edges = {e.relation: e for e in hg.edges}
+    left = GHDNode(("x", "y", "z"), [edges["R"], edges["S"], edges["T"]])
+    right = GHDNode(("u", "v", "w"), [edges["A"], edges["B"], edges["C"]])
+    root = GHDNode(("x", "u"), [edges["M"]], [left, right])
+    return GHD(root, hg), hg, edges
+
+
+class TestValidation:
+    def test_single_node_always_valid(self):
+        hg = Hypergraph(TRIANGLE.body)
+        assert single_node_ghd(hg).is_valid()
+
+    def test_figure3c_is_valid(self):
+        ghd, _, _ = barbell_figure3c()
+        assert ghd.validate() == []
+
+    def test_property1_uncovered_edge_detected(self):
+        hg = Hypergraph(TRIANGLE.body)
+        root = GHDNode(("x", "y"), [hg.edges[0]])  # S and T missing
+        problems = GHD(root, hg).validate()
+        assert any("not covered" in p for p in problems)
+
+    def test_property2_running_intersection_violation_detected(self):
+        hg = Hypergraph(BARBELL.body)
+        edges = {e.relation: e for e in hg.edges}
+        # x appears in two bags separated by a bag without x.
+        bottom = GHDNode(("x", "y"), [edges["R"]])
+        middle = GHDNode(("u", "v"), [edges["A"]], [bottom])
+        top = GHDNode(
+            ("x", "z", "y", "u", "v", "w"),
+            [edges["S"], edges["T"], edges["M"], edges["B"], edges["C"]],
+            [middle])
+        problems = GHD(top, hg).validate()
+        assert any("running intersection" in p for p in problems)
+
+    def test_property3_unprovided_attribute_detected(self):
+        hg = Hypergraph(TRIANGLE.body)
+        root = GHDNode(("x", "y", "z", "q"), list(hg.edges))
+        problems = GHD(root, hg).validate()
+        assert any("not provided" in p for p in problems)
+
+
+class TestMetrics:
+    def test_width_figure3c(self):
+        ghd, _, _ = barbell_figure3c()
+        assert ghd.width() == pytest.approx(1.5)
+
+    def test_width_single_node_barbell_is_three(self):
+        hg = Hypergraph(BARBELL.body)
+        assert single_node_ghd(hg).width() == pytest.approx(3.0)
+
+    def test_traversals(self):
+        ghd, _, _ = barbell_figure3c()
+        preorder = ghd.nodes_preorder()
+        assert preorder[0] is ghd.root
+        assert len(preorder) == 3
+        bottom_up = ghd.nodes_bottom_up()
+        assert bottom_up[-1] is ghd.root
+
+    def test_parent_map(self):
+        ghd, _, _ = barbell_figure3c()
+        parents = ghd.parent_map()
+        assert parents[ghd.root] is None
+        for child in ghd.root.children:
+            assert parents[child] is ghd.root
+
+    def test_depth_of(self):
+        ghd, _, edges = barbell_figure3c()
+        depth = ghd.depth_of(
+            lambda node: any(e.relation == "A" for e in node.edges))
+        assert depth == 1
+        assert ghd.depth_of(lambda node: False) == -1
+
+    def test_describe_renders_tree(self):
+        ghd, _, _ = barbell_figure3c()
+        text = str(ghd)
+        assert "chi=(x,u)" in text
+        assert text.count("width") == 3

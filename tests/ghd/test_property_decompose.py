@@ -1,0 +1,78 @@
+"""Property tests: GHD search on random conjunctive queries.
+
+Invariants (DESIGN.md): every chosen decomposition satisfies
+Definition 1; its width never exceeds the single-node GHD's width; the
+attribute order covers every variable exactly once.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ghd import decompose, global_attribute_order, single_node_ghd
+from repro.query import Atom, Hypergraph, Variable
+
+VARIABLES = ["a", "b", "c", "d", "e"]
+
+
+def atoms_from_spec(spec):
+    """Build binary/ternary atoms from index pairs/triples."""
+    atoms = []
+    for index, positions in enumerate(spec):
+        names = tuple(VARIABLES[p] for p in positions)
+        atoms.append(Atom("R%d" % index,
+                          tuple(Variable(n) for n in names)))
+    return atoms
+
+
+edge_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.integers(0, 4), st.integers(0, 4)),
+        st.tuples(st.integers(0, 4), st.integers(0, 4),
+                  st.integers(0, 4)),
+    ),
+    min_size=1, max_size=5)
+
+
+def distinct_positions(spec):
+    out = []
+    for positions in spec:
+        seen = list(dict.fromkeys(positions))
+        if len(seen) >= 1:
+            out.append(tuple(seen))
+    return out
+
+
+@given(spec=edge_strategy)
+@settings(max_examples=120, deadline=None)
+def test_chosen_ghd_is_valid_and_no_wider_than_single_node(spec):
+    spec = distinct_positions(spec)
+    if not spec:
+        return
+    hypergraph = Hypergraph(atoms_from_spec(spec))
+    chosen = decompose(hypergraph)
+    assert chosen.is_valid(), chosen.validate()
+    single = single_node_ghd(hypergraph)
+    assert chosen.width() <= single.width() + 1e-9
+
+
+@given(spec=edge_strategy)
+@settings(max_examples=80, deadline=None)
+def test_attribute_order_is_a_permutation_of_variables(spec):
+    spec = distinct_positions(spec)
+    if not spec:
+        return
+    hypergraph = Hypergraph(atoms_from_spec(spec))
+    order = global_attribute_order(decompose(hypergraph))
+    assert sorted(order) == sorted(hypergraph.vertices)
+
+
+@given(spec=edge_strategy, selected=st.integers(0, 4))
+@settings(max_examples=60, deadline=None)
+def test_selection_aware_search_still_valid(spec, selected):
+    spec = distinct_positions(spec)
+    if not spec:
+        return
+    hypergraph = Hypergraph(atoms_from_spec(spec))
+    variable = VARIABLES[selected]
+    chosen = decompose(hypergraph, selected_vars={variable},
+                       selection_edges={0})
+    assert chosen.is_valid(), chosen.validate()

@@ -1,0 +1,74 @@
+"""Tests of GHDSearch internals: memoization, costing, scoring."""
+
+import pytest
+
+from repro.ghd.decompose import GHDSearch, decompose
+from repro.query import Hypergraph, parse_rule
+
+
+def hypergraph_of(text):
+    return Hypergraph(parse_rule(text).body)
+
+
+BARBELL = hypergraph_of(
+    "B(x,y,z,u,v,w) :- R(x,y),S(y,z),T(x,z),M(x,u),A(u,v),B(v,w),C(u,w).")
+
+
+class TestMemoization:
+    def test_subproblems_are_cached(self):
+        search = GHDSearch(BARBELL)
+        search.best()
+        assert len(search._memo) > 2  # components were memoized
+
+    def test_repeated_best_is_stable(self):
+        search = GHDSearch(BARBELL)
+        first = search.best()
+        second = search.best()
+        assert str(first) == str(second)
+
+
+class TestCosting:
+    def test_sizes_influence_plan_choice(self):
+        """With a tiny bridge relation, the bridge-at-root plan's cost
+        estimate must beat alternatives that put triangles at the root."""
+        sizes_small_bridge = {3: 10}  # M(x,u) tiny
+        plan = decompose(BARBELL, sizes=sizes_small_bridge)
+        assert any(e.relation == "M" for e in plan.root.edges)
+
+    def test_infinite_cost_paths_avoided(self):
+        hg = hypergraph_of("Q(a,b) :- R(a,b).")
+        plan = decompose(hg)
+        assert plan.is_valid()
+        assert plan.n_nodes == 1
+
+    def test_bag_width_ignores_selected_vars(self):
+        search = GHDSearch(BARBELL, selected_vars={"x", "u"})
+        width = search._bag_width(("x", "u"), [BARBELL.edges[3]])
+        assert width == 0.0  # nothing left to cover
+
+    def test_bag_cost_uses_sizes(self):
+        small = GHDSearch(BARBELL, sizes={0: 4, 1: 4, 2: 4})
+        big = GHDSearch(BARBELL, sizes={0: 4000, 1: 4000, 2: 4000})
+        edges = BARBELL.edges[:3]
+        chi = ("x", "y", "z")
+        assert small._bag_cost(chi, edges) < big._bag_cost(chi, edges)
+
+
+class TestScoring:
+    def test_single_edge_queries_trivial(self):
+        hg = hypergraph_of("Q(a,b) :- R(a,b).")
+        assert decompose(hg).n_nodes == 1
+
+    def test_path_query_decomposes_acyclically(self):
+        hg = hypergraph_of("Q(a,b,c,d) :- R(a,b),S(b,c),T(c,d).")
+        plan = decompose(hg)
+        assert plan.is_valid()
+        assert plan.width() == pytest.approx(1.0)
+        assert plan.n_nodes >= 2  # no reason to merge bags of width 1
+
+    def test_cycle_requires_width_above_one(self):
+        """The 4-cycle's fractional hypertree width is 1.5."""
+        hg = hypergraph_of("Q(a,b,c,d) :- R(a,b),S(b,c),T(c,d),U(d,a).")
+        plan = decompose(hg)
+        assert plan.is_valid()
+        assert plan.width() >= 1.49

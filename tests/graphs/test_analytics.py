@@ -1,0 +1,91 @@
+"""Tests for PageRank and SSSP through the query language."""
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.baselines import dijkstra_reference
+from repro.graphs import (highest_degree_node, pagerank, pagerank_program,
+                          run_pagerank_on_edges, run_sssp_on_edges, sssp,
+                          sssp_program, undirect)
+from tests.conftest import random_undirected_edges
+
+
+def reference_pagerank(edges, iterations=5, damping=0.85):
+    adjacency = {}
+    for u, v in edges:
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+    n = len(adjacency)
+    rank = {v: 1.0 / n for v in adjacency}
+    for _ in range(iterations):
+        rank = {x: (1.0 - damping) + damping * sum(
+            rank[z] / len(adjacency[z]) for z in adjacency[x])
+            for x in adjacency}
+    return rank
+
+
+class TestPageRank:
+    def test_matches_reference(self, small_edges):
+        got = run_pagerank_on_edges(small_edges)
+        expected = reference_pagerank(small_edges)
+        assert set(got) == set(expected)
+        for node, value in expected.items():
+            assert got[node] == pytest.approx(value, abs=1e-12)
+
+    def test_iteration_count_matters(self, small_edges):
+        one = run_pagerank_on_edges(small_edges, iterations=1)
+        five = run_pagerank_on_edges(small_edges, iterations=5)
+        assert any(abs(one[k] - five[k]) > 1e-9 for k in one)
+
+    def test_damping_parameter(self, small_edges):
+        undamped = run_pagerank_on_edges(small_edges)
+        damped = reference_pagerank(small_edges, damping=0.5)
+        db = Database()
+        db.load_graph("Edge", small_edges, undirected=True)
+        got = pagerank(db, damping=0.5)
+        for node, value in damped.items():
+            assert got[node] == pytest.approx(value, abs=1e-12)
+        assert any(abs(undamped[k] - got[k]) > 1e-9 for k in got)
+
+    def test_program_text_shape(self):
+        text = pagerank_program(iterations=7, damping=0.9)
+        assert "*[i=7]" in text
+        assert "0.9*<<SUM(z)>>" in text
+
+    def test_string_node_ids(self):
+        ranks = run_pagerank_on_edges([("a", "b"), ("b", "c")])
+        assert set(ranks) == {"a", "b", "c"}
+        assert ranks["b"] > ranks["a"]
+
+
+class TestSSSP:
+    def test_matches_dijkstra(self, small_edges):
+        und = undirect(np.asarray(small_edges))
+        source = highest_degree_node(und)
+        got = run_sssp_on_edges(small_edges, source)
+        expected = dijkstra_reference(und, source,
+                                      n_nodes=int(und.max()) + 1)
+        assert got == expected
+
+    def test_unreachable_nodes_absent(self):
+        edges = [(0, 1), (2, 3)]
+        distances = run_sssp_on_edges(edges, 0)
+        assert 1 in distances
+        assert 2 not in distances and 3 not in distances
+
+    def test_string_source(self):
+        distances = run_sssp_on_edges([("s", "a"), ("a", "b")], "s")
+        assert distances == {"a": 1, "s": 2, "b": 2}
+
+    def test_program_text_quotes_strings(self):
+        assert "Edge('s',x)" in sssp_program("s")
+        assert "Edge(3,x)" in sssp_program(3)
+
+    def test_sssp_via_db_instance(self, small_db, small_edges):
+        und = undirect(np.asarray(small_edges))
+        source = highest_degree_node(und)
+        got = sssp(small_db, source)
+        expected = dijkstra_reference(und, source,
+                                      n_nodes=int(und.max()) + 1)
+        assert got == expected

@@ -1,0 +1,35 @@
+"""Tests for dataset profiles (the Table 3 rows)."""
+
+import pytest
+
+from repro.graphs import DATASETS
+from repro.graphs.datasets import dataset_profile
+
+
+class TestProfiles:
+    def test_profile_fields(self):
+        profile = dataset_profile("patents")
+        assert profile["name"] == "patents"
+        assert profile["nodes"] > 0
+        assert profile["undirected_edges"] == 7000
+        assert profile["directed_edges"] == 14000
+        assert profile["skew_class"] == "low"
+        assert isinstance(profile["density_skew"], float)
+
+    def test_skew_ordering_matches_table3(self):
+        """Google+ most skewed; the low-skew class below the modest
+        class — the qualitative structure of the paper's Table 3."""
+        skews = {name: dataset_profile(name)["density_skew"]
+                 for name in DATASETS}
+        assert skews["googleplus"] == max(skews.values())
+        assert skews["googleplus"] > skews["patents"]
+        assert skews["googleplus"] > skews["livejournal"]
+        assert skews["googleplus"] > skews["orkut"]
+        assert min(skews, key=skews.get) in ("orkut", "livejournal",
+                                             "patents")
+
+    def test_twitter_largest_patents_small(self):
+        sizes = {name: dataset_profile(name)["undirected_edges"]
+                 for name in DATASETS}
+        assert max(sizes, key=sizes.get) == "twitter"
+        assert sizes["patents"] == min(sizes.values())

@@ -1,0 +1,99 @@
+"""Unit tests for synthetic dataset generators (Table 3 analogs)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (DATASETS, MICRO_DATASETS, chung_lu_graph,
+                          complete_graph, load_dataset, neighborhoods,
+                          read_edgelist, rmat_graph, set_with_dense_region,
+                          synthetic_set, uniform_graph)
+from repro.sets import density_skew
+
+
+class TestGenerators:
+    def test_chung_lu_shape_and_simplicity(self):
+        edges = chung_lu_graph(200, 500, exponent=2.3, seed=1)
+        assert edges.shape[1] == 2
+        assert (edges[:, 0] < edges[:, 1]).all()       # src < dst
+        assert len(set(map(tuple, edges.tolist()))) == edges.shape[0]
+
+    def test_chung_lu_deterministic(self):
+        a = chung_lu_graph(100, 200, seed=3)
+        b = chung_lu_graph(100, 200, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_lower_exponent_more_skew(self):
+        heavy = chung_lu_graph(800, 3000, exponent=1.7, seed=5)
+        light = chung_lu_graph(800, 3000, exponent=3.0, seed=5)
+
+        def max_degree(edges):
+            degree = np.zeros(800, dtype=np.int64)
+            np.add.at(degree, edges[:, 0], 1)
+            np.add.at(degree, edges[:, 1], 1)
+            return degree.max()
+
+        assert max_degree(heavy) > 2 * max_degree(light)
+
+    def test_rmat(self):
+        edges = rmat_graph(8, 400, seed=2)
+        assert edges.shape[0] > 300
+        assert edges.max() < 2 ** 8
+        assert (edges[:, 0] < edges[:, 1]).all()
+
+    def test_uniform(self):
+        edges = uniform_graph(100, 300, seed=1)
+        assert edges.shape == (300, 2)
+
+    def test_complete(self):
+        edges = complete_graph(5)
+        assert edges.shape[0] == 10
+
+    def test_read_edgelist(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# comment\n0 1\n1\t2\n")
+        edges = read_edgelist(str(path))
+        assert edges.tolist() == [[0, 1], [1, 2]]
+
+
+class TestRegistry:
+    def test_all_named_datasets_generate(self):
+        for name, spec in DATASETS.items():
+            edges = load_dataset(name)
+            assert edges.shape[0] >= 0.9 * spec.n_edges, name
+            assert edges.max() < spec.n_nodes
+
+    def test_micro_datasets_subset(self):
+        assert set(MICRO_DATASETS) < set(DATASETS)
+        assert "twitter" not in MICRO_DATASETS
+
+    def test_skew_classes_ordered_like_table3(self):
+        """Google+ (high skew) must measure more density skew than the
+        low-skew analogs, matching Table 3's characterization."""
+        skews = {name: density_skew(neighborhoods(load_dataset(name)))
+                 for name in ("googleplus", "livejournal", "patents")}
+        assert skews["googleplus"] > skews["livejournal"]
+        assert skews["googleplus"] > skews["patents"]
+
+    def test_twitter_is_largest(self):
+        sizes = {name: load_dataset(name).shape[0]
+                 for name in DATASETS}
+        assert max(sizes, key=sizes.get) == "twitter"
+
+
+class TestSyntheticSets:
+    def test_synthetic_set_cardinality_and_range(self):
+        values = synthetic_set(100, 10000, seed=1)
+        assert values.size == 100
+        assert values.max() < 10000
+        assert (np.diff(values) > 0).all()
+
+    def test_synthetic_set_saturates(self):
+        values = synthetic_set(50, 10)
+        assert values.tolist() == list(range(10))
+
+    def test_dense_region_set(self):
+        values = set_with_dense_region(1000, 100000, 0.5, seed=2)
+        diffs = np.diff(values)
+        # A contiguous run of ~500 unit gaps must exist.
+        runs = np.count_nonzero(diffs == 1)
+        assert runs > 400

@@ -1,0 +1,112 @@
+"""Tests for the motif query builders, validated against brute force."""
+
+import itertools
+
+import pytest
+
+from repro import Database, PlanError
+from repro.graphs.motifs import (PAPER_MOTIFS, barbell, clique,
+                                 count_motif, cycle, lollipop, path, star)
+from tests.conftest import random_undirected_edges
+
+
+@pytest.fixture(scope="module")
+def edges():
+    return random_undirected_edges(16, 50, seed=12)
+
+
+@pytest.fixture(scope="module")
+def adjacency(edges):
+    adj = {}
+    for u, v in edges:
+        adj.setdefault(u, set()).add(v)
+        adj.setdefault(v, set()).add(u)
+    return adj
+
+
+@pytest.fixture(scope="module")
+def db(edges):
+    database = Database()
+    database.load_graph("Edge", edges)
+    return database
+
+
+@pytest.fixture(scope="module")
+def pruned_db(edges):
+    database = Database()
+    database.load_graph("Edge", edges, prune=True)
+    return database
+
+
+class TestQueryGeneration:
+    def test_clique_text(self):
+        text = clique(3)
+        assert text.startswith("K3(;w:long)")
+        assert text.count("Edge(") == 3
+
+    def test_listing_variant(self):
+        text = clique(3, count=False)
+        assert text.startswith("K3(a,b,c)")
+        assert "COUNT" not in text
+
+    def test_barbell_matches_paper_shape(self):
+        assert barbell(3).count("Edge(") == 7  # 3 + 1 bridge + 3
+
+    def test_size_guards(self):
+        with pytest.raises(PlanError):
+            clique(1)
+        with pytest.raises(PlanError):
+            cycle(2)
+        with pytest.raises(PlanError):
+            path(1)
+        with pytest.raises(PlanError):
+            star(0)
+        with pytest.raises(PlanError):
+            clique(40)
+
+    def test_paper_motifs_registry(self):
+        assert set(PAPER_MOTIFS) == {"triangle", "four_clique",
+                                     "lollipop", "barbell"}
+
+
+class TestCountsAgainstBruteForce:
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_cliques_on_pruned(self, pruned_db, adjacency, k):
+        expected = sum(
+            1 for combo in itertools.combinations(sorted(adjacency), k)
+            if all(b in adjacency[a]
+                   for a, b in itertools.combinations(combo, 2)))
+        assert count_motif(pruned_db, clique(k)) == expected
+
+    def test_cycle4(self, db, adjacency):
+        expected = 0
+        for a in adjacency:
+            for b in adjacency[a]:
+                for c in adjacency[b]:
+                    expected += sum(1 for d in adjacency[c]
+                                    if a in adjacency[d])
+        assert count_motif(db, cycle(4)) == expected
+
+    def test_path3(self, db, adjacency):
+        expected = sum(len(adjacency[b])
+                       for a in adjacency for b in adjacency[a])
+        assert count_motif(db, path(3)) == expected
+
+    def test_star3(self, db, adjacency):
+        expected = sum(len(adjacency[h]) ** 3 for h in adjacency)
+        assert count_motif(db, star(3)) == expected
+
+    def test_lollipop3_equals_patterns_module(self, db):
+        from repro.graphs import LOLLIPOP_COUNT
+        assert count_motif(db, lollipop(3)) == \
+            db.query(LOLLIPOP_COUNT).scalar
+
+    def test_barbell3_equals_patterns_module(self, db):
+        from repro.graphs import BARBELL_COUNT
+        assert count_motif(db, barbell(3)) == \
+            db.query(BARBELL_COUNT).scalar
+
+    def test_barbell_plan_decomposes(self, db):
+        plan = db.plan(barbell(3))
+        assert plan.ghd.n_nodes == 3
+        assert plan.ghd.width() == pytest.approx(1.5)

@@ -1,0 +1,48 @@
+"""Unit tests for edge preprocessing (§5.2.1)."""
+
+import numpy as np
+
+from repro.graphs import (degrees, highest_degree_node, neighborhoods,
+                          symmetric_filter, undirect)
+
+
+class TestUndirect:
+    def test_adds_both_directions(self):
+        out = undirect([[0, 1], [1, 2]])
+        assert set(map(tuple, out.tolist())) == {(0, 1), (1, 0), (1, 2),
+                                                 (2, 1)}
+
+    def test_drops_self_loops_and_duplicates(self):
+        out = undirect([[0, 0], [0, 1], [1, 0]])
+        assert set(map(tuple, out.tolist())) == {(0, 1), (1, 0)}
+
+
+class TestSymmetricFilter:
+    def test_keeps_one_direction(self):
+        out = symmetric_filter([[1, 0], [0, 1], [2, 1]])
+        assert out.tolist() == [[0, 1], [1, 2]]
+
+    def test_idempotent(self):
+        once = symmetric_filter([[3, 1], [1, 3], [0, 2]])
+        twice = symmetric_filter(once)
+        assert np.array_equal(once, twice)
+
+    def test_halves_undirected_edges(self):
+        edges = undirect([[0, 1], [1, 2], [0, 2]])
+        pruned = symmetric_filter(edges)
+        assert pruned.shape[0] * 2 == edges.shape[0]
+
+
+class TestDegreeUtilities:
+    def test_degrees(self):
+        out = degrees([[0, 1], [0, 2]], n_nodes=4)
+        assert out.tolist() == [2, 1, 1, 0]
+
+    def test_highest_degree_node(self):
+        assert highest_degree_node([[0, 1], [0, 2], [3, 0]]) == 0
+
+    def test_neighborhoods_sorted(self):
+        hoods = neighborhoods([[0, 2], [0, 1]], n_nodes=3)
+        assert hoods[0].tolist() == [1, 2]
+        assert hoods[1].tolist() == [0]
+        assert hoods[2].tolist() == [0]

@@ -1,0 +1,63 @@
+"""Unit tests for query hypergraphs (paper §2.1)."""
+
+from repro.query import Hypergraph, parse_rule
+
+
+def hypergraph_of(text):
+    return Hypergraph(parse_rule(text).body)
+
+
+class TestStructure:
+    def test_triangle(self):
+        hg = hypergraph_of("T(x,y,z) :- R(x,y),S(y,z),T(x,z).")
+        assert hg.n_vertices == 3
+        assert hg.n_edges == 3
+        assert hg.vertices == ("x", "y", "z")
+
+    def test_duplicate_variable_sets_stay_distinct(self):
+        hg = hypergraph_of("Q(x,y) :- R(x,y),S(x,y).")
+        assert hg.n_edges == 2
+        assert hg.edges[0].index != hg.edges[1].index
+        assert hg.edges[0].varset == hg.edges[1].varset
+
+    def test_edges_covering(self):
+        hg = hypergraph_of("T(x,y,z) :- R(x,y),S(y,z),T(x,z).")
+        assert [e.relation for e in hg.edges_covering("y")] == ["R", "S"]
+
+    def test_selection_constants_do_not_create_vertices(self):
+        hg = hypergraph_of("Q(x) :- R(x,'c').")
+        assert hg.vertices == ("x",)
+        assert hg.edges[0].variables == ("x",)
+
+
+class TestConnectivity:
+    def test_connected_query(self):
+        hg = hypergraph_of("T(x,y,z) :- R(x,y),S(y,z),T(x,z).")
+        assert hg.is_connected()
+        assert len(hg.connected_components()) == 1
+
+    def test_disconnected_query(self):
+        hg = hypergraph_of("Q(a,b,c,d) :- R(a,b),S(c,d).")
+        assert not hg.is_connected()
+        assert len(hg.connected_components()) == 2
+
+    def test_separator_splits_barbell(self):
+        hg = hypergraph_of(
+            "B(x,y,z,u,v,w) :- R(x,y),S(y,z),T(x,z),M(x,u),"
+            "A(u,v),B(v,w),C(u,w).")
+        components = hg.connected_components(
+            separator=frozenset(["x", "u"]))
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 3, 3]  # the bridge M and the two triangles
+
+    def test_components_partition_edges(self):
+        hg = hypergraph_of(
+            "B(x,y,z,u,v,w) :- R(x,y),S(y,z),T(x,z),M(x,u),"
+            "A(u,v),B(v,w),C(u,w).")
+        components = hg.connected_components(separator=frozenset(["x"]))
+        seen = sorted(e.index for c in components for e in c)
+        assert seen == list(range(7))
+
+    def test_empty_components(self):
+        hg = hypergraph_of("Q(x) :- R(x,y).")
+        assert hg.connected_components(edges=[]) == []

@@ -1,0 +1,61 @@
+"""Unit tests for the query tokenizer."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.query import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.text) for t in tokenize(text)[:-1]]
+
+
+class TestTokenize:
+    def test_basic_rule(self):
+        tokens = kinds("T(x) :- R(x,y).")
+        assert tokens == [
+            ("IDENT", "T"), ("SYMBOL", "("), ("IDENT", "x"),
+            ("SYMBOL", ")"), ("SYMBOL", ":-"), ("IDENT", "R"),
+            ("SYMBOL", "("), ("IDENT", "x"), ("SYMBOL", ","),
+            ("IDENT", "y"), ("SYMBOL", ")"), ("SYMBOL", "."),
+        ]
+
+    def test_primed_identifiers(self):
+        tokens = kinds("R'(x',y')")
+        assert tokens[0] == ("IDENT", "R'")
+        assert ("IDENT", "x'") in tokens
+        assert ("IDENT", "y'") in tokens
+
+    def test_strings_both_quotes(self):
+        tokens = kinds("E('start',\"stop\")")
+        assert ("STRING", "'start'") in tokens
+        assert ("STRING", '"stop"') in tokens
+
+    def test_aggregate_brackets(self):
+        tokens = kinds("w=<<COUNT(*)>>")
+        assert ("SYMBOL", "<<") in tokens
+        assert ("SYMBOL", ">>") in tokens
+        assert ("SYMBOL", "*") in tokens
+
+    def test_numbers(self):
+        tokens = kinds("y=0.15+0.85")
+        assert ("NUMBER", "0.15") in tokens
+        assert ("NUMBER", "0.85") in tokens
+
+    def test_comments_stripped(self):
+        tokens = kinds("T(x) # trailing comment\n:- R(x). // another")
+        assert all(t[0] != "WS" for t in tokens)
+        assert ("SYMBOL", ":-") in tokens
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+    def test_unknown_character_raises_with_position(self):
+        with pytest.raises(QuerySyntaxError) as info:
+            tokenize("T(x) :- R(x) @ S(x).")
+        assert "@" in str(info.value)
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3

@@ -1,0 +1,122 @@
+"""Unit tests for the query parser over the paper's Table 1 syntax."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.query import (Agg, BinOp, Constant, Num, Ref, Variable,
+                         expression_aggregates, expression_refs, parse,
+                         parse_rule)
+
+
+class TestConjunctiveRules:
+    def test_triangle(self):
+        rule = parse_rule("Triangle(x,y,z) :- R(x,y),S(y,z),T(x,z).")
+        assert rule.head_name == "Triangle"
+        assert rule.head_vars == ("x", "y", "z")
+        assert [a.name for a in rule.body] == ["R", "S", "T"]
+        assert not rule.recursive
+        assert rule.annotation is None
+
+    def test_barbell_with_primes(self):
+        rule = parse_rule(
+            "Barbell(x,y,z,x',y',z') :- R(x,y),S(y,z),T(x,z),U(x,x'),"
+            "R'(x',y'),S'(y',z'),T'(x',z').")
+        assert len(rule.body) == 7
+        assert rule.head_vars[-1] == "z'"
+        assert rule.body[4].name == "R'"
+
+    def test_selection_constants(self):
+        rule = parse_rule("S(x) :- Edge('start',x),P(x,3).")
+        atom = rule.body[0]
+        assert atom.terms[0] == Constant("start")
+        assert atom.terms[1] == Variable("x")
+        assert rule.body[1].terms[1] == Constant(3)
+        assert atom.selections == ((0, Constant("start")),)
+        assert atom.variables == ("x",)
+
+    def test_body_variables_order_of_first_use(self):
+        rule = parse_rule("Q(z) :- R(a,b),S(b,z),T(z,a).")
+        assert rule.body_variables == ("a", "b", "z")
+
+
+class TestAggregationHeads:
+    def test_count_star(self):
+        rule = parse_rule(
+            "C(;w:long) :- R(x,y),S(y,z); w=<<COUNT(*)>>.")
+        assert rule.head_vars == ()
+        assert rule.annotation.var == "w"
+        assert rule.annotation.type == "long"
+        assert rule.aggregates == [Agg("COUNT", "*")]
+
+    def test_keyed_aggregate(self):
+        rule = parse_rule("D(x;c:int) :- Edge(x,y); c=<<COUNT(y)>>.")
+        assert rule.head_vars == ("x",)
+        assert rule.aggregates[0].arg == "y"
+
+    def test_affine_expression(self):
+        rule = parse_rule(
+            "P(x;y:float) :- E(x,z),P(z); y=0.15+0.85*<<SUM(z)>>.")
+        expr = rule.assignment
+        assert isinstance(expr, BinOp) and expr.op == "+"
+        assert expr.left == Num(0.15)
+        assert expr.right.op == "*"
+        assert expression_aggregates(expr) == [Agg("SUM", "z")]
+
+    def test_scalar_reference(self):
+        rule = parse_rule("P(x;y:float) :- E(x,z); y=1/N.")
+        assert expression_refs(rule.assignment) == ["N"]
+
+    def test_parenthesized_expression(self):
+        rule = parse_rule("P(x;y:float) :- E(x,z); y=(1+2)*3.")
+        assert rule.assignment.op == "*"
+
+    def test_annotation_without_assignment_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_rule("C(;w:long) :- R(x,y).")
+
+    def test_assignment_var_must_match_annotation(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_rule("C(;w:long) :- R(x,y); v=<<COUNT(*)>>.")
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_rule("C(;w:long) :- R(x,y); w=<<MEDIAN(*)>>.")
+
+
+class TestRecursionMarkers:
+    def test_plain_star(self):
+        rule = parse_rule("S(x;y:int)* :- E(w,x),S(w); y=<<MIN(w)>>+1.")
+        assert rule.recursive
+        assert rule.iterations is None
+
+    def test_bounded_star(self):
+        rule = parse_rule(
+            "P(x;y:float)*[i=5] :- E(x,z),P(z); y=<<SUM(z)>>.")
+        assert rule.recursive and rule.iterations == 5
+
+    def test_str_round_trips_markers(self):
+        rule = parse_rule(
+            "P(x;y:float)*[i=5] :- E(x,z),P(z); y=<<SUM(z)>>.")
+        assert "*[i=5]" in str(rule)
+
+
+class TestPrograms:
+    def test_multi_rule_program(self):
+        program = parse(
+            "A(x) :- R(x,y). B(x) :- A(x),S(x,z). ")
+        assert len(program) == 2
+        assert [r.head_name for r in program] == ["A", "B"]
+        assert program.rules[1].references("A")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse("   ")
+
+    def test_parse_rule_rejects_multiple(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_rule("A(x) :- R(x,y). B(x) :- R(x,y).")
+
+    def test_error_carries_position_context(self):
+        with pytest.raises(QuerySyntaxError) as info:
+            parse("A(x) : R(x,y).")
+        assert "position" in str(info.value)

@@ -1,0 +1,44 @@
+"""Fuzz tests: the parser must never crash with anything but
+QuerySyntaxError, and valid inputs must parse deterministically."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QuerySyntaxError
+from repro.query import parse
+
+printable_text = st.text(
+    alphabet=string.ascii_letters + string.digits
+    + " (),.;:*<>='\"[]+-/#\n_'",
+    max_size=120)
+
+
+@given(text=printable_text)
+@settings(max_examples=300, deadline=None)
+def test_parser_total_on_arbitrary_text(text):
+    try:
+        program = parse(text)
+        assert len(program) >= 1
+    except QuerySyntaxError:
+        pass  # the only acceptable failure mode
+
+
+identifier = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True)
+
+
+@given(head=identifier,
+       relations=st.lists(identifier, min_size=1, max_size=4),
+       variables=st.lists(st.sampled_from("abcdexyz"), min_size=2,
+                          max_size=4, unique=True))
+@settings(max_examples=150, deadline=None)
+def test_generated_valid_rules_always_parse(head, relations, variables):
+    body = ",".join("%s(%s,%s)" % (rel, variables[i % len(variables)],
+                                   variables[(i + 1) % len(variables)])
+                    for i, rel in enumerate(relations))
+    text = "%s(%s) :- %s." % (head, ",".join(variables), body)
+    rule = parse(text).rules[0]
+    assert rule.head_name == head
+    assert len(rule.body) == len(relations)
+    # And the rendering reparses identically.
+    assert str(parse(str(rule)).rules[0]) == str(rule)

@@ -1,0 +1,39 @@
+"""Round-trip tests: every Table 1 rule reparses from its rendering."""
+
+import pytest
+
+from repro.query import parse_rule
+
+TABLE1_QUERIES = [
+    "Triangle(x,y,z) :- R(x,y),S(y,z),T(x,z).",
+    "FourClique(x,y,z,w) :- R(x,y),S(y,z),T(x,z),U(x,w),V(y,w),Q(z,w).",
+    "Lollipop(x,y,z,w) :- R(x,y),S(y,z),T(x,z),U(x,w).",
+    "Barbell(x,y,z,x',y',z') :- R(x,y),S(y,z),T(x,z),U(x,x'),"
+    "R'(x',y'),S'(y',z'),T'(x',z').",
+    "CountTriangle(;w:long) :- R(x,y),S(x,z),T(x,z); w=<<COUNT(*)>>.",
+    "N(;w:int) :- Edge(x,y); w=<<COUNT(x)>>.",
+    "PageRank(x;y:float) :- Edge(x,z); y=1/N.",
+    "PageRank(x;y:float)*[i=5] :- Edge(x,z),PageRank(z),InvDeg(z); "
+    "y=0.15+0.85*<<SUM(z)>>.",
+    "SSSP(x;y:int) :- Edge('start',x); y=1.",
+    "SSSP(x;y:int)* :- Edge(w,x),SSSP(w); y=<<MIN(w)>>+1.",
+    "S4Clique(x,y,z,w) :- R(x,y),S(y,z),T(x,z),U(x,w),V(y,w),Q(z,w),"
+    "P(x,'node').",
+    "SBarbell(x,y,z,x',y',z') :- R(x,y),S(y,z),T(x,z),U(x,'node'),"
+    "V('node',x'),R'(x',y'),S'(y',z'),T'(x',z').",
+]
+
+
+@pytest.mark.parametrize("query", TABLE1_QUERIES)
+def test_render_reparse_fixpoint(query):
+    rule = parse_rule(query)
+    rendered = str(rule)
+    reparsed = parse_rule(rendered)
+    assert str(reparsed) == rendered
+    assert reparsed.head_name == rule.head_name
+    assert reparsed.head_vars == rule.head_vars
+    assert reparsed.body == rule.body
+    assert reparsed.annotation == rule.annotation
+    assert reparsed.assignment == rule.assignment
+    assert reparsed.recursive == rule.recursive
+    assert reparsed.iterations == rule.iterations

@@ -1,0 +1,67 @@
+"""A brute-force reference evaluator for conjunctive queries.
+
+Enumerates variable assignments by nested iteration over the atoms'
+tuples — exponential, but unambiguous.  The integration/property tests
+compare the engine's GHD/WCOJ pipeline against this oracle on small
+random inputs.
+"""
+
+import itertools
+import math
+
+
+def evaluate_conjunctive(atom_tuples, atom_vars, head_vars,
+                         aggregate=None, annotations=None):
+    """Evaluate a conjunctive query by brute force.
+
+    Parameters
+    ----------
+    atom_tuples:
+        List of tuple-lists, one per atom.
+    atom_vars:
+        List of variable-name tuples, parallel to ``atom_tuples``
+        (constants must already be applied).
+    head_vars:
+        Output variables.
+    aggregate:
+        ``None`` for set semantics, else one of ``"COUNT*"``, ``"SUM"``,
+        ``"MIN"``, ``"MAX"`` folding the product of annotations per head
+        binding.
+    annotations:
+        Optional list of per-atom ``{tuple: value}`` dicts.
+
+    Returns
+    -------
+    Set of head tuples (set semantics), or ``{head tuple: value}``.
+    """
+    results = {} if aggregate else set()
+    for combo in itertools.product(*atom_tuples):
+        binding = {}
+        consistent = True
+        for variables, row in zip(atom_vars, combo):
+            for var, value in zip(variables, row):
+                if binding.setdefault(var, value) != value:
+                    consistent = False
+                    break
+            if not consistent:
+                break
+        if not consistent:
+            continue
+        key = tuple(binding[v] for v in head_vars)
+        if aggregate is None:
+            results.add(key)
+            continue
+        product = 1.0
+        if annotations is not None:
+            for table, row in zip(annotations, combo):
+                if table is not None:
+                    product *= table[tuple(row)]
+        if aggregate == "COUNT*" or aggregate == "SUM":
+            results[key] = results.get(key, 0.0) + product
+        elif aggregate == "MIN":
+            results[key] = min(results.get(key, math.inf), product)
+        elif aggregate == "MAX":
+            results[key] = max(results.get(key, -math.inf), product)
+        else:
+            raise ValueError(aggregate)
+    return results

@@ -1,0 +1,92 @@
+"""Tests for set union and difference across layouts."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sets import (BitPackedSet, BitSet, BlockedSet, PShortSet,
+                        UintSet, VariantSet)
+from repro.sets.algebra import difference, union, union_many
+
+LAYOUTS = [UintSet, BitSet, PShortSet, VariantSet, BitPackedSet,
+           BlockedSet]
+
+
+def _sets(seed=0):
+    rng = random.Random(seed)
+    a = sorted(rng.sample(range(3000), 300))
+    b = sorted(rng.sample(range(3000), 500))
+    return a, b
+
+
+class TestUnion:
+    @pytest.mark.parametrize("layout_a,layout_b",
+                             list(itertools.product(LAYOUTS, repeat=2)))
+    def test_all_pairs(self, layout_a, layout_b):
+        a, b = _sets(1)
+        out = union(layout_a(a), layout_b(b))
+        assert list(out.to_array()) == sorted(set(a) | set(b))
+
+    def test_bitset_pair_returns_bitset(self):
+        out = union(BitSet([1, 300]), BitSet([2, 9000]))
+        assert out.kind == "bitset"
+        assert list(out.to_array()) == [1, 2, 300, 9000]
+
+    def test_empty_operands(self):
+        assert list(union(UintSet([]), UintSet([5])).to_array()) == [5]
+        assert union(BitSet([]), BitSet([])).cardinality == 0
+
+    def test_union_many(self):
+        out = union_many([UintSet([1]), BitSet([2]), UintSet([1, 3])])
+        assert list(out.to_array()) == [1, 2, 3]
+        with pytest.raises(ValueError):
+            union_many([])
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            union([1], UintSet([1]))
+
+
+class TestDifference:
+    @pytest.mark.parametrize("layout_a,layout_b",
+                             list(itertools.product(LAYOUTS, repeat=2)))
+    def test_all_pairs(self, layout_a, layout_b):
+        a, b = _sets(2)
+        out = difference(layout_a(a), layout_b(b))
+        assert list(out.to_array()) == sorted(set(a) - set(b))
+
+    def test_bitset_pair(self):
+        out = difference(BitSet([1, 2, 300]), BitSet([2, 4]))
+        assert out.kind == "bitset"
+        assert list(out.to_array()) == [1, 300]
+
+    def test_difference_with_self_is_empty(self):
+        a, _ = _sets(3)
+        assert difference(UintSet(a), BitSet(a)).cardinality == 0
+
+    def test_empty_minuend(self):
+        assert difference(BitSet([]), BitSet([1])).cardinality == 0
+
+    def test_does_not_mutate_operands(self):
+        x = BitSet([1, 2, 3])
+        y = BitSet([2])
+        difference(x, y)
+        assert list(x.to_array()) == [1, 2, 3]
+
+
+@given(a=st.lists(st.integers(0, 4000), max_size=80),
+       b=st.lists(st.integers(0, 4000), max_size=80),
+       pair=st.sampled_from([(UintSet, BitSet), (BitSet, BitSet),
+                             (UintSet, UintSet), (BlockedSet, BitSet)]))
+@settings(max_examples=60, deadline=None)
+def test_property_identities(a, b, pair):
+    layout_a, layout_b = pair
+    sa, sb = layout_a(a), layout_b(b)
+    assert list(union(sa, sb).to_array()) == sorted(set(a) | set(b))
+    assert list(difference(sa, sb).to_array()) == sorted(set(a) - set(b))
+    # |A| = |A∩B| + |A\B|
+    from repro.sets import intersect
+    assert intersect(sa, sb).cardinality \
+        + difference(sa, sb).cardinality == len(set(a))

@@ -1,0 +1,64 @@
+"""Unit tests for the SetLayout base helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LayoutError
+from repro.sets import MAX_VALUE, PShortSet, UintSet, as_sorted_uint32
+
+
+class TestAsSortedUint32:
+    def test_sorts_and_dedups(self):
+        out = as_sorted_uint32([3, 1, 1, 2])
+        assert out.tolist() == [1, 2, 3]
+        assert out.dtype == np.uint32
+
+    def test_empty(self):
+        assert as_sorted_uint32([]).size == 0
+        assert as_sorted_uint32(np.empty(0)).size == 0
+
+    def test_boundary_values(self):
+        out = as_sorted_uint32([0, MAX_VALUE])
+        assert out.tolist() == [0, MAX_VALUE]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(LayoutError):
+            as_sorted_uint32([MAX_VALUE + 1])
+        with pytest.raises(LayoutError):
+            as_sorted_uint32([-5])
+
+    def test_rejects_non_integers(self):
+        with pytest.raises(LayoutError):
+            as_sorted_uint32(np.array(["a", "b"], dtype=object))
+        with pytest.raises(LayoutError):
+            as_sorted_uint32(np.array([1.25]))
+
+    def test_integral_floats_accepted(self):
+        assert as_sorted_uint32(np.array([2.0, 1.0])).tolist() == [1, 2]
+
+
+class TestDefaultImplementations:
+    """PShortSet inherits the base contains/rank via to_array."""
+
+    def test_base_rank(self):
+        s = PShortSet([10, 70000, 5])
+        assert s.rank(5) == 0
+        assert s.rank(70000) == 2
+        with pytest.raises(KeyError):
+            s.rank(11)
+
+    def test_value_range_and_density(self):
+        s = UintSet([10, 19])
+        assert s.value_range == 10
+        assert s.density == pytest.approx(0.2)
+        assert UintSet([]).density == 0.0
+
+    def test_hash_consistent_with_equality(self):
+        from repro.sets import BitSet
+        a = UintSet([1, 2, 3])
+        b = BitSet([1, 2, 3])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_equality_against_non_layout(self):
+        assert UintSet([1]) != [1]

@@ -1,0 +1,93 @@
+"""Unit tests for the bitset layout (paper Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.sets import BLOCK_BITS, BitSet, UintSet
+from repro.sets.bitset import WORDS_PER_BLOCK, popcount_u64
+
+
+class TestPopcount:
+    def test_known_words(self):
+        words = np.array([0, 1, 3, 0xFF, 2 ** 64 - 1], dtype=np.uint64)
+        assert popcount_u64(words).tolist() == [0, 1, 2, 8, 64]
+
+    def test_matrix_shape(self):
+        words = np.zeros((3, 4), dtype=np.uint64)
+        words[1, 2] = 7
+        counts = popcount_u64(words)
+        assert counts.shape == (3, 4)
+        assert counts.sum() == 3
+
+
+class TestConstruction:
+    def test_round_trip_dense(self):
+        values = list(range(0, 600, 1))
+        s = BitSet(values)
+        assert list(s.to_array()) == values
+        assert s.cardinality == 600
+
+    def test_round_trip_sparse_across_blocks(self):
+        values = [0, 255, 256, 1000, 70000]
+        s = BitSet(values)
+        assert list(s.to_array()) == values
+
+    def test_empty(self):
+        s = BitSet([])
+        assert s.cardinality == 0
+        assert s.n_blocks == 0
+        assert s.min_value is None and s.max_value is None
+
+    def test_block_structure(self):
+        s = BitSet([0, 1, 256, 700])
+        # values span blocks 0, 1, and 2 (700 // 256 == 2)
+        assert s.offsets.tolist() == [0, 1, 2]
+        assert s.words.shape == (3, WORDS_PER_BLOCK)
+
+    def test_block_bits_is_avx_width(self):
+        assert BLOCK_BITS == 256
+
+    def test_from_blocks_drops_empty(self):
+        offsets = np.array([0, 1], dtype=np.uint32)
+        words = np.zeros((2, WORDS_PER_BLOCK), dtype=np.uint64)
+        words[0, 0] = 0b101
+        s = BitSet.from_blocks(offsets, words)
+        assert s.n_blocks == 1
+        assert list(s.to_array()) == [0, 2]
+
+
+class TestAccessors:
+    def test_min_max(self):
+        s = BitSet([63, 64, 511, 513])
+        assert s.min_value == 63
+        assert s.max_value == 513
+
+    def test_contains(self):
+        values = [0, 5, 255, 256, 300, 7000]
+        s = BitSet(values)
+        for v in values:
+            assert s.contains(v)
+        for v in [1, 254, 257, 6999, 7001]:
+            assert not s.contains(v)
+
+    def test_rank_matches_sorted_position(self):
+        values = sorted({3, 64, 65, 255, 256, 1024, 1025, 9999})
+        s = BitSet(values)
+        for index, value in enumerate(values):
+            assert s.rank(value) == index
+        with pytest.raises(KeyError):
+            s.rank(4)
+        with pytest.raises(KeyError):
+            s.rank(5000)  # block absent entirely
+
+    def test_equals_uint(self):
+        values = [1, 100, 257, 258]
+        assert BitSet(values) == UintSet(values)
+
+    def test_nbytes_dense_smaller_than_uint(self):
+        dense = list(range(2048))
+        assert BitSet(dense).nbytes < UintSet(dense).nbytes
+
+    def test_nbytes_sparse_larger_than_uint(self):
+        sparse = list(range(0, 2048 * 300, 300))
+        assert BitSet(sparse).nbytes > UintSet(sparse).nbytes

@@ -1,0 +1,51 @@
+"""Unit tests for the block-composite layout (paper §4.3, Block Level)."""
+
+from repro.sets import BlockedSet
+from repro.sets.blocked import BLOCK_SPAN
+
+
+class TestBlockedSet:
+    def test_round_trip_mixed_density(self):
+        sparse = list(range(0, 2000, 97))
+        dense = list(range(4096, 4096 + 256))
+        values = sorted(set(sparse + dense))
+        s = BlockedSet(values)
+        assert list(s.to_array()) == values
+
+    def test_dense_block_becomes_bitset(self):
+        dense = list(range(0, BLOCK_SPAN))  # fills block 0 entirely
+        s = BlockedSet(dense)
+        assert s.block_kinds() == ["bitset"]
+
+    def test_sparse_block_stays_uint(self):
+        sparse = [0, 100, 200]  # 3 of 256 slots
+        s = BlockedSet(sparse)
+        assert s.block_kinds() == ["uint"]
+
+    def test_mixed_blocks(self):
+        values = list(range(0, 256)) + [512, 600]
+        s = BlockedSet(values)
+        assert s.block_kinds() == ["bitset", "uint"]
+        assert s.block_ids.tolist() == [0, 2]
+
+    def test_threshold_configurable(self):
+        values = list(range(0, 256, 4))  # density 1/4
+        default = BlockedSet(values)           # threshold 1/8 -> dense
+        strict = BlockedSet(values, dense_threshold=0.5)
+        assert default.block_kinds() == ["bitset"]
+        assert strict.block_kinds() == ["uint"]
+
+    def test_contains(self):
+        values = [1, 300, 700]
+        s = BlockedSet(values)
+        assert all(s.contains(v) for v in values)
+        assert not s.contains(2)
+        assert not s.contains(1000)
+
+    def test_empty(self):
+        s = BlockedSet([])
+        assert s.cardinality == 0 and list(s.to_array()) == []
+
+    def test_min_max(self):
+        s = BlockedSet([42, 9000])
+        assert s.min_value == 42 and s.max_value == 9000

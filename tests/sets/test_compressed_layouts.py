@@ -1,0 +1,94 @@
+"""Unit tests for the pshort, variant, and bitpacked layouts (App. C.1)."""
+
+import numpy as np
+import pytest
+
+from repro.sets import BitPackedSet, PShortSet, UintSet, VariantSet
+from repro.sets.bitpacked import pack_bits, unpack_bits
+from repro.sets.variant import decode_varint_deltas, encode_varint_deltas
+
+
+class TestPShort:
+    def test_round_trip(self):
+        values = [65536, 65636, 65736]  # the paper's C.1.1 example
+        s = PShortSet(values)
+        assert list(s.to_array()) == values
+        assert s.prefixes.tolist() == [1]
+        assert s.groups[0].tolist() == [0, 100, 200]
+
+    def test_multiple_prefixes(self):
+        values = [1, 2, 70000, 70001, 140000]
+        s = PShortSet(values)
+        assert list(s.to_array()) == values
+        assert len(s.prefixes) == 3
+
+    def test_contains(self):
+        s = PShortSet([1, 70000])
+        assert s.contains(1) and s.contains(70000)
+        assert not s.contains(2)
+        assert not s.contains(70001)
+        assert not s.contains(140000)
+
+    def test_empty(self):
+        s = PShortSet([])
+        assert s.cardinality == 0 and list(s.to_array()) == []
+
+    def test_min_max(self):
+        s = PShortSet([5, 131072])
+        assert s.min_value == 5 and s.max_value == 131072
+
+    def test_compresses_clustered_values(self):
+        clustered = list(range(100000, 100512))
+        assert PShortSet(clustered).nbytes < UintSet(clustered).nbytes
+
+
+class TestVariantCodec:
+    def test_codec_round_trip(self):
+        arr = np.array([0, 2, 4, 300, 2 ** 31], dtype=np.uint32)
+        buf = encode_varint_deltas(arr)
+        assert decode_varint_deltas(buf, arr.size).tolist() == arr.tolist()
+
+    def test_small_deltas_one_byte_each(self):
+        # paper C.1.2 example: S = {0, 2, 4} encodes in 3 bytes
+        arr = np.array([0, 2, 4], dtype=np.uint32)
+        assert encode_varint_deltas(arr).size == 3
+
+    def test_layout_round_trip(self):
+        values = [7, 9, 1000, 10 ** 6, 2 ** 32 - 1]
+        s = VariantSet(values)
+        assert list(s.to_array()) == values
+        assert s.min_value == 7 and s.max_value == 2 ** 32 - 1
+
+    def test_empty(self):
+        assert VariantSet([]).cardinality == 0
+
+    def test_compression_on_dense_runs(self):
+        dense = list(range(5000, 6000))
+        assert VariantSet(dense).nbytes < UintSet(dense).nbytes / 3
+
+
+class TestBitpackedCodec:
+    @pytest.mark.parametrize("width", [1, 3, 7, 13, 32, 33, 64])
+    def test_pack_unpack(self, width):
+        rng = np.random.default_rng(width)
+        limit = 2 ** min(width, 63)
+        values = rng.integers(0, limit, size=100).astype(np.uint64)
+        words = pack_bits(values, width)
+        assert unpack_bits(words, width, 100).tolist() == values.tolist()
+
+    def test_layout_round_trip(self):
+        values = [0, 2, 8, 4096, 2 ** 30]
+        s = BitPackedSet(values)
+        assert list(s.to_array()) == values
+
+    def test_width_is_max_delta_entropy(self):
+        s = BitPackedSet([0, 2, 8])  # max delta 6 -> 3 bits (paper C.1.3)
+        assert s.bit_width == 3
+
+    def test_empty(self):
+        s = BitPackedSet([])
+        assert s.cardinality == 0 and list(s.to_array()) == []
+
+    def test_compression_on_dense_runs(self):
+        dense = list(range(10000, 12000))
+        assert BitPackedSet(dense).nbytes < UintSet(dense).nbytes / 8

@@ -1,0 +1,119 @@
+"""Tests of the simulated SIMD cost model, including the min property.
+
+The min property (paper §2.1) — intersection cost bounded by the smaller
+operand — is what makes the generic join worst-case optimal.  These
+tests verify it holds (within logs/constants) for the kernels the
+dispatcher relies on, and that it *fails* for shuffling, exactly the
+trade-off the paper's Algorithm 2 navigates.
+"""
+
+import numpy as np
+
+from repro.sets import (BitSet, OpCounter, SIMD_REGISTER_BITS,
+                        SIMD_UINT32_LANES, UintSet, intersect,
+                        intersect_uint_arrays)
+
+
+def _cost(algorithm, small_size, large_size, seed=0):
+    rng = np.random.default_rng(seed)
+    domain = 10 ** 6
+    small = np.sort(rng.choice(domain, small_size,
+                               replace=False)).astype(np.uint32)
+    large = np.sort(rng.choice(domain, large_size,
+                               replace=False)).astype(np.uint32)
+    counter = OpCounter()
+    intersect_uint_arrays(small, large, counter=counter,
+                          algorithm=algorithm)
+    return counter.total_ops
+
+
+class TestMinProperty:
+    def test_galloping_cost_independent_of_large_set_scale(self):
+        """Galloping cost grows ~log in the larger set: 64x more data in
+        the large set must cost far less than 64x more ops."""
+        base = _cost("simd_galloping", 64, 4096)
+        scaled = _cost("simd_galloping", 64, 4096 * 64)
+        assert scaled < base * 3
+
+    def test_shuffling_cost_scales_with_large_set(self):
+        base = _cost("shuffling", 64, 4096)
+        scaled = _cost("shuffling", 64, 4096 * 64)
+        assert scaled > base * 30  # linear in |large|: no min property
+
+    def test_adaptive_dispatch_preserves_min_property(self):
+        """The hybrid dispatcher must route skewed inputs to galloping,
+        keeping cost near the small set's size."""
+        rng = np.random.default_rng(7)
+        small = np.sort(rng.choice(10 ** 6, 64,
+                                   replace=False)).astype(np.uint32)
+        large = np.sort(rng.choice(10 ** 6, 200000,
+                                   replace=False)).astype(np.uint32)
+        counter = OpCounter()
+        intersect_uint_arrays(small, large, counter=counter)
+        # Within a generous constant*log of the small cardinality.
+        assert counter.total_ops < 64 * 64
+
+    def test_uint_bitset_cost_proportional_to_uint_side(self):
+        rng = np.random.default_rng(8)
+        small = UintSet(np.sort(rng.choice(10 ** 6, 32, replace=False)))
+        dense = BitSet(range(0, 10 ** 6, 2))
+        counter = OpCounter()
+        intersect(small, dense, counter)
+        assert counter.total_ops < 32 * 8
+
+
+class TestCounterMechanics:
+    def test_charge_accumulates(self):
+        counter = OpCounter()
+        counter.charge("x", simd=2, scalar=3, elements=10, nbytes=40)
+        counter.charge("x", simd=1)
+        counter.charge("y", scalar=5)
+        assert counter.simd_ops == 3
+        assert counter.scalar_ops == 8
+        assert counter.total_ops == 11
+        assert counter.intersections == 3
+        assert counter.by_algorithm["x"]["calls"] == 2
+
+    def test_reset(self):
+        counter = OpCounter()
+        counter.charge("x", simd=1)
+        counter.reset()
+        assert counter.total_ops == 0
+        assert counter.by_algorithm == {}
+
+    def test_snapshot_is_plain_data(self):
+        counter = OpCounter()
+        counter.charge("x", simd=1, scalar=2)
+        snap = counter.snapshot()
+        assert snap["total_ops"] == 3
+        snap["by_algorithm"]["x"]["simd"] = 999
+        assert counter.by_algorithm["x"]["simd"] == 1  # copy, not alias
+
+    def test_lane_constants_match_paper_hardware(self):
+        assert SIMD_UINT32_LANES == 4      # SSE 128-bit (footnote 7)
+        assert SIMD_REGISTER_BITS == 256   # AVX (footnote 2)
+
+
+class TestBitsetEconomics:
+    def test_dense_bitset_and_beats_uint_shuffling(self):
+        """One simulated AVX AND covers 256 values: on dense data the
+        bitset pair must charge far fewer ops than the uint pair
+        (the Figure 5 crossover's cause)."""
+        dense = list(range(8192))
+        bit_counter = OpCounter()
+        intersect(BitSet(dense), BitSet(dense), bit_counter)
+        uint_counter = OpCounter()
+        intersect(UintSet(dense), UintSet(dense), uint_counter,
+                  algorithm="shuffling")
+        assert bit_counter.total_ops * 10 < uint_counter.total_ops
+
+    def test_sparse_bitset_pays_offset_overhead(self):
+        """On very sparse data each value occupies its own block, so the
+        bitset loses to uint — the other side of Figure 5."""
+        sparse = list(range(0, 8192 * 300, 300))
+        bit_counter = OpCounter()
+        intersect(BitSet(sparse), BitSet(sparse), bit_counter)
+        uint_counter = OpCounter()
+        intersect(UintSet(sparse), UintSet(sparse), uint_counter,
+                  algorithm="shuffling")
+        assert bit_counter.total_ops > uint_counter.total_ops

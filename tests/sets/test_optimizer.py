@@ -1,0 +1,89 @@
+"""Unit tests for the layout optimizers (paper §4.3–4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.sets import (LEVELS, OpCounter, SetOptimizer, UintSet, BitSet,
+                        build_set, choose_set_layout, intersect,
+                        layout_histogram, oracle_intersection_cost)
+from repro.sets.optimizer import OracleCounter
+
+
+class TestAlgorithm3:
+    """The set-level decision: bitset iff range/cardinality < 256."""
+
+    def test_dense_set_becomes_bitset(self):
+        assert choose_set_layout(np.arange(1000)) == "bitset"
+
+    def test_sparse_set_stays_uint(self):
+        assert choose_set_layout(np.arange(0, 1000 * 300, 300)) == "uint"
+
+    def test_boundary(self):
+        # inverse density exactly 256 -> uint; just below -> bitset
+        base = np.array([0, 255])     # range 256, card 2 -> 128 < 256
+        assert choose_set_layout(base) == "bitset"
+        wide = np.array([0, 511])     # range 512, card 2 -> 256, not <
+        assert choose_set_layout(wide) == "uint"
+
+    def test_empty_set_is_uint(self):
+        assert choose_set_layout(np.empty(0)) == "uint"
+
+
+class TestBuildSet:
+    def test_levels(self):
+        dense = np.arange(300)
+        assert build_set(dense, "relation").kind == "uint"
+        assert build_set(dense, "uint_only").kind == "uint"
+        assert build_set(dense, "bitset_only").kind == "bitset"
+        assert build_set(dense, "set").kind == "bitset"
+        assert build_set(dense, "block").kind == "block"
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            build_set(np.arange(3), "nope")
+
+    def test_levels_constant_lists_all(self):
+        assert set(LEVELS) == {"relation", "set", "block", "uint_only",
+                               "bitset_only"}
+
+
+class TestSetOptimizer:
+    def test_tracks_histogram_and_overhead(self):
+        optimizer = SetOptimizer("set")
+        optimizer.build(np.arange(300))          # dense -> bitset
+        optimizer.build(np.arange(0, 10 ** 6, 5000))  # sparse -> uint
+        assert optimizer.histogram == {"bitset": 1, "uint": 1}
+        assert optimizer.decision_seconds > 0
+
+    def test_invalid_level_rejected_eagerly(self):
+        with pytest.raises(ValueError):
+            SetOptimizer("bogus")
+
+    def test_layout_histogram_helper(self):
+        sets = [UintSet([1]), UintSet([2]), BitSet([3])]
+        assert layout_histogram(sets) == {"uint": 2, "bitset": 1}
+
+
+class TestOracle:
+    def test_oracle_never_worse_than_any_configuration(self):
+        rng = np.random.default_rng(0)
+        a = np.sort(rng.choice(4000, 300, replace=False))
+        b = np.sort(rng.choice(4000, 900, replace=False))
+        oracle_cost, combo = oracle_intersection_cost(a, b)
+        # Compare against the engine's own set-level decision.
+        counter = OpCounter()
+        intersect(build_set(a, "set"), build_set(b, "set"), counter)
+        assert oracle_cost <= counter.total_ops
+        assert combo[0] in ("uint", "bitset")
+
+    def test_oracle_picks_bitsets_on_dense_data(self):
+        dense = np.arange(2048)
+        _, combo = oracle_intersection_cost(dense, dense)
+        assert combo[:2] == ("bitset", "bitset")
+
+    def test_oracle_counter_accumulates(self):
+        audit = OracleCounter()
+        audit.observe(UintSet([1, 2, 3]), UintSet([2, 3, 4]))
+        audit.observe(UintSet([1]), UintSet([1]))
+        assert audit.intersections == 2
+        assert audit.oracle_ops > 0

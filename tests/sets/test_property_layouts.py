@@ -1,0 +1,101 @@
+"""Property-based tests over set layouts and intersections (hypothesis).
+
+DESIGN.md invariants: every layout round-trips arbitrary uint32 sets;
+every intersection kernel on every layout pair computes exactly the
+set-theoretic intersection; rank/contains agree with sorted position.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sets import (BitPackedSet, BitSet, BlockedSet, PShortSet,
+                        UINT_ALGORITHMS, UintSet, VariantSet, intersect,
+                        intersect_uint_arrays)
+
+LAYOUTS = [UintSet, BitSet, PShortSet, VariantSet, BitPackedSet, BlockedSet]
+
+#: Mixed-scale value domain: small dense values, mid-range, and values
+#: near the uint32 ceiling, to exercise block/prefix boundaries.
+values_strategy = st.lists(
+    st.one_of(
+        st.integers(min_value=0, max_value=600),
+        st.integers(min_value=0, max_value=2 ** 20),
+        st.integers(min_value=2 ** 32 - 4000, max_value=2 ** 32 - 1),
+    ),
+    max_size=120)
+
+
+@given(values=values_strategy)
+@settings(max_examples=60, deadline=None)
+def test_every_layout_round_trips(values):
+    expected = sorted(set(values))
+    for layout in LAYOUTS:
+        s = layout(values)
+        assert list(s.to_array()) == expected, layout.__name__
+        assert s.cardinality == len(expected)
+
+
+@given(a=values_strategy, b=values_strategy,
+       pair=st.sampled_from([(la, lb) for la in LAYOUTS for lb in LAYOUTS]))
+@settings(max_examples=80, deadline=None)
+def test_every_layout_pair_intersects_correctly(a, b, pair):
+    layout_a, layout_b = pair
+    expected = sorted(set(a) & set(b))
+    out = intersect(layout_a(a), layout_b(b))
+    assert list(out.to_array()) == expected
+
+
+@given(a=values_strategy, b=values_strategy,
+       algorithm=st.sampled_from(UINT_ALGORITHMS + ("scalar",)))
+@settings(max_examples=80, deadline=None)
+def test_every_uint_algorithm_is_exact(a, b, algorithm):
+    expected = sorted(set(a) & set(b))
+    arr_a = np.unique(np.asarray(a, dtype=np.uint32)) \
+        if a else np.empty(0, dtype=np.uint32)
+    arr_b = np.unique(np.asarray(b, dtype=np.uint32)) \
+        if b else np.empty(0, dtype=np.uint32)
+    if algorithm == "scalar":
+        out = intersect_uint_arrays(arr_a, arr_b, simd=False)
+    else:
+        out = intersect_uint_arrays(arr_a, arr_b, algorithm=algorithm)
+    assert out.tolist() == expected
+
+
+@given(values=values_strategy)
+@settings(max_examples=40, deadline=None)
+def test_contains_matches_membership(values):
+    universe = sorted(set(values))
+    probes = universe[:10] + [v + 1 for v in universe[:10]
+                              if v + 1 < 2 ** 32]
+    for layout in LAYOUTS:
+        s = layout(values)
+        member = set(universe)
+        for probe in probes:
+            assert s.contains(probe) == (probe in member), layout.__name__
+
+
+@given(values=st.lists(st.integers(min_value=0, max_value=5000),
+                       min_size=1, max_size=80))
+@settings(max_examples=40, deadline=None)
+def test_rank_is_sorted_position(values):
+    expected = sorted(set(values))
+    for layout in (UintSet, BitSet):
+        s = layout(values)
+        for index, value in enumerate(expected):
+            assert s.rank(value) == index, layout.__name__
+
+
+@given(values=values_strategy)
+@settings(max_examples=40, deadline=None)
+def test_self_intersection_is_identity(values):
+    for layout in LAYOUTS:
+        s = layout(values)
+        out = intersect(s, s)
+        assert list(out.to_array()) == sorted(set(values))
+
+
+@given(a=values_strategy, b=values_strategy)
+@settings(max_examples=40, deadline=None)
+def test_intersection_bounded_by_min_cardinality(a, b):
+    out = intersect(UintSet(a), BitSet(b))
+    assert out.cardinality <= min(len(set(a)), len(set(b)))

@@ -1,0 +1,70 @@
+"""Unit tests for skew/density statistics (paper footnote 4, Table 14)."""
+
+import numpy as np
+import pytest
+
+from repro.sets import (cardinality_ratio, density_skew,
+                        pearson_first_skew, set_density, set_statistics)
+
+
+class TestPearsonSkew:
+    def test_symmetric_unimodal_distribution_near_zero(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(10.0, 2.0, size=5000)
+        assert abs(pearson_first_skew(samples)) < 0.75
+
+    def test_skewed_exceeds_symmetric(self):
+        """Lognormal (finite variance, strongly right-skewed) must score
+        clearly above a same-seed normal — the relative comparison the
+        engine actually relies on."""
+        rng = np.random.default_rng(1)
+        symmetric = rng.normal(10.0, 2.0, size=5000)
+        skewed = rng.lognormal(0.0, 1.0, size=5000)
+        assert pearson_first_skew(skewed) \
+            > pearson_first_skew(symmetric) + 0.3
+
+    def test_right_tail_positive(self):
+        samples = np.concatenate([np.full(100, 0.1),
+                                  np.linspace(0.1, 50.0, 20)])
+        assert pearson_first_skew(samples) > 0.4
+
+    def test_degenerate_inputs(self):
+        assert pearson_first_skew([]) == 0.0
+        assert pearson_first_skew([1.0]) == 0.0
+        assert pearson_first_skew([2.0, 2.0, 2.0]) == 0.0
+
+
+class TestDensity:
+    def test_set_density(self):
+        assert set_density([0, 1, 2, 3]) == 1.0
+        assert set_density([0, 9]) == pytest.approx(0.2)
+        assert set_density([]) == 0.0
+
+    def test_density_skew_over_neighborhoods(self):
+        uniform = [list(range(i, i + 10)) for i in range(0, 100, 10)]
+        assert abs(density_skew(uniform)) < 1e-9
+        mixed = [list(range(10))] * 50 + [[0, 10 ** 6]] * 3
+        assert density_skew(mixed) != 0.0
+
+
+class TestSetStatistics:
+    def test_table14_style_summary(self):
+        stats = set_statistics([[1, 2, 3], [10, 1000], []])
+        assert stats["mean_cardinality"] == pytest.approx(2.5)
+        assert stats["max_cardinality"] == 3
+        assert stats["max_range"] == 991
+        assert stats["mean_range"] == pytest.approx((3 + 991) / 2)
+
+    def test_empty_input(self):
+        stats = set_statistics([])
+        assert stats["max_cardinality"] == 0
+
+
+class TestCardinalityRatio:
+    def test_basic(self):
+        assert cardinality_ratio(10, 320) == 32.0
+        assert cardinality_ratio(320, 10) == 32.0
+
+    def test_zero_handling(self):
+        assert cardinality_ratio(0, 0) == 1.0
+        assert cardinality_ratio(0, 5) == float("inf")

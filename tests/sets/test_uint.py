@@ -1,0 +1,88 @@
+"""Unit tests for the uint layout."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LayoutError
+from repro.sets import UintSet
+
+
+class TestConstruction:
+    def test_sorts_and_deduplicates(self):
+        s = UintSet([5, 1, 3, 3, 1])
+        assert list(s.to_array()) == [1, 3, 5]
+        assert s.cardinality == 3
+
+    def test_empty(self):
+        s = UintSet([])
+        assert s.cardinality == 0
+        assert s.min_value is None
+        assert s.max_value is None
+        assert s.value_range == 0
+        assert list(s) == []
+
+    def test_from_numpy(self):
+        s = UintSet(np.array([9, 2, 2], dtype=np.int64))
+        assert list(s.to_array()) == [2, 9]
+
+    def test_from_sorted_fast_path(self):
+        arr = np.array([1, 2, 3], dtype=np.uint32)
+        s = UintSet.from_sorted(arr)
+        assert s.to_array() is arr
+
+    def test_rejects_negative(self):
+        with pytest.raises(LayoutError):
+            UintSet([-1, 2])
+
+    def test_rejects_too_large(self):
+        with pytest.raises(LayoutError):
+            UintSet([2 ** 32])
+
+    def test_accepts_integral_floats(self):
+        s = UintSet(np.array([1.0, 2.0]))
+        assert list(s.to_array()) == [1, 2]
+
+    def test_rejects_fractional_floats(self):
+        with pytest.raises(LayoutError):
+            UintSet(np.array([1.5]))
+
+
+class TestAccessors:
+    def test_min_max_range_density(self):
+        s = UintSet([10, 20, 30])
+        assert s.min_value == 10
+        assert s.max_value == 30
+        assert s.value_range == 21
+        assert s.density == pytest.approx(3 / 21)
+
+    def test_contains(self):
+        s = UintSet([1, 5, 9])
+        assert 5 in s
+        assert 4 not in s
+        assert 0 not in s
+        assert 10 not in s
+
+    def test_rank(self):
+        s = UintSet([4, 8, 15, 16])
+        assert s.rank(4) == 0
+        assert s.rank(16) == 3
+        with pytest.raises(KeyError):
+            s.rank(5)
+
+    def test_len_and_iter(self):
+        s = UintSet([3, 1])
+        assert len(s) == 2
+        assert [v for v in s] == [1, 3]
+
+    def test_equality_across_layouts(self):
+        from repro.sets import BitSet
+        assert UintSet([1, 2]) == BitSet([1, 2])
+        assert UintSet([1, 2]) != UintSet([1, 3])
+
+    def test_nbytes(self):
+        assert UintSet([1, 2, 3]).nbytes == 12
+
+    def test_repr_truncates(self):
+        s = UintSet(range(20))
+        assert "..." in repr(s)
+        assert "n=20" in repr(s)

@@ -1,0 +1,90 @@
+"""Tests for TrieBuilder — the paper's Table 2 append operation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.sets import UintSet
+from repro.storage.builder import TrieBuilder
+
+
+class TestAppend:
+    def test_basic_build(self):
+        builder = TrieBuilder("Q", 2)
+        builder.append((1,), [4, 5])
+        builder.append((2,), [6])
+        trie = builder.build()
+        assert list(trie.tuples()) == [(1, 4), (1, 5), (2, 6)]
+
+    def test_accepts_set_layouts(self):
+        builder = TrieBuilder("Q", 2)
+        builder.append((0,), UintSet([9, 3]))
+        assert list(builder.build().tuples()) == [(0, 3), (0, 9)]
+
+    def test_empty_append_is_noop(self):
+        builder = TrieBuilder("Q", 2)
+        builder.append((0,), [])
+        assert builder.cardinality == 0
+        assert builder.build().cardinality == 0
+
+    def test_duplicate_appends_deduplicate(self):
+        builder = TrieBuilder("Q", 2)
+        builder.append((1,), [2])
+        builder.append((1,), [2, 3])
+        assert builder.build().cardinality == 2
+
+    def test_arity_enforced(self):
+        builder = TrieBuilder("Q", 3)
+        with pytest.raises(SchemaError):
+            builder.append((1,), [2])
+        with pytest.raises(SchemaError):
+            TrieBuilder("Q", 0)
+
+    def test_unary(self):
+        builder = TrieBuilder("Q", 1)
+        builder.append((), [5, 1])
+        assert list(builder.build().tuples()) == [(1,), (5,)]
+
+    def test_append_tuple(self):
+        builder = TrieBuilder("Q", 3)
+        builder.append_tuple((1, 2, 3))
+        builder.append_tuple((1, 2, 4), annotation=7.0)
+        relation = builder.to_relation()
+        assert relation.cardinality == 2
+        assert relation.annotations is not None
+
+    def test_annotations_aligned(self):
+        builder = TrieBuilder("Q", 2)
+        builder.append((0,), [1, 2], annotations=[0.5, 1.5])
+        trie = builder.build()
+        assert dict(trie.annotated_tuples()) == {(0, 1): 0.5,
+                                                 (0, 2): 1.5}
+        with pytest.raises(SchemaError):
+            builder.append((0,), [1, 2], annotations=[0.5])
+
+    def test_mixed_annotation_defaults_to_one(self):
+        builder = TrieBuilder("Q", 2)
+        builder.append((0,), [1], annotations=[2.0])
+        builder.append((1,), [2])  # unannotated chunk
+        relation = builder.to_relation().deduplicated()
+        assert dict(zip(map(tuple, relation.data.tolist()),
+                        relation.annotations)) == {(0, 1): 2.0,
+                                                   (1, 2): 1.0}
+
+    def test_example_3_2_loop_materializes_triangles(self):
+        """Drive the builder exactly like the paper's generated code:
+        for each (x, y), append the z-intersection."""
+        from repro.sets import intersect
+        from repro.storage import Relation, Trie
+
+        edges = np.array([[0, 1], [0, 2], [1, 2]], dtype=np.uint32)
+        trie = Trie(Relation("E", edges))
+        builder = TrieBuilder("Tri", 3)
+        roots = trie.root.set
+        for x in roots:
+            node_x = trie.root.child(x)
+            candidates_y = intersect(node_x.set, roots)
+            for y in candidates_y:
+                node_y = trie.root.child(y)
+                builder.append((x, y), intersect(node_x.set, node_y.set))
+        assert list(builder.build().tuples()) == [(0, 1, 2)]

@@ -1,0 +1,77 @@
+"""Unit tests for dictionary encoding (paper §2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import Dictionary, identity_dictionary
+
+
+class TestEncoding:
+    def test_assigns_dense_ids_in_order(self):
+        d = Dictionary()
+        assert [d.encode(v) for v in ["a", "b", "a", "c"]] == [0, 1, 0, 2]
+        assert len(d) == 3
+
+    def test_decode_round_trip(self):
+        d = Dictionary()
+        values = ["x", 42, ("tuple", 1)]
+        ids = [d.encode(v) for v in values]
+        assert [d.decode(i) for i in ids] == values
+
+    def test_encode_many(self):
+        d = Dictionary()
+        out = d.encode_many(["a", "b", "a"])
+        assert out.dtype == np.uint32
+        assert out.tolist() == [0, 1, 0]
+
+    def test_lookup_does_not_assign(self):
+        d = Dictionary()
+        d.encode("a")
+        with pytest.raises(KeyError):
+            d.lookup("b")
+        assert len(d) == 1
+
+    def test_contains(self):
+        d = Dictionary()
+        d.encode("a")
+        assert "a" in d and "b" not in d
+
+    def test_decode_out_of_range(self):
+        d = Dictionary()
+        d.encode("a")
+        with pytest.raises(KeyError):
+            d.decode(5)
+        with pytest.raises(KeyError):
+            d.decode(-1)
+
+    def test_decode_many(self):
+        d = Dictionary()
+        for v in "abc":
+            d.encode(v)
+        assert d.decode_many([2, 0]) == ["c", "a"]
+
+
+class TestRemap:
+    def test_remap_permutes_ids(self):
+        d = Dictionary()
+        for v in "abc":
+            d.encode(v)
+        d.remap(np.array([2, 0, 1]))  # a->2, b->0, c->1
+        assert d.decode(2) == "a"
+        assert d.decode(0) == "b"
+        assert d.lookup("c") == 1
+
+    def test_remap_rejects_non_bijection(self):
+        d = Dictionary()
+        d.encode("a")
+        d.encode("b")
+        with pytest.raises(SchemaError):
+            d.remap(np.array([0, 0]))
+        with pytest.raises(SchemaError):
+            d.remap(np.array([0]))
+
+    def test_identity_dictionary(self):
+        d = identity_dictionary(4)
+        assert [d.decode(i) for i in range(4)] == [0, 1, 2, 3]
+        assert d.encode(2) == 2

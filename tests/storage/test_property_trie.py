@@ -1,0 +1,63 @@
+"""Property-based tests: trie enumeration is exactly the tuple set."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.storage import Relation, Trie
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 30)),
+    max_size=60)
+
+rows3_strategy = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12), st.integers(0, 12)),
+    max_size=40)
+
+
+@given(rows=rows_strategy)
+@settings(max_examples=60, deadline=None)
+def test_trie_enumerates_exactly_the_distinct_tuples(rows):
+    data = np.asarray(rows, dtype=np.uint32).reshape(-1, 2)
+    trie = Trie(Relation("R", data))
+    assert list(trie.tuples()) == sorted(set(map(tuple, rows)))
+    assert trie.cardinality == len(set(map(tuple, rows)))
+
+
+@given(rows=rows3_strategy, order=st.permutations([0, 1, 2]))
+@settings(max_examples=60, deadline=None)
+def test_any_key_order_preserves_tuple_set(rows, order):
+    data = np.asarray(rows, dtype=np.uint32).reshape(-1, 3)
+    trie = Trie(Relation("R", data), key_order=tuple(order))
+    # The trie stores columns permuted; invert to recover originals.
+    recovered = set()
+    for stored in trie.tuples():
+        original = [0, 0, 0]
+        for position, column in enumerate(order):
+            original[column] = stored[position]
+        recovered.add(tuple(original))
+    assert recovered == set(map(tuple, rows))
+
+
+@given(rows=rows_strategy, probes=st.lists(
+    st.tuples(st.integers(0, 31), st.integers(0, 31)), max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_contains_matches_membership(rows, probes):
+    data = np.asarray(rows, dtype=np.uint32).reshape(-1, 2)
+    trie = Trie(Relation("R", data))
+    members = set(map(tuple, rows))
+    for probe in probes:
+        assert trie.contains(probe) == (probe in members)
+
+
+@given(rows=rows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_annotations_follow_last_write(rows):
+    if not rows:
+        return
+    data = np.asarray(rows, dtype=np.uint32).reshape(-1, 2)
+    annotations = np.arange(len(rows), dtype=np.float64)
+    trie = Trie(Relation("R", data, annotations))
+    expected = {}
+    for index, row in enumerate(rows):
+        expected[tuple(row)] = float(index)
+    assert dict(trie.annotated_tuples()) == expected

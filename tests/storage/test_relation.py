@@ -1,0 +1,91 @@
+"""Unit tests for relations and annotation handling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import Dictionary, Relation
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = Relation("R", [[0, 1], [1, 2]])
+        assert r.arity == 2
+        assert r.cardinality == 2
+        assert not r.is_scalar()
+
+    def test_one_dimensional_input_becomes_unary(self):
+        r = Relation("R", np.array([3, 1, 2], dtype=np.uint32))
+        assert r.arity == 1
+
+    def test_annotation_alignment_checked(self):
+        with pytest.raises(SchemaError):
+            Relation("R", [[0, 1]], annotations=[1.0, 2.0])
+
+    def test_dictionary_count_checked(self):
+        with pytest.raises(SchemaError):
+            Relation("R", [[0, 1]], dictionaries=[Dictionary()])
+
+    def test_from_tuples_shared_dictionary(self):
+        r = Relation.from_tuples("E", [("a", "b"), ("b", "c")])
+        assert r.cardinality == 2
+        assert list(r.decoded_tuples()) == [("a", "b"), ("b", "c")]
+        assert r.dictionaries[0] is r.dictionaries[1]
+
+    def test_from_tuples_ragged_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation.from_tuples("E", [("a", "b"), ("c",)])
+
+    def test_scalar(self):
+        r = Relation.scalar("N", 7.0)
+        assert r.is_scalar()
+        assert r.scalar_value == 7.0
+
+    def test_scalar_value_guarded(self):
+        r = Relation("R", [[0, 1]])
+        with pytest.raises(SchemaError):
+            r.scalar_value
+
+
+class TestDeduplication:
+    def test_removes_duplicates_sorted(self):
+        r = Relation("R", [[1, 0], [0, 1], [1, 0]])
+        d = r.deduplicated()
+        assert d.data.tolist() == [[0, 1], [1, 0]]
+
+    def test_combine_last(self):
+        r = Relation("R", [[0, 1], [0, 1]], annotations=[1.0, 9.0])
+        d = r.deduplicated("last")
+        assert d.annotations.tolist() == [9.0]
+
+    def test_combine_sum(self):
+        r = Relation("R", [[0, 1], [0, 1], [2, 2]],
+                     annotations=[1.0, 2.0, 5.0])
+        d = r.deduplicated("sum")
+        assert d.annotations.tolist() == [3.0, 5.0]
+
+    def test_combine_min_max(self):
+        r = Relation("R", [[0, 1], [0, 1]], annotations=[4.0, 2.0])
+        assert r.deduplicated("min").annotations.tolist() == [2.0]
+        assert r.deduplicated("max").annotations.tolist() == [4.0]
+
+    def test_unknown_combine_rejected(self):
+        r = Relation("R", [[0, 1], [0, 1]], annotations=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            r.deduplicated("median")
+
+    def test_empty_passthrough(self):
+        r = Relation("R", np.empty((0, 2), dtype=np.uint32))
+        assert r.deduplicated() is r
+
+
+class TestProjection:
+    def test_project_columns(self):
+        r = Relation.from_tuples("R", [("a", "b"), ("c", "d")])
+        p = r.project([1])
+        assert p.arity == 1
+        assert list(p.decoded_tuples()) == [("b",), ("d",)]
+
+    def test_decoded_tuples_without_dictionary(self):
+        r = Relation("R", [[7, 8]])
+        assert list(r.decoded_tuples()) == [(7, 8)]

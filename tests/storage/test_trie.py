@@ -1,0 +1,119 @@
+"""Unit tests for the trie storage structure (paper §2.2, Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.sets.optimizer import SetOptimizer
+from repro.storage import Relation, Trie, trie_from_arrays
+
+
+def figure2_relation():
+    """The paper's Figure 2 example: (managerID, employeeID) annotated
+    with employeeRating, dictionary-encoded."""
+    data = np.array([[0, 1], [0, 2], [1, 0], [2, 0]], dtype=np.uint32)
+    ratings = np.array([4.0, 5.0, 3.0, 2.0])
+    return Relation("Manages", data, ratings)
+
+
+class TestBuild:
+    def test_two_level_structure(self):
+        trie = Trie(figure2_relation())
+        assert trie.arity == 2
+        assert list(trie.root.set) == [0, 1, 2]
+        assert list(trie.lookup((0,)).set) == [1, 2]
+        assert list(trie.lookup((1,)).set) == [0]
+
+    def test_tuples_lexicographic(self):
+        trie = Trie(figure2_relation())
+        assert list(trie.tuples()) == [(0, 1), (0, 2), (1, 0), (2, 0)]
+        assert trie.cardinality == 4
+
+    def test_annotations_at_leaves(self):
+        trie = Trie(figure2_relation())
+        assert trie.lookup((0,)).annotation(2) == 5.0
+        annotated = dict(trie.annotated_tuples())
+        assert annotated == {(0, 1): 4.0, (0, 2): 5.0, (1, 0): 3.0,
+                             (2, 0): 2.0}
+
+    def test_transposed_order(self):
+        trie = Trie(figure2_relation(), key_order=(1, 0))
+        assert list(trie.tuples()) == [(0, 1), (0, 2), (1, 0), (2, 0)]
+        # level-0 set is now the employee column
+        assert list(trie.root.set) == [0, 1, 2]
+        assert list(trie.lookup((0,)).set) == [1, 2]
+
+    def test_three_level(self):
+        data = np.array([[1, 2, 3], [1, 2, 4], [0, 9, 9]], dtype=np.uint32)
+        trie = Trie(Relation("T", data))
+        assert list(trie.tuples()) == [(0, 9, 9), (1, 2, 3), (1, 2, 4)]
+        assert trie.lookup((1, 2)).set.cardinality == 2
+
+    def test_deduplicates_input(self):
+        data = np.array([[0, 1], [0, 1]], dtype=np.uint32)
+        trie = Trie(Relation("T", data))
+        assert trie.cardinality == 1
+
+    def test_invalid_key_order(self):
+        with pytest.raises(SchemaError):
+            Trie(figure2_relation(), key_order=(0, 0))
+
+    def test_empty_relation(self):
+        trie = Trie(Relation("T", np.empty((0, 2), dtype=np.uint32)))
+        assert trie.cardinality == 0
+        assert list(trie.tuples()) == []
+
+    def test_scalar_relation(self):
+        trie = Trie(Relation.scalar("N", 3.5))
+        assert trie.scalar == 3.5
+        assert trie.cardinality == 1
+
+
+class TestAccess:
+    def test_contains(self):
+        trie = Trie(figure2_relation())
+        assert trie.contains((0, 2))
+        assert not trie.contains((0, 0))
+        assert not trie.contains((9, 9))
+
+    def test_lookup_missing_prefix(self):
+        trie = Trie(figure2_relation())
+        with pytest.raises(KeyError):
+            trie.lookup((7,))
+
+    def test_child_navigation(self):
+        trie = Trie(figure2_relation())
+        node = trie.root.child(0)
+        assert node is trie.root.child_at(0)
+        assert node.is_leaf
+
+    def test_level_sets(self):
+        trie = Trie(figure2_relation())
+        assert len(trie.level_sets(0)) == 1
+        assert len(trie.level_sets(1)) == 3  # one per manager
+
+    def test_annotation_requires_annotations(self):
+        trie = Trie(Relation("T", np.array([[0, 1]], dtype=np.uint32)))
+        with pytest.raises(SchemaError):
+            trie.lookup((0,)).annotation(1)
+
+
+class TestLayoutIntegration:
+    def test_layout_level_flows_through(self):
+        dense = np.stack([np.zeros(500, dtype=np.uint32),
+                          np.arange(500, dtype=np.uint32)], axis=1)
+        uint_trie = Trie(Relation("T", dense),
+                         optimizer=SetOptimizer("uint_only"))
+        set_trie = Trie(Relation("T", dense),
+                        optimizer=SetOptimizer("set"))
+        assert uint_trie.layout_histogram() == {"uint": 2}
+        # the dense 500-value child set becomes a bitset under Alg. 3
+        assert set_trie.layout_histogram().get("bitset", 0) >= 1
+
+    def test_nbytes_positive(self):
+        trie = Trie(figure2_relation())
+        assert trie.nbytes > 0
+
+    def test_trie_from_arrays(self):
+        trie = trie_from_arrays("T", np.array([[1, 2]], dtype=np.uint32))
+        assert list(trie.tuples()) == [(1, 2)]

@@ -1,0 +1,150 @@
+"""Advanced end-to-end queries: deeper patterns, mixed features."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import Database
+from tests.conftest import random_undirected_edges
+
+
+def adjacency_of(edges):
+    adjacency = {}
+    for u, v in edges:
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+    return adjacency
+
+
+@pytest.fixture(scope="module")
+def edges():
+    return random_undirected_edges(22, 110, seed=77)
+
+
+@pytest.fixture(scope="module")
+def db(edges):
+    database = Database()
+    database.load_graph("Edge", edges)
+    return database
+
+
+class TestDeepPatterns:
+    def test_five_clique(self, edges):
+        adjacency = adjacency_of(edges)
+        expected = sum(
+            1 for combo in itertools.combinations(sorted(adjacency), 5)
+            if all(b in adjacency[a]
+                   for a, b in itertools.combinations(combo, 2)))
+        pruned = Database()
+        pruned.load_graph("Edge", edges, prune=True)
+        body = ",".join("Edge(%s,%s)" % (a, b) for a, b in
+                        itertools.combinations("vwxyz", 2))
+        got = pruned.query("K5(;c:long) :- %s; c=<<COUNT(*)>>." % body)
+        assert got.scalar == expected
+
+    def test_four_path_count(self, db, edges):
+        adjacency = adjacency_of(edges)
+        expected = 0
+        for a in adjacency:
+            for b in adjacency[a]:
+                for c in adjacency[b]:
+                    if c == a:
+                        continue
+                    expected += sum(1 for d in adjacency[c]
+                                    if d != b)
+        got = db.query("P4(;c:long) :- Edge(a,b),Edge(b,c),Edge(c,d); "
+                       "c=<<COUNT(*)>>.").scalar
+        # our datalog does not impose a != c or b != d: compute exactly
+        raw = 0
+        for a in adjacency:
+            for b in adjacency[a]:
+                for c in adjacency[b]:
+                    raw += len(adjacency[c])
+        assert got == raw
+
+    def test_square_cycle(self, db, edges):
+        adjacency = adjacency_of(edges)
+        expected = 0
+        for a in adjacency:
+            for b in adjacency[a]:
+                for c in adjacency[b]:
+                    expected += sum(1 for d in adjacency[c]
+                                    if a in adjacency[d])
+        got = db.query("Sq(;c:long) :- Edge(a,b),Edge(b,c),Edge(c,d),"
+                       "Edge(d,a); c=<<COUNT(*)>>.").scalar
+        assert got == expected
+
+
+class TestMixedFeatures:
+    def test_selection_plus_aggregation(self, db, edges):
+        adjacency = adjacency_of(edges)
+        hub = max(adjacency, key=lambda n: len(adjacency[n]))
+        got = db.query("HubTri(;c:long) :- Edge(%d,y),Edge(y,z),"
+                       "Edge(%d,z); c=<<COUNT(*)>>." % (hub, hub)).scalar
+        expected = sum(1 for y in adjacency[hub] for z in adjacency[y]
+                       if z in adjacency[hub])
+        assert got == expected
+
+    def test_aggregate_feeding_selection(self, db):
+        """A two-rule program: degree, then filter through a join."""
+        db.query("Deg(x;d:int) :- Edge(x,y); d=<<COUNT(y)>>.")
+        result = db.query("Q(x;d:float) :- Deg(x),Edge(x,y),Edge(y,x); "
+                          "d=<<MAX(x)>>.")
+        degrees = db.query(
+            "D2(x;d:int) :- Edge(x,y); d=<<COUNT(y)>>.").to_dict()
+        got = result.to_dict()
+        assert got == pytest.approx(degrees)
+
+    def test_program_chaining_across_queries(self, db, edges):
+        db.query("Wedge(x,z) :- Edge(x,y),Edge(y,z).")
+        reuse = db.query("W2(;c:long) :- Wedge(x,z),Edge(x,z); "
+                         "c=<<COUNT(*)>>.").scalar
+        adjacency = adjacency_of(edges)
+        expected = 0
+        for x in adjacency:
+            wedge_ends = set()
+            for y in adjacency[x]:
+                wedge_ends |= adjacency[y]
+            expected += len(wedge_ends & adjacency[x])
+        assert reuse == expected
+
+    def test_string_values_through_everything(self):
+        names = ["u%d" % i for i in range(12)]
+        edges = [(names[i], names[(i * 5 + 1) % 12]) for i in range(12)]
+        edges += [(names[0], names[i]) for i in range(2, 8)]
+        db = Database()
+        db.load_graph("Edge", edges)
+        result = db.query("N(x;d:int) :- Edge(x,y); d=<<COUNT(y)>>.")
+        degrees = result.to_dict()
+        assert set(degrees) <= set(names)
+        assert degrees["u0"] >= 6
+
+    def test_float_annotations_precision(self):
+        db = Database()
+        values = [0.1, 0.2, 0.3]
+        db.add_encoded("W", [[0, 1], [0, 2], [0, 3]],
+                       annotations=values)
+        got = db.query("S(x;s:float) :- W(x,y); s=<<SUM(y)>>.").to_dict()
+        assert got[0] == pytest.approx(sum(values))
+
+
+class TestEmptyAndDegenerate:
+    def test_query_on_empty_graph(self):
+        db = Database()
+        db.add_encoded("Edge", np.empty((0, 2), dtype=np.uint32))
+        assert db.query("T(;c:long) :- Edge(x,y),Edge(y,z),Edge(x,z); "
+                        "c=<<COUNT(*)>>.").scalar == 0.0
+        assert db.query("Q(x,y) :- Edge(x,y).").count == 0
+
+    def test_selection_matching_nothing(self, db):
+        result = db.query("Q(y) :- Edge(99999,y).")
+        assert result.count == 0
+
+    def test_single_edge_patterns(self):
+        db = Database(ordering="identity")
+        db.load_graph("Edge", [(0, 1)], undirected=False)
+        assert db.query("T(;c:long) :- Edge(x,y),Edge(y,z); "
+                        "c=<<COUNT(*)>>.").scalar == 0.0
+        assert db.query("C(;c:long) :- Edge(x,y); "
+                        "c=<<COUNT(*)>>.").scalar == 1.0

@@ -1,0 +1,129 @@
+"""End-to-end tests of the Database façade."""
+
+import numpy as np
+import pytest
+
+from repro import (Database, EngineConfig, QuerySyntaxError, SchemaError,
+                   UnknownRelationError)
+
+
+class TestLoading:
+    def test_add_relation_arbitrary_values(self):
+        db = Database()
+        db.add_relation("Likes", [("ann", "bob"), ("bob", "cat")])
+        result = db.query("Q(x,y) :- Likes(x,y).")
+        assert set(result.tuples()) == {("ann", "bob"), ("bob", "cat")}
+
+    def test_add_encoded(self):
+        db = Database()
+        db.add_encoded("R", [[0, 1], [2, 3]])
+        assert db.query("Q(x,y) :- R(x,y).").count == 2
+
+    def test_add_scalar_available_in_expressions(self):
+        db = Database()
+        db.add_encoded("R", [[0, 1]])
+        db.add_scalar("K", 4.0)
+        result = db.query("Q(x;v:float) :- R(x,y); v=2*K.")
+        assert result.annotations.tolist() == [8.0]
+
+    def test_load_graph_undirected_stores_both_directions(self):
+        db = Database()
+        db.load_graph("Edge", [(1, 2)])
+        assert db.relation("Edge").cardinality == 2
+
+    def test_load_graph_directed(self):
+        db = Database()
+        db.load_graph("Edge", [(1, 2)], undirected=False)
+        assert db.relation("Edge").cardinality == 1
+
+    def test_load_graph_prune_halves(self):
+        db = Database()
+        db.load_graph("Edge", [(1, 2), (2, 3)], prune=True)
+        assert db.relation("Edge").cardinality == 2
+
+    def test_reload_replaces(self):
+        db = Database()
+        db.load_graph("Edge", [(0, 1)])
+        db.load_graph("Edge", [(5, 6), (6, 7)])
+        assert set(db.query("Q(x,y) :- Edge(x,y).").tuples()) == {
+            (5, 6), (6, 5), (6, 7), (7, 6)}
+
+    def test_unknown_relation_lists_known(self):
+        db = Database()
+        db.load_graph("Edge", [(0, 1)])
+        with pytest.raises(UnknownRelationError) as info:
+            db.relation("Edgy")
+        assert "Edge" in str(info.value)
+
+
+class TestQuerying:
+    def test_scalar_result(self):
+        db = Database()
+        db.load_graph("Edge", [(0, 1), (1, 2), (0, 2)], prune=True)
+        result = db.query("T(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); "
+                          "w=<<COUNT(*)>>.")
+        assert result.scalar == 1.0
+
+    def test_scalar_guarded_on_tabular_result(self):
+        db = Database()
+        db.load_graph("Edge", [(0, 1)])
+        result = db.query("Q(x,y) :- Edge(x,y).")
+        with pytest.raises(SchemaError):
+            result.scalar
+
+    def test_to_dict_requires_annotations(self):
+        db = Database()
+        db.load_graph("Edge", [(0, 1)])
+        with pytest.raises(SchemaError):
+            db.query("Q(x,y) :- Edge(x,y).").to_dict()
+
+    def test_to_dict_multi_key(self):
+        db = Database()
+        db.load_graph("Edge", [(0, 1)])
+        result = db.query("Q(x,y;v:int) :- Edge(x,y); v=7.")
+        assert result.to_dict() == {(0, 1): 7.0, (1, 0): 7.0}
+
+    def test_intermediate_heads_persist(self):
+        db = Database()
+        db.load_graph("Edge", [(0, 1), (1, 2)])
+        db.query("Hop(x,y) :- Edge(x,z),Edge(z,y).")
+        assert db.relation("Hop").cardinality > 0
+        reuse = db.query("Q(x) :- Hop(x,x).")
+        assert set(reuse.tuples()) == {(0,), (1,), (2,)}
+
+    def test_syntax_errors_propagate(self):
+        db = Database()
+        with pytest.raises(QuerySyntaxError):
+            db.query("broken(")
+
+    def test_explain_mentions_ghd(self):
+        db = Database()
+        db.load_graph("Edge", [(0, 1), (1, 2), (0, 2)])
+        text = db.explain("T(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); "
+                          "w=<<COUNT(*)>>.")
+        assert "GHD" in text and "width" in text
+
+    def test_counter_accumulates(self):
+        db = Database()
+        db.load_graph("Edge", [(0, 1), (1, 2), (0, 2)], prune=True)
+        db.query("T(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); "
+                 "w=<<COUNT(*)>>.")
+        assert db.counter.total_ops > 0
+
+
+class TestConfiguration:
+    def test_keyword_overrides(self):
+        db = Database(layout_level="uint_only", simd=False)
+        assert db.config.layout_level == "uint_only"
+        assert not db.config.simd
+
+    def test_explicit_config(self):
+        config = EngineConfig(use_ghd=False)
+        db = Database(config=config)
+        assert not db.config.use_ghd
+
+    def test_default_ordering_scheme(self):
+        db = Database(ordering="identity")
+        db.load_graph("Edge", [(5, 3)], undirected=False)
+        # identity ordering: first-seen value gets id 0
+        assert db.relation("Edge").data.tolist() == [[0, 1]]

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    path = tmp_path / "graph.txt"
+    path.write_text("# tiny triangle plus tail\n0 1\n1 2\n0 2\n2 3\n")
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_command_parses(self):
+        args = build_parser().parse_args(
+            ["query", "--dataset", "patents", "--prune", "Q(x) :- E(x,y)."])
+        assert args.dataset == "patents"
+        assert args.prune
+
+
+class TestCommands:
+    TRIANGLES = ("T(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); "
+                 "w=<<COUNT(*)>>.")
+
+    def test_query_from_file(self, edge_file, capsys):
+        code = main(["query", "--edges", edge_file, "--prune",
+                     self.TRIANGLES])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.strip().startswith("1.0")
+
+    def test_query_tabular_with_limit(self, edge_file, capsys):
+        code = main(["query", "--edges", edge_file, "--limit", "2",
+                     "Q(x,y) :- Edge(x,y)."])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "more)" in out
+
+    def test_explain(self, edge_file, capsys):
+        code = main(["explain", "--edges", edge_file, self.TRIANGLES])
+        assert code == 0
+        assert "GHD" in capsys.readouterr().out
+
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "googleplus" in out and "twitter" in out
+
+    def test_missing_source_errors(self):
+        with pytest.raises(SystemExit):
+            main(["query", self.TRIANGLES])
+
+    def test_ablation_flags_flow_through(self, edge_file, capsys):
+        code = main(["query", "--edges", edge_file, "--prune",
+                     "--no-ghd", "--no-simd",
+                     "--layout-level", "uint_only", self.TRIANGLES])
+        assert code == 0
+        assert capsys.readouterr().out.strip().startswith("1.0")

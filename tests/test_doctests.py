@@ -1,0 +1,27 @@
+"""Run the doctest examples embedded in module/class docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.api
+import repro.sets.uint
+import repro.storage.builder
+import repro.storage.dictionary
+
+MODULES = [repro, repro.api, repro.sets.uint, repro.storage.builder,
+           repro.storage.dictionary]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[m.__name__ for m in MODULES])
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, "%d doctest failure(s) in %s" % (
+        result.failed, module.__name__)
+
+
+def test_doctests_actually_ran():
+    total = sum(doctest.testmod(m).attempted for m in MODULES)
+    assert total >= 5

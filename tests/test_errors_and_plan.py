@@ -1,0 +1,83 @@
+"""Tests for the error hierarchy and the physical-plan records."""
+
+import pytest
+
+from repro import (Database, EmptyHeadedError, ExecutionError, LayoutError,
+                   PlanError, QuerySyntaxError, SchemaError,
+                   UnknownRelationError)
+from repro.engine import BagPlan, PhysicalPlan
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_base(self):
+        for cls in (QuerySyntaxError, PlanError, ExecutionError,
+                    SchemaError, UnknownRelationError, LayoutError):
+            assert issubclass(cls, EmptyHeadedError)
+
+    def test_unknown_relation_is_schema_error(self):
+        assert issubclass(UnknownRelationError, SchemaError)
+
+    def test_syntax_error_position_rendering(self):
+        err = QuerySyntaxError("bad token", position=4,
+                               text="Q(x) %%% :- R(x).")
+        assert "position 4" in str(err)
+
+    def test_syntax_error_without_position(self):
+        assert str(QuerySyntaxError("plain")) == "plain"
+
+    def test_single_except_catches_everything(self):
+        db = Database()
+        for bad in ("nope(", "Q(x) :- Missing(x)."):
+            with pytest.raises(EmptyHeadedError):
+                db.query(bad)
+
+
+class TestPhysicalPlan:
+    def triangle_plan(self):
+        db = Database()
+        db.load_graph("Edge", [(0, 1), (1, 2), (0, 2)], prune=True)
+        db.query("T(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); "
+                 "w=<<COUNT(*)>>.")
+        return db._executor.last_plan
+
+    def test_triangle_plan_details(self):
+        plan = self.triangle_plan()
+        assert isinstance(plan, PhysicalPlan)
+        assert plan.aggregate_mode
+        assert not plan.used_top_down
+        assert len(plan.bags) == 1
+        bag = plan.bags[0]
+        assert bag.eval_order == ("x", "y", "z")
+        assert bag.out_attrs == ()
+        assert bag.width == pytest.approx(1.5)
+        assert bag.inputs == ["Edge", "Edge", "Edge"]
+
+    def test_describe_mentions_mode_and_topdown(self):
+        text = self.triangle_plan().describe()
+        assert "early aggregation" in text
+        assert "elided" in text
+        assert "physical bags" in text
+
+    def test_barbell_plan_marks_reuse(self):
+        from repro.graphs import BARBELL_COUNT
+        db = Database()
+        db.load_graph("Edge", [(0, 1), (1, 2), (0, 2), (0, 3), (3, 4),
+                               (4, 5), (3, 5)])
+        db.query(BARBELL_COUNT)
+        plan = db._executor.last_plan
+        assert len(plan.bags) == 3
+        assert any(bag.reused_from_signature for bag in plan.bags)
+        assert "[reused identical bag result]" in plan.describe()
+
+    def test_top_down_flag_set_for_spanning_materialization(self):
+        db = Database(ordering="identity")
+        db.load_graph("Edge", [(0, 1), (1, 2)], undirected=False)
+        db.query("Q(x,y) :- Edge(x,z),Edge(z,y).")
+        plan = db._executor.last_plan
+        if plan.ghd.n_nodes > 1:
+            assert plan.used_top_down
+
+    def test_bag_plan_describe(self):
+        bag = BagPlan(chi=("x", "y"), eval_order=("x", "y"),
+                      out_attrs=("x",), inputs=["R"], width=1.0)
+        assert "chi=(x,y)" in bag.describe()

@@ -1,0 +1,120 @@
+"""Cross-cutting integration tests: plans, engines, and configurations
+must always agree on answers (only performance may differ)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Database
+from repro.baselines import PairwiseEngine
+from repro.graphs import undirect
+from tests.conftest import brute_force_triangles, random_undirected_edges
+
+
+def fresh_db(edges, prune=False, **overrides):
+    db = Database(**overrides)
+    db.load_graph("Edge", edges, prune=prune)
+    return db
+
+
+class TestPlanEquivalence:
+    QUERIES = [
+        "Q(x,y,z) :- Edge(x,y),Edge(y,z),Edge(x,z).",
+        "Q(x,y,z,u) :- Edge(x,y),Edge(y,z),Edge(x,z),Edge(z,u).",
+        "Q(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z),Edge(x,u); "
+        "w=<<COUNT(*)>>.",
+        "Q(x;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.",
+        "Q(y) :- Edge(0,x),Edge(x,y).",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_ghd_equals_single_node(self, query):
+        edges = random_undirected_edges(25, 90, seed=33)
+        with_ghd = fresh_db(edges)
+        without = fresh_db(edges, use_ghd=False)
+        result_a = with_ghd.query(query)
+        result_b = without.query(query)
+        if result_a.relation.arity == 0:
+            assert result_a.scalar == result_b.scalar
+        elif result_a.annotations is not None:
+            assert result_a.to_dict() == result_b.to_dict()
+        else:
+            assert set(result_a.tuples()) == set(result_b.tuples())
+
+    def test_wcoj_equals_pairwise_on_random_patterns(self):
+        """The WCOJ engine and the pairwise hash-join engine implement
+        the same semantics; compare on random conjunctive patterns."""
+        edges = random_undirected_edges(18, 50, seed=7)
+        both = undirect(np.asarray(edges))
+        patterns = [
+            [("x", "y"), ("y", "z")],
+            [("x", "y"), ("y", "z"), ("x", "z")],
+            [("x", "y"), ("y", "z"), ("z", "w")],
+            [("x", "y"), ("y", "z"), ("x", "z"), ("z", "w"), ("w", "x")],
+        ]
+        for pattern in patterns:
+            pairwise = PairwiseEngine()
+            pairwise.add("E", both)
+            expected = pairwise.count_conjunctive(
+                [("E", vars_) for vars_ in pattern])
+            db = fresh_db(edges, ordering="identity")
+            variables = sorted({v for vars_ in pattern for v in vars_})
+            body = ",".join("Edge(%s,%s)" % vars_ for vars_ in pattern)
+            query = "Q(;w:long) :- %s; w=<<COUNT(*)>>." % body
+            assert db.query(query).scalar == expected, pattern
+
+
+class TestOrderingInvariance:
+    def test_triangle_count_invariant_across_orderings(self):
+        edges = random_undirected_edges(30, 110, seed=13)
+        expected = brute_force_triangles(edges)
+        from repro.storage import ORDERINGS
+        for scheme in ORDERINGS:
+            db = Database(ordering=scheme)
+            db.load_graph("Edge", edges, prune=True)
+            got = db.query("T(;w:long) :- Edge(x,y),Edge(y,z),"
+                           "Edge(x,z); w=<<COUNT(*)>>.").scalar
+            assert got == expected, scheme
+
+
+class TestLayoutInvariance:
+    @pytest.mark.parametrize("level", ["relation", "set", "block",
+                                       "uint_only", "bitset_only"])
+    def test_results_independent_of_layout_level(self, level):
+        edges = random_undirected_edges(25, 100, seed=3)
+        db = fresh_db(edges, prune=True, layout_level=level)
+        got = db.query("T(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); "
+                       "w=<<COUNT(*)>>.").scalar
+        assert got == brute_force_triangles(edges)
+
+
+@given(seed=st.integers(0, 40), n_nodes=st.integers(5, 22),
+       n_edges=st.integers(4, 60))
+@settings(max_examples=25, deadline=None)
+def test_property_triangles_equal_brute_force(seed, n_nodes, n_edges):
+    edges = random_undirected_edges(n_nodes, n_edges, seed=seed)
+    if not edges:
+        return
+    db = fresh_db(edges, prune=True)
+    got = db.query("T(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); "
+                   "w=<<COUNT(*)>>.").scalar
+    assert got == brute_force_triangles(edges)
+
+
+@given(seed=st.integers(0, 20))
+@settings(max_examples=12, deadline=None)
+def test_property_sssp_equals_dijkstra(seed):
+    from repro.baselines import dijkstra_reference
+    from repro.graphs import highest_degree_node, run_sssp_on_edges
+
+    edges = random_undirected_edges(20, 40, seed=seed)
+    if not edges:
+        return
+    both = undirect(np.asarray(edges))
+    source = highest_degree_node(both)
+    got = run_sssp_on_edges(edges, source)
+    expected = dijkstra_reference(both, source,
+                                  n_nodes=int(both.max()) + 1)
+    assert got == expected

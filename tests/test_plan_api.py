@@ -1,0 +1,57 @@
+"""Tests for the compile-only planning API (Database.plan / explain)."""
+
+import pytest
+
+from repro import Database
+from repro.engine import PhysicalPlan
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.load_graph("Edge", [(0, 1), (1, 2), (0, 2), (2, 3)])
+    return database
+
+
+class TestPlanAPI:
+    def test_plan_returns_physical_plan_without_executing(self, db):
+        before = db.counter.total_ops
+        plan = db.plan("T(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); "
+                       "w=<<COUNT(*)>>.")
+        assert isinstance(plan, PhysicalPlan)
+        assert db.counter.total_ops == before  # nothing ran
+        assert "T" not in db.catalog           # nothing installed
+
+    def test_plan_width_and_bags(self, db):
+        plan = db.plan(
+            "B(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z),Edge(x,p),"
+            "Edge(p,q),Edge(q,r),Edge(p,r); w=<<COUNT(*)>>.")
+        assert plan.ghd.width() == pytest.approx(1.5)
+        assert len(plan.bags) == 3
+        assert plan.aggregate_mode
+
+    def test_plan_respects_ablation(self, db):
+        flat = Database(use_ghd=False)
+        flat.load_graph("Edge", [(0, 1), (1, 2), (0, 2), (2, 3)])
+        plan = flat.plan(
+            "B(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z),Edge(x,p),"
+            "Edge(p,q),Edge(q,r),Edge(p,r); w=<<COUNT(*)>>.")
+        assert len(plan.bags) == 1
+        assert plan.ghd.width() == pytest.approx(3.0)
+
+    def test_explain_is_compile_only(self, db):
+        text = db.explain("Q(x,y) :- Edge(x,y),Edge(y,q).")
+        assert "GHD" in text and "physical bags" in text
+        assert "Q" not in db.catalog
+
+    def test_plan_of_materialize_rule(self, db):
+        plan = db.plan("Q(x,z) :- Edge(x,y),Edge(y,z).")
+        assert not plan.aggregate_mode
+        # Each bag retains its join keys for the (potential) top-down.
+        for bag in plan.bags:
+            assert set(bag.out_attrs) <= set(bag.chi)
+
+    def test_plan_unknown_relation_raises(self, db):
+        from repro import UnknownRelationError
+        with pytest.raises(UnknownRelationError):
+            db.plan("Q(x) :- Missing(x,y).")

@@ -1,0 +1,78 @@
+"""Tests for the benchmark report renderer (benchmarks/report.py)."""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+REPORT_PATH = (pathlib.Path(__file__).resolve().parent.parent
+               / "benchmarks" / "report.py")
+spec = importlib.util.spec_from_file_location("bench_report", REPORT_PATH)
+report = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(report)
+
+
+@pytest.fixture
+def sample_data():
+    def bench(name, group, mean, **extra):
+        return {"name": name, "group": group,
+                "stats": {"mean": mean}, "extra_info": extra}
+
+    return {"benchmarks": [
+        bench("test_emptyheaded[gp]", "table05:gp", 0.010,
+              model_ops=100),
+        bench("test_scalar[gp]", "table05:gp", 0.002, model_ops=900),
+        bench("test_thing[x]", "fig10:ratio=8", 0.001),
+    ]}
+
+
+class TestRender:
+    def test_groups_and_tables(self, sample_data):
+        text = report.render(sample_data)
+        assert "### table05" in text
+        assert "### fig10" in text
+        assert "**table05:gp**" in text
+        assert "| engine/variant | wall (ms) | rel | model_ops |" in text
+
+    def test_rows_sorted_by_wall_time(self, sample_data):
+        text = report.render(sample_data)
+        lines = [l for l in text.splitlines() if l.startswith("| ")]
+        scalar_row = next(i for i, l in enumerate(lines)
+                          if "scalar[gp]" in l)
+        eh_row = next(i for i, l in enumerate(lines)
+                      if "emptyheaded[gp]" in l)
+        assert scalar_row < eh_row
+
+    def test_relative_column(self, sample_data):
+        text = report.render(sample_data)
+        assert "1.00x" in text
+        assert "5.00x" in text  # 10ms vs 2ms
+
+    def test_expectations_prefixed(self, sample_data):
+        text = report.render(sample_data)
+        assert "Paper Table 5" in text
+        assert "Paper Figure 10" in text
+
+    def test_every_experiment_has_an_expectation(self):
+        """Each bench module's group prefix must have commentary."""
+        bench_dir = REPORT_PATH.parent
+        prefixes = set()
+        for module in bench_dir.glob("bench_*.py"):
+            for line in module.read_text().splitlines():
+                if "benchmark.group = " in line and '"' in line:
+                    literal = line.split('"')[1]
+                    prefixes.add(literal.split(":")[0])
+        missing = {p for p in prefixes
+                   if p and p not in report.EXPECTATIONS}
+        assert not missing, missing
+
+    def test_main_requires_argument(self, capsys):
+        assert report.main(["report.py"]) == 2
+
+    def test_main_renders_file(self, tmp_path, sample_data, capsys):
+        path = tmp_path / "results.json"
+        path.write_text(json.dumps(sample_data))
+        assert report.main(["report.py", str(path)]) == 0
+        assert "table05" in capsys.readouterr().out
