@@ -277,6 +277,17 @@ class Database:
         """The engine's simulated-SIMD op counter."""
         return self.config.counter
 
+    @property
+    def last_stats(self):
+        """Execution statistics of the latest query that engaged the
+        parallel executor (``config.parallel_workers > 1`` or
+        :func:`~repro.engine.parallel.parallel_count`); ``None`` after a
+        purely serial query.  See
+        :class:`~repro.engine.stats.ExecStats` for the recorded
+        per-morsel timings, steal counts, and cache hit rates.
+        """
+        return self._executor.last_stats
+
     def _head_dictionaries(self, rule):
         """Column dictionaries for the head, looked up from the body
         relations' columns, so results decode back to the user's original

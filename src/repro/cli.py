@@ -40,7 +40,9 @@ def _load_database(args):
     db = Database(ordering=args.ordering,
                   layout_level=args.layout_level,
                   use_ghd=not args.no_ghd,
-                  simd=not args.no_simd)
+                  simd=not args.no_simd,
+                  parallel_workers=args.workers,
+                  parallel_strategy=args.parallel_strategy)
     if args.dataset:
         edges = load_dataset(args.dataset)
     elif args.edges:
@@ -68,6 +70,13 @@ def _add_loader_flags(parser):
                         help="force single-node GHD plans")
     parser.add_argument("--no-simd", action="store_true",
                         help="scalar intersection kernels")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="forked worker processes for the largest "
+                             "bag (default: 1 = serial)")
+    parser.add_argument("--parallel-strategy", default="steal",
+                        choices=["steal", "static"],
+                        help="morsel scheduling: work stealing (default) "
+                             "or one static chunk per worker")
 
 
 def cmd_query(args):
@@ -91,6 +100,8 @@ def cmd_query(args):
     print("-- %d tuple(s), %.3fs, %d simulated ops"
           % (result.count, elapsed, db.counter.total_ops),
           file=sys.stderr)
+    if db.last_stats is not None:
+        print(db.last_stats.describe(), file=sys.stderr)
     return 0
 
 
@@ -123,6 +134,8 @@ def cmd_bench(args):
         ("-R (uint only)", {"layout_level": "uint_only"}),
         ("-S (no simd)", {"simd": False}),
         ("-GHD (single bag)", {"use_ghd": False}),
+        ("4 workers (steal)", {"parallel_workers": 4,
+                               "parallel_threshold": 0}),
     ]
     edges = load_dataset(args.dataset)
     print("triangle counting on %s (%d edges, pruned):"

@@ -4,18 +4,20 @@ from .config import EngineConfig
 from .executor import (RuleExecutor, TrieCache, eval_expression,
                        normalize_atom)
 from .generic_join import BagEvaluator, BagInput, BagResult, evaluate_bag
-from .parallel import parallel_count
+from .parallel import evaluate_bag_parallel, parallel_count
 from .plan import BagPlan, PhysicalPlan
 from .recursion import execute_recursive
 from .semiring import (COUNT, EXISTS, MAX, MIN, SUM, Semiring, is_monotone,
                        semiring_for)
+from .stats import ExecStats, MorselStat
 
 __all__ = [
     "EngineConfig",
     "RuleExecutor", "TrieCache", "eval_expression", "normalize_atom",
     "BagEvaluator", "BagInput", "BagResult", "evaluate_bag",
     "BagPlan", "PhysicalPlan",
-    "parallel_count",
+    "evaluate_bag_parallel", "parallel_count",
+    "ExecStats", "MorselStat",
     "execute_recursive",
     "COUNT", "EXISTS", "MAX", "MIN", "SUM", "Semiring", "is_monotone",
     "semiring_for",

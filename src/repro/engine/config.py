@@ -42,6 +42,23 @@ class EngineConfig:
     uint_algorithm:
         Force one uint∩uint kernel by name (``None`` = adaptive
         dispatch); used by the micro-benchmarks.
+    parallel_workers:
+        Forked worker processes for the generic join's outermost loop
+        (the paper runs every benchmark on 48 threads).  ``1`` (default)
+        keeps everything in-process; ``> 1`` makes ``Database.query``
+        route the largest bag of every plan through the skew-aware
+        work-stealing executor in ``repro.engine.parallel``.
+    parallel_threshold:
+        Minimum number of level-0 candidate values before forking is
+        worth the setup cost; smaller bags run serially even when
+        ``parallel_workers > 1``.
+    parallel_strategy:
+        ``"steal"`` (default) drains cost-weighted morsels from a shared
+        queue; ``"static"`` reproduces the one-chunk-per-worker
+        partitioning the prototype used, kept for the skew benchmarks.
+    parallel_morsels_per_worker:
+        Target morsel count per worker under ``"steal"``; more morsels
+        mean finer-grained stealing at slightly higher queue overhead.
     counter:
         Simulated-SIMD op counter every kernel charges into.
     """
@@ -54,6 +71,10 @@ class EngineConfig:
     eliminate_redundant_bags: bool = True
     skip_top_down: bool = True
     uint_algorithm: Optional[str] = None
+    parallel_workers: int = 1
+    parallel_threshold: int = 64
+    parallel_strategy: str = "steal"
+    parallel_morsels_per_worker: int = 8
     counter: OpCounter = field(default_factory=OpCounter)
 
     def ablated(self, **changes):

@@ -44,10 +44,24 @@ class TrieCache:
     orders of every edge relation up front; we build them on first use
     and keep them).  Identity uses a uid attached to each relation, so
     replacing a relation (recursion) naturally invalidates.
+
+    The cache doubles as the parallel engine's *process-shared read
+    path*: every trie a query needs is built here, in the parent, before
+    any worker forks — children then read the structures copy-on-write
+    and never build tries themselves.  On top of the tries it memoizes
+    level-0 intersections (keyed by the participating sets' identities),
+    so repeated queries over the same relations skip the outermost
+    intersection too.  Hit/miss counters feed
+    :class:`~repro.engine.stats.ExecStats`.
     """
 
     def __init__(self):
         self._tries = {}
+        self._level0 = {}
+        self.hits = 0
+        self.misses = 0
+        self.level0_hits = 0
+        self.level0_misses = 0
 
     @staticmethod
     def _uid(relation):
@@ -62,19 +76,64 @@ class TrieCache:
         key = (self._uid(relation), tuple(key_order), layout_level)
         trie = self._tries.get(key)
         if trie is None:
+            self.misses += 1
             trie = Trie(relation, key_order=key_order,
                         optimizer=SetOptimizer(layout_level))
+            trie._cache_owned = True
             self._tries[key] = trie
+        else:
+            self.hits += 1
         return trie
 
+    def level0_intersection(self, sets, config):
+        """Memoized intersection of trie root sets, as a sorted array.
+
+        ``sets`` must be root sets of *cache-owned* tries (the memo
+        keeps strong references, so their identities stay valid for the
+        cache's lifetime).  Keyed by set identities plus the config
+        switches that change the result-independent charging — results
+        are identical across algorithms, so only identities matter for
+        correctness, but keeping the switches in the key makes op
+        accounting reproducible per configuration.
+        """
+        from ..sets.intersect import intersect_many
+        key = (tuple(sorted(id(s) for s in sets)),
+               config.uint_algorithm, config.adaptive_algorithms,
+               config.simd)
+        entry = self._level0.get(key)
+        if entry is not None:
+            kept_sets, values = entry
+            self.level0_hits += 1
+            return values
+        self.level0_misses += 1
+        if len(sets) == 1:
+            values = sets[0].to_array()
+        else:
+            values = intersect_many(
+                sets, counter=config.counter,
+                algorithm=config.uint_algorithm,
+                adaptive=config.adaptive_algorithms,
+                simd=config.simd).to_array()
+        self._level0[key] = (tuple(sets), values)
+        return values
+
     def invalidate(self, relation):
-        """Drop every cached trie of ``relation``."""
+        """Drop every cached trie (and level-0 memo entry) of
+        ``relation``."""
         uid = getattr(relation, "_trie_uid", None)
         if uid is None:
             return
         stale = [k for k in self._tries if k[0] == uid]
+        dropped_sets = set()
         for key in stale:
-            del self._tries[key]
+            trie = self._tries.pop(key)
+            node = trie.root
+            dropped_sets.add(id(node.set))
+        if dropped_sets:
+            stale_memo = [k for k in self._level0
+                          if dropped_sets & set(k[0])]
+            for key in stale_memo:
+                del self._level0[key]
 
     def __len__(self):
         return len(self._tries)
@@ -200,6 +259,8 @@ class RuleExecutor:
         self.cache = trie_cache if trie_cache is not None else TrieCache()
         self.env = env if env is not None else {}
         self.last_plan = None  # PhysicalPlan of the latest execution
+        self.last_stats = None  # ExecStats of the latest parallel run
+        self._parallel_node = None  # id() of the bag chosen for forking
 
     # -- public ---------------------------------------------------------------
 
@@ -209,6 +270,7 @@ class RuleExecutor:
         The result carries the head's columns in head-variable order and,
         for aggregation rules, an annotation column.
         """
+        self.last_stats = None
         atoms = [normalize_atom(atom, self.catalog) for atom in rule.body]
         guards = [a for a in atoms if not a.variables]
         atoms = [a for a in atoms if a.variables]
@@ -335,6 +397,19 @@ class RuleExecutor:
         global_order = global_attribute_order(ghd, selected_vars,
                                               rule.head_vars)
         semiring = semiring_for(agg.op) if aggregate_mode else EXISTS
+        # Multi-bag parallelism: fork only the largest bag (it dominates
+        # the runtime; the rest evaluate serially in the parent).
+        self._parallel_node = None
+        cache_marks = None
+        if self.config.parallel_workers > 1:
+            from .stats import ExecStats
+            self._parallel_node = _largest_bag_node(ghd, atoms)
+            self.last_stats = ExecStats(
+                strategy=self.config.parallel_strategy,
+                workers=self.config.parallel_workers)
+            cache_marks = (self.cache.hits, self.cache.misses,
+                           self.cache.level0_hits,
+                           self.cache.level0_misses)
         parents = ghd.parent_map()
         head = frozenset(rule.head_vars)
         retained = {}
@@ -378,6 +453,8 @@ class RuleExecutor:
                 retained[id(node)] = reused
                 signatures[id(node)] = signature
                 continue
+            bag_plan.parallelized = self._parallel_node is not None \
+                and id(node) == self._parallel_node
             result = self._evaluate_bag(node, atoms, out_attrs,
                                         global_order, semiring,
                                         aggregate_mode, retained,
@@ -385,6 +462,14 @@ class RuleExecutor:
             retained[id(node)] = result
             signatures[id(node)] = signature
             memo[signature] = (result, canonical_out)
+        if cache_marks is not None:
+            hits0, misses0, l0_hits0, l0_misses0 = cache_marks
+            self.last_stats.trie_cache_hits = self.cache.hits - hits0
+            self.last_stats.trie_cache_misses = self.cache.misses - misses0
+            self.last_stats.level0_cache_hits = \
+                self.cache.level0_hits - l0_hits0
+            self.last_stats.level0_cache_misses = \
+                self.cache.level0_misses - l0_misses0
         root_result = retained[id(ghd.root)]
         if aggregate_mode:
             return self._finish_aggregate(rule, root_result)
@@ -440,8 +525,15 @@ class RuleExecutor:
             return BagResult(out_attrs,
                              np.empty((0, out_count), dtype=np.uint32),
                              annotations=np.empty(0), scalar=semiring.zero)
-        result = evaluate_bag(eval_order, out_count, inputs, semiring,
-                              self.config)
+        if self._parallel_node is not None \
+                and id(node) == self._parallel_node:
+            from .parallel import evaluate_bag_parallel
+            result = evaluate_bag_parallel(
+                eval_order, out_count, inputs, semiring, self.config,
+                cache=self.cache, stats=self.last_stats)
+        else:
+            result = evaluate_bag(eval_order, out_count, inputs, semiring,
+                                  self.config)
         if aggregate_mode and scalar_factor != 1.0:
             if result.scalar is not None:
                 result.scalar *= scalar_factor
@@ -590,6 +682,19 @@ def relation_columns(relation):
     """Attribute names attached to a passed-up relation."""
     return list(getattr(relation, "attr_names",
                         [str(i) for i in range(relation.arity)]))
+
+
+def _largest_bag_node(ghd, atoms):
+    """``id()`` of the GHD node with the most input tuples — the bag
+    worth forking for (everything else stays serial in the parent)."""
+    best = None
+    best_size = -1
+    for node in ghd.nodes_bottom_up():
+        size = sum(atoms[edge.index].relation.cardinality
+                   for edge in node.edges)
+        if size > best_size:
+            best, best_size = node, size
+    return id(best) if best is not None else None
 
 
 def _remap_memoized(entry, canonical_out, out_attrs):

@@ -127,21 +127,33 @@ class BagEvaluator:
 
     def run(self):
         """Evaluate the bag and return a :class:`BagResult`."""
-        if any(inp.trie.cardinality == 0 for inp in self.inputs):
-            return self._empty_result()
-        if self.restrict_level0 is None:
-            fast = self._try_identity_scan()
-            if fast is not None:
-                return fast
-            fast = self._try_vectorized_two_level()
-            if fast is not None:
-                return fast
+        fast = self.try_fast_paths()
+        if fast is not None:
+            return fast
         if self.out_count == 0:
             scalar, _ = self._fold(0, 1.0)
             return BagResult((), np.empty((0, 0), dtype=np.uint32),
                              scalar=scalar)
         self._emit(0, 1.0)
         return self._assemble()
+
+    def try_fast_paths(self):
+        """Probe the serial short-circuits without entering the loop nest.
+
+        Returns a finished :class:`BagResult` when an input is empty or a
+        vectorized whole-bag path applies, else ``None``.  The parallel
+        driver calls this before morselizing — the fast paths are already
+        cheaper than any fork, and they do not compose with
+        ``restrict_level0`` partitioning.
+        """
+        if any(inp.trie.cardinality == 0 for inp in self.inputs):
+            return self._empty_result()
+        if self.restrict_level0 is not None:
+            return None
+        fast = self._try_identity_scan()
+        if fast is not None:
+            return fast
+        return self._try_vectorized_two_level()
 
     # -- identity scan fast path ----------------------------------------------
 

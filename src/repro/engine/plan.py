@@ -20,15 +20,17 @@ class BagPlan:
     inputs: List[str] = field(default_factory=list)
     width: float = 0.0
     reused_from_signature: bool = False
+    parallelized: bool = False
 
     def describe(self):
         """One-line rendering for explain output."""
         reuse = "  [reused identical bag result]" \
             if self.reused_from_signature else ""
-        return ("bag chi=(%s) eval=(%s) out=(%s) width=%.2f inputs=[%s]%s"
+        parallel = "  [parallel outer loop]" if self.parallelized else ""
+        return ("bag chi=(%s) eval=(%s) out=(%s) width=%.2f inputs=[%s]%s%s"
                 % (",".join(self.chi), ",".join(self.eval_order),
                    ",".join(self.out_attrs), self.width,
-                   ", ".join(self.inputs), reuse))
+                   ", ".join(self.inputs), reuse, parallel))
 
 
 @dataclass

@@ -1,0 +1,282 @@
+"""Tests for the skew-aware work-stealing parallel executor.
+
+Covers the parity matrix the parallel path must honor (workers=1 vs
+workers=4, uniform vs power-law inputs, steal vs static strategies,
+aggregate vs materializing heads), the execution-stats surface, the
+morsel builder's skew handling, and the ``_SHARED`` fork-state
+regression.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Database, ExecutionError
+from repro.engine import parallel
+from repro.engine.parallel import (build_morsels, estimate_morsel_costs,
+                                   parallel_count)
+from repro.graphs import chung_lu_graph, uniform_graph
+
+TRIANGLES = ("T(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); "
+             "w=<<COUNT(*)>>.")
+FOUR_CLIQUE = ("K(;w:long) :- Edge(x,y),Edge(x,z),Edge(x,u),"
+               "Edge(y,z),Edge(y,u),Edge(z,u); w=<<COUNT(*)>>.")
+TRIANGLE_LIST = "Q(x,y,z) :- Edge(x,y),Edge(y,z),Edge(x,z)."
+PER_VERTEX = ("D(x;c:long) :- Edge(x,y),Edge(x,z),Edge(y,z); "
+              "c=<<COUNT(*)>>.")
+
+UNIFORM = [tuple(e) for e in uniform_graph(150, 1000, seed=11)]
+POWER_LAW = [tuple(e) for e in chung_lu_graph(300, 2400, exponent=1.7,
+                                              seed=7)]
+
+needs_fork = pytest.mark.skipif(not parallel._can_fork(),
+                                reason="platform cannot fork")
+
+
+def make_db(edges, **overrides):
+    db = Database(**overrides)
+    db.load_graph("Edge", edges, prune=True)
+    return db
+
+
+@pytest.fixture(scope="module", params=["uniform", "powerlaw"])
+def edge_set(request):
+    return UNIFORM if request.param == "uniform" else POWER_LAW
+
+
+@pytest.fixture(scope="module")
+def serial_db(edge_set):
+    return make_db(edge_set)
+
+
+@pytest.fixture(scope="module", params=["steal", "static"])
+def parallel_db(request, edge_set):
+    return make_db(edge_set, parallel_workers=4, parallel_threshold=4,
+                   parallel_strategy=request.param)
+
+
+class TestParity:
+    """workers=1 and workers=4 must agree bit-for-bit."""
+
+    def test_triangle_count(self, serial_db, parallel_db):
+        assert parallel_db.query(TRIANGLES).scalar \
+            == serial_db.query(TRIANGLES).scalar
+
+    def test_four_clique(self, serial_db, parallel_db):
+        assert parallel_db.query(FOUR_CLIQUE).scalar \
+            == serial_db.query(FOUR_CLIQUE).scalar
+
+    def test_materializing_head(self, serial_db, parallel_db):
+        expected = serial_db.query(TRIANGLE_LIST)
+        got = parallel_db.query(TRIANGLE_LIST)
+        assert got.count == expected.count
+        assert sorted(got.tuples()) == sorted(expected.tuples())
+
+    def test_materializing_head_row_order(self, serial_db, parallel_db):
+        """Concatenating morsels in candidate order reproduces the
+        serial evaluator's row order exactly, not just as a set."""
+        expected = serial_db.query(TRIANGLE_LIST)
+        got = parallel_db.query(TRIANGLE_LIST)
+        assert np.array_equal(got.relation.data, expected.relation.data)
+
+    def test_keyed_aggregate_head(self, serial_db, parallel_db):
+        assert parallel_db.query(PER_VERTEX).to_dict() \
+            == serial_db.query(PER_VERTEX).to_dict()
+
+    @pytest.mark.parametrize("op", ["SUM", "MIN", "MAX"])
+    def test_annotated_aggregates(self, op, edge_set):
+        annotated = [(int(a), int(b)) for a, b in edge_set[:400]]
+        weights = [float((i * 3) % 17 + 1) for i in range(len(annotated))]
+        query = "S(;w:float) :- W(a,b); w=<<%s(*)>>." % op
+        results = []
+        for workers in (1, 4):
+            db = Database(parallel_workers=workers, parallel_threshold=4)
+            db.add_relation("W", annotated, annotations=weights,
+                            combine="max")
+            results.append(db.query(query).scalar)
+        assert results[0] == results[1]
+
+    def test_multi_bag_plan(self, serial_db, parallel_db):
+        query = ("B(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z),"
+                 "Edge(x,p),Edge(p,q),Edge(q,r),Edge(p,r); "
+                 "w=<<COUNT(*)>>.")
+        assert parallel_db.query(query).scalar \
+            == serial_db.query(query).scalar
+
+
+class TestStats:
+    def test_last_stats_populated(self, parallel_db):
+        parallel_db.query(TRIANGLES)
+        stats = parallel_db.last_stats
+        assert stats is not None
+        assert stats.n_morsels >= 1
+        assert all(m.seconds >= 0.0 for m in stats.morsels)
+        assert all(m.size >= 1 for m in stats.morsels)
+        assert stats.busy_ratio() >= 1.0
+        assert stats.morsel_time_ratio() >= 1.0
+        assert stats.steals >= 0
+        assert "morsels" in stats.describe()
+
+    def test_serial_query_leaves_no_stats(self, serial_db):
+        serial_db.query(TRIANGLES)
+        assert serial_db.last_stats is None
+
+    def test_level0_cache_hits_on_repeat(self):
+        db = make_db(POWER_LAW, parallel_workers=2, parallel_threshold=4)
+        db.query(TRIANGLES)
+        first = db.last_stats
+        db.query(TRIANGLES)
+        second = db.last_stats
+        assert first.level0_cache_misses >= 1
+        assert second.level0_cache_hits >= 1
+        assert second.level0_cache_rate() > 0.0
+
+    def test_worker_lane_ops_recorded(self, parallel_db):
+        parallel_db.query(TRIANGLES)
+        stats = parallel_db.last_stats
+        assert sum(stats.worker_ops.values()) > 0
+
+    def test_executed_plan_marks_parallel_bag(self):
+        db = make_db(POWER_LAW, parallel_workers=2, parallel_threshold=4)
+        db.query(TRIANGLES)
+        executed = db._executor.last_plan
+        assert any(bag.parallelized for bag in executed.bags)
+
+
+class TestMorselBuilder:
+    def _degree_inputs(self, edges):
+        db = make_db(edges)
+        db.query(TRIANGLES)  # warm tries through the cache
+        cache = db._trie_cache
+        relation = db.relation("Edge")
+        trie = cache.get(relation, (0, 1), db.config.layout_level)
+        return trie
+
+    def test_hub_gets_own_morsel(self):
+        """A candidate whose cost reaches the target must not share."""
+        candidates = np.arange(100, dtype=np.uint32)
+        costs = np.ones(100)
+        costs[40] = 1000.0  # hub
+        morsels = build_morsels(candidates, costs, workers=4,
+                                morsels_per_worker=4)
+        hub_morsels = [m for m in morsels if 40 in m.values]
+        assert len(hub_morsels) == 1
+        assert hub_morsels[0].values.size == 1
+
+    def test_partition_is_exact(self):
+        candidates = np.arange(512, dtype=np.uint32)
+        costs = np.ones(512)
+        morsels = build_morsels(candidates, costs, workers=4,
+                                morsels_per_worker=8)
+        rebuilt = np.concatenate([m.values for m in morsels])
+        assert np.array_equal(rebuilt, candidates)
+        assert len(morsels) >= 16
+
+    def test_costs_track_degree(self):
+        trie = self._degree_inputs(POWER_LAW)
+        from repro.engine.generic_join import BagInput
+        bag_input = BagInput(trie, ("x", "y"))
+        candidates = trie.root.set.to_array()
+        costs = estimate_morsel_costs(candidates, [bag_input], "x")
+        degrees = np.fromiter(
+            (child.set.cardinality for child in trie.root.children),
+            dtype=np.float64)
+        assert np.array_equal(costs, degrees + 1.0)
+
+
+@needs_fork
+class TestSharedStateRegression:
+    """A worker exception must tear down cleanly: no stale ``_SHARED``
+    entries, no zombie workers, and the next query must succeed."""
+
+    def test_worker_failure_cleans_up(self, monkeypatch):
+        db = make_db(POWER_LAW, parallel_workers=2, parallel_threshold=4)
+
+        def boom(spec, values):
+            raise RuntimeError("injected morsel failure")
+
+        # Pretend the machine has spare cores so the steal scheduler
+        # actually forks (it refuses to oversubscribe a 1-CPU host).
+        monkeypatch.setattr(parallel, "_available_cpus", lambda: 4)
+        monkeypatch.setattr(parallel, "_evaluate_morsel", boom)
+        with pytest.raises(ExecutionError, match="injected"):
+            db.query(TRIANGLES)
+        assert parallel._SHARED == {}
+        monkeypatch.undo()
+        expected = make_db(POWER_LAW).query(TRIANGLES).scalar
+        assert db.query(TRIANGLES).scalar == expected
+        assert parallel._SHARED == {}
+
+
+class TestValueTypes:
+    """Satellite: ``parallel_count`` must not coerce every result
+    through ``float`` — the aggregate's value type survives."""
+
+    def test_count_type_matches_serial(self):
+        db = make_db(UNIFORM)
+        serial = db.query(TRIANGLES).scalar
+        got = parallel_count(db, TRIANGLES, workers=2)
+        assert got == serial
+        assert type(got) is type(serial)
+
+    def test_numpy_scalars_unwrapped(self):
+        db = make_db(UNIFORM)
+        got = parallel_count(db, TRIANGLES, workers=2)
+        assert not isinstance(got, np.generic)
+
+    @pytest.mark.parametrize("op", ["MIN", "MAX"])
+    def test_min_max_preserve_value(self, op):
+        db = Database(parallel_threshold=2)
+        pairs = [(i, (i * 5) % 23) for i in range(60)]
+        weights = [float((i * 7) % 19 + 1) for i in range(60)]
+        db.add_relation("W", pairs, annotations=weights, combine="max")
+        query = "S(;w:float) :- W(a,b); w=<<%s(*)>>." % op
+        serial = db.query(query).scalar
+        got = parallel_count(db, query, workers=3)
+        assert got == serial
+        assert isinstance(got, float)
+
+
+class TestStrategies:
+    def test_static_strategy_matches(self):
+        serial = make_db(POWER_LAW).query(TRIANGLES).scalar
+        db = make_db(POWER_LAW, parallel_workers=4, parallel_threshold=4,
+                     parallel_strategy="static")
+        assert db.query(TRIANGLES).scalar == serial
+        assert db.last_stats.strategy == "static"
+        assert db.last_stats.steals == 0
+
+    def test_steal_strategy_records_mode(self):
+        db = make_db(POWER_LAW, parallel_workers=4, parallel_threshold=4)
+        db.query(TRIANGLES)
+        assert db.last_stats.mode in ("forked", "inline")
+
+    def test_below_threshold_runs_serial(self):
+        db = make_db(UNIFORM, parallel_workers=4,
+                     parallel_threshold=10 ** 6)
+        serial = make_db(UNIFORM).query(TRIANGLES).scalar
+        assert db.query(TRIANGLES).scalar == serial
+        assert db.last_stats.mode == "serial"
+
+
+class TestCpuClamp:
+    """The steal scheduler never forks more workers than the host has
+    CPUs — morsel granularity is independent of worker count, so extra
+    forks on a saturated machine only add timesharing overhead."""
+
+    def test_single_cpu_runs_inline(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_available_cpus", lambda: 1)
+        serial = make_db(POWER_LAW).query(TRIANGLES).scalar
+        db = make_db(POWER_LAW, parallel_workers=4, parallel_threshold=4)
+        assert db.query(TRIANGLES).scalar == serial
+        assert db.last_stats.mode == "inline"
+        assert db.last_stats.workers == 1
+        assert db.last_stats.n_morsels > 1  # morsels survive the clamp
+
+    @needs_fork
+    def test_workers_clamped_to_cpus(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_available_cpus", lambda: 2)
+        serial = make_db(POWER_LAW).query(TRIANGLES).scalar
+        db = make_db(POWER_LAW, parallel_workers=4, parallel_threshold=4)
+        assert db.query(TRIANGLES).scalar == serial
+        assert db.last_stats.mode == "forked"
+        assert db.last_stats.workers == 2
