@@ -37,12 +37,17 @@ from .graphs.patterns import TRIANGLE_COUNT
 
 
 def _load_database(args):
+    overrides = dict(parallel_workers=args.workers,
+                     parallel_strategy=args.parallel_strategy)
+    if getattr(args, "execution_mode", None):
+        # Only override when the flag is given, so the
+        # REPRO_EXECUTION_MODE environment default still applies.
+        overrides["execution_mode"] = args.execution_mode
     db = Database(ordering=args.ordering,
                   layout_level=args.layout_level,
                   use_ghd=not args.no_ghd,
                   simd=not args.no_simd,
-                  parallel_workers=args.workers,
-                  parallel_strategy=args.parallel_strategy)
+                  **overrides)
     if args.dataset:
         edges = load_dataset(args.dataset)
     elif args.edges:
@@ -77,6 +82,11 @@ def _add_loader_flags(parser):
                         choices=["steal", "static"],
                         help="morsel scheduling: work stealing (default) "
                              "or one static chunk per worker")
+    parser.add_argument("--execution-mode", default=None,
+                        choices=["interpreted", "compiled"],
+                        help="bag execution: generic interpreter "
+                             "(default) or generated code with plan "
+                             "caching (also: REPRO_EXECUTION_MODE)")
 
 
 def cmd_query(args):

@@ -1,11 +1,17 @@
 """Execution engine: semirings, generic WCOJ, Yannakakis, recursion."""
 
+from .codegen import (GeneratedQuery, InputSpec, compile_count_rule,
+                      generate_bag_plan, generate_count_plan,
+                      trie_level_kind)
 from .config import EngineConfig
 from .executor import (RuleExecutor, TrieCache, eval_expression,
                        normalize_atom)
-from .generic_join import BagEvaluator, BagInput, BagResult, evaluate_bag
+from .generic_join import (BagEvaluator, BagInput, BagResult,
+                           assemble_chunks, evaluate_bag)
 from .parallel import evaluate_bag_parallel, parallel_count
 from .plan import BagPlan, PhysicalPlan
+from .plan_cache import (CompiledBag, CompiledRule, PlanCache,
+                         config_signature)
 from .recursion import execute_recursive
 from .semiring import (COUNT, EXISTS, MAX, MIN, SUM, Semiring, is_monotone,
                        semiring_for)
@@ -14,8 +20,12 @@ from .stats import ExecStats, MorselStat
 __all__ = [
     "EngineConfig",
     "RuleExecutor", "TrieCache", "eval_expression", "normalize_atom",
-    "BagEvaluator", "BagInput", "BagResult", "evaluate_bag",
+    "BagEvaluator", "BagInput", "BagResult", "assemble_chunks",
+    "evaluate_bag",
     "BagPlan", "PhysicalPlan",
+    "GeneratedQuery", "InputSpec", "compile_count_rule",
+    "generate_bag_plan", "generate_count_plan", "trie_level_kind",
+    "CompiledBag", "CompiledRule", "PlanCache", "config_signature",
     "evaluate_bag_parallel", "parallel_count",
     "ExecStats", "MorselStat",
     "execute_recursive",

@@ -5,10 +5,17 @@ the benchmark harness reproduces the "-R", "-RA", "-S", and "-GHD"
 columns of Tables 8, 11, and 13.
 """
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..sets.cost import OpCounter
+
+
+def _default_execution_mode():
+    """Default from ``REPRO_EXECUTION_MODE`` (CI runs the suite once
+    with it set to ``compiled``); ``interpreted`` otherwise."""
+    return os.environ.get("REPRO_EXECUTION_MODE", "interpreted")
 
 
 @dataclass
@@ -42,6 +49,13 @@ class EngineConfig:
     uint_algorithm:
         Force one uint∩uint kernel by name (``None`` = adaptive
         dispatch); used by the micro-benchmarks.
+    execution_mode:
+        ``"interpreted"`` (default) walks bags with the generic
+        :class:`~repro.engine.generic_join.BagEvaluator`;
+        ``"compiled"`` lowers every bag to generated Python source
+        (paper §3.3) cached across executions — repeated queries skip
+        parse, GHD search, and codegen entirely.  The default honors
+        the ``REPRO_EXECUTION_MODE`` environment variable.
     parallel_workers:
         Forked worker processes for the generic join's outermost loop
         (the paper runs every benchmark on 48 threads).  ``1`` (default)
@@ -71,6 +85,7 @@ class EngineConfig:
     eliminate_redundant_bags: bool = True
     skip_top_down: bool = True
     uint_algorithm: Optional[str] = None
+    execution_mode: str = field(default_factory=_default_execution_mode)
     parallel_workers: int = 1
     parallel_threshold: int = 64
     parallel_strategy: str = "steal"

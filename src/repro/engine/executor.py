@@ -30,9 +30,14 @@ from ..query.hypergraph import Hypergraph
 from ..sets.optimizer import SetOptimizer
 from ..storage.relation import Relation
 from ..storage.trie import Trie
-from .generic_join import BagInput, BagResult, evaluate_bag
+from .codegen import InputSpec, generate_bag_plan, static_level_kind, \
+    trie_level_kind
+from .generic_join import BagEvaluator, BagInput, BagResult, evaluate_bag
 from .plan import BagPlan, PhysicalPlan
+from .plan_cache import CompiledBag, CompiledRule, PlanCache, \
+    config_signature
 from .semiring import EXISTS, semiring_for
+from .stats import ExecStats
 
 _uid_counter = itertools.count()
 
@@ -253,11 +258,13 @@ def eval_expression(expr, agg_value, env):
 class RuleExecutor:
     """Executes one normalized, non-recursive rule against a catalog."""
 
-    def __init__(self, catalog, config, trie_cache=None, env=None):
+    def __init__(self, catalog, config, trie_cache=None, env=None,
+                 plan_cache=None):
         self.catalog = catalog
         self.config = config
         self.cache = trie_cache if trie_cache is not None else TrieCache()
         self.env = env if env is not None else {}
+        self.plans = plan_cache if plan_cache is not None else PlanCache()
         self.last_plan = None  # PhysicalPlan of the latest execution
         self.last_stats = None  # ExecStats of the latest parallel run
         self._parallel_node = None  # id() of the bag chosen for forking
@@ -270,6 +277,11 @@ class RuleExecutor:
         The result carries the head's columns in head-variable order and,
         for aggregation rules, an annotation column.
         """
+        mode = self.config.execution_mode
+        if mode == "compiled":
+            return self.execute_compiled_mode(rule)
+        if mode != "interpreted":
+            raise ExecutionError("unknown execution_mode %r" % (mode,))
         self.last_stats = None
         atoms = [normalize_atom(atom, self.catalog) for atom in rule.body]
         guards = [a for a in atoms if not a.variables]
@@ -567,6 +579,335 @@ class RuleExecutor:
         relation.attr_names = tuple(shared_attrs)
         return relation, False
 
+    # -- compiled execution ---------------------------------------------------
+
+    def execute_compiled_mode(self, rule, stats=None):
+        """Run ``rule`` through the code-generating pipeline (§3.3).
+
+        The rule is compiled at most once per catalog state: the plan
+        cache keys on the rule's normalized text plus the
+        result-affecting config switches, and revalidates by relation
+        identity, so a repeated query skips GHD search and codegen
+        entirely.  ``stats`` carries program-level counters when
+        ``Database.query`` drives a multi-rule program; a fresh
+        :class:`~repro.engine.stats.ExecStats` is created otherwise.
+        """
+        if stats is None:
+            stats = ExecStats(execution_mode="compiled",
+                              strategy=self.config.parallel_strategy,
+                              workers=self.config.parallel_workers)
+        self.last_stats = stats
+        key = (str(rule), config_signature(self.config))
+        compiled = self.plans.get_rule(key, self.catalog)
+        if compiled is None:
+            stats.plan_cache_misses += 1
+            compiled = self.compile_rule(rule, stats)
+            self.plans.put_rule(key, compiled)
+        else:
+            stats.plan_cache_hits += 1
+        return self.run_compiled(compiled, stats)
+
+    def compile_rule(self, rule, stats):
+        """Lower one non-recursive rule to a :class:`CompiledRule`.
+
+        Performs the same validation and plan choice as :meth:`execute`
+        but stops before touching any tuples beyond trie construction:
+        the result pins the catalog relations it read (``guards``) and
+        holds one generated function per GHD bag.
+        """
+        guards = tuple((atom.name, self.catalog.get(atom.name))
+                       for atom in rule.body)
+        atoms = [normalize_atom(atom, self.catalog) for atom in rule.body]
+        zero_ary = [a for a in atoms if not a.variables]
+        atoms = [a for a in atoms if a.variables]
+        if any(g.relation.cardinality == 0 for g in zero_ary):
+            return CompiledRule("empty", rule, guards)
+        body_vars = set()
+        for atom in atoms:
+            body_vars |= set(atom.variables)
+        missing = [v for v in rule.head_vars if v not in body_vars]
+        if missing:
+            raise PlanError("head variables %s unbound in the body"
+                            % missing)
+        aggregates = rule.aggregates
+        if len(aggregates) > 1:
+            raise PlanError("at most one aggregate per rule is supported")
+        agg = aggregates[0] if aggregates else None
+        if agg is not None and agg.op == "COUNT" and agg.arg != "*":
+            if agg.arg in rule.head_vars:
+                raise PlanError("COUNT argument %r is a head variable"
+                                % agg.arg)
+            pseudo_head = tuple(rule.head_vars) + (agg.arg,)
+            pseudo = _clone_rule(rule, head_vars=pseudo_head,
+                                 annotation=None, assignment=None)
+            inner = self._compile_plan(pseudo, atoms, None, guards, stats)
+            return CompiledRule("count_distinct", rule, guards,
+                                inner=inner)
+        return self._compile_plan(rule, atoms, agg, guards, stats)
+
+    def _compile_plan(self, rule, atoms, agg, guards, stats):
+        """Choose the GHD and lower every bag to generated code.
+
+        Structurally identical bags (same evaluation order, head split,
+        semiring, and per-input layouts) share one compiled source via
+        the plan cache's bag-source tier — codegen runs once per shape,
+        not once per bag.
+        """
+        aggregate_mode = rule.annotation is not None and agg is not None
+        stats.ghd_builds += 1
+        ghd, duplicates = self._choose_ghd(rule, atoms, aggregate_mode)
+        selected_vars = {v for a in atoms if a.is_selection
+                         for v in a.variables}
+        global_order = global_attribute_order(ghd, selected_vars,
+                                              rule.head_vars)
+        semiring = semiring_for(agg.op) if aggregate_mode else EXISTS
+        parents = ghd.parent_map()
+        head = frozenset(rule.head_vars)
+        bags = {}
+        signatures = {}
+        for node in ghd.nodes_bottom_up():
+            parent = parents[node]
+            shared = node.chi_set & parent.chi_set if parent is not None \
+                else frozenset()
+            keep = set(shared)
+            if not aggregate_mode:
+                for child in node.children:
+                    keep |= node.chi_set & child.chi_set
+            out_attrs = tuple(a for a in node.chi
+                              if a in head or a in keep)
+            eval_order = tuple(bag_evaluation_order(node.chi, out_attrs,
+                                                    global_order))
+            signature = bag_signature(
+                node, out_attrs,
+                [signatures[id(c)] for c in node.children],
+                aggregation_sig=(semiring.name, aggregate_mode))
+            signatures[id(node)] = signature
+            canonical_out = canonical_attr_indexes(node.edges, out_attrs)
+            specs = []
+            base_inputs = []
+            for edge in node.edges:
+                atom = atoms[edge.index]
+                ordered_vars = tuple(a for a in eval_order
+                                     if a in atom.variables)
+                key_order = tuple(atom.variables.index(a)
+                                  for a in ordered_vars)
+                trie = self.cache.get(atom.relation, key_order,
+                                      self.config.layout_level)
+                annotated = atom.annotated \
+                    and (id(node), edge.index) not in duplicates
+                kinds = tuple(
+                    trie_level_kind(trie, depth,
+                                    self.config.layout_level)
+                    for depth in range(len(ordered_vars)))
+                base_inputs.append(BagInput(trie, ordered_vars,
+                                            annotated=annotated,
+                                            name=atom.name))
+                specs.append(InputSpec(atom.name, ordered_vars,
+                                       annotated=annotated, kinds=kinds))
+            # Pass-up inputs have statically known shapes: the child's
+            # out attributes are fixed by the GHD, and aggregate-mode
+            # results always carry annotations (materialize-mode
+            # pass-ups are unannotated semijoin filters).
+            passups = []
+            for child in node.children:
+                child_out = bags[id(child)].out_attrs
+                if not child_out:
+                    continue
+                if aggregate_mode:
+                    up_attrs = list(child_out)
+                    annotated = True
+                else:
+                    up_attrs = [a for a in child_out
+                                if a in node.chi_set]
+                    annotated = False
+                ordered_vars = tuple(a for a in eval_order
+                                     if a in up_attrs)
+                key_order = tuple(up_attrs.index(a)
+                                  for a in ordered_vars)
+                passups.append((ordered_vars, key_order, annotated))
+                kind = static_level_kind(self.config.layout_level)
+                specs.append(InputSpec(
+                    "pass:" + ",".join(up_attrs), ordered_vars,
+                    annotated=annotated,
+                    kinds=(kind,) * len(ordered_vars)))
+            input_names = [atoms[e.index].name for e in node.edges] \
+                + ["pass:%s" % ",".join(sorted(c.chi_set & node.chi_set))
+                   for c in node.children]
+            bag_sig = ("bag", eval_order, len(out_attrs), semiring.name,
+                       tuple(spec.signature() for spec in specs))
+            generated = self.plans.get_bag_code(bag_sig)
+            if generated is None:
+                stats.codegen_runs += 1
+                generated = generate_bag_plan(eval_order,
+                                              len(out_attrs), specs,
+                                              semiring)
+                self.plans.put_bag_code(bag_sig, generated)
+            else:
+                stats.bag_codegen_reuses += 1
+            bags[id(node)] = CompiledBag(
+                eval_order, out_attrs, base_inputs, passups, generated,
+                chi=node.chi, width=node.width(),
+                input_names=input_names, signature=signature,
+                canonical_out=canonical_out)
+        return CompiledRule("plan", rule, guards, ghd=ghd,
+                            duplicates=duplicates,
+                            global_order=global_order, semiring=semiring,
+                            aggregate_mode=aggregate_mode, bags=bags)
+
+    def run_compiled(self, compiled, stats):
+        """Execute a :class:`CompiledRule` against the current catalog."""
+        if compiled.kind == "empty":
+            return self._empty_output(compiled.rule)
+        if compiled.kind == "count_distinct":
+            distinct = self._run_compiled_plan(compiled.inner, stats)
+            return _finish_count_distinct(compiled.rule, distinct,
+                                          dict(self.env))
+        return self._run_compiled_plan(compiled, stats)
+
+    def _run_compiled_plan(self, compiled, stats):
+        """Yannakakis over precompiled bags (mirrors
+        :meth:`_execute_plan` with all planning already done)."""
+        rule = compiled.rule
+        ghd = compiled.ghd
+        semiring = compiled.semiring
+        aggregate_mode = compiled.aggregate_mode
+        marks = (self.cache.hits, self.cache.misses,
+                 self.cache.level0_hits, self.cache.level0_misses)
+        # The parallel knobs deliberately stay out of the cache key, so
+        # the forked bag is re-chosen per run from the baked tries.
+        parallel_node = None
+        if self.config.parallel_workers > 1:
+            best_size = -1
+            for node in ghd.nodes_bottom_up():
+                size = sum(inp.trie.cardinality for inp
+                           in compiled.bags[id(node)].base_inputs)
+                if size > best_size:
+                    parallel_node, best_size = id(node), size
+        self._parallel_node = parallel_node
+        retained = {}
+        memo = {}
+        plan = PhysicalPlan(rule=rule, ghd=ghd,
+                            global_order=compiled.global_order,
+                            aggregate_mode=aggregate_mode)
+        self.last_plan = plan
+        for node in ghd.nodes_bottom_up():
+            cbag = compiled.bags[id(node)]
+            reused = None
+            if self.config.eliminate_redundant_bags \
+                    and cbag.signature in memo:
+                reused = _remap_memoized(memo[cbag.signature],
+                                         cbag.canonical_out,
+                                         cbag.out_attrs)
+            bag_plan = BagPlan(
+                chi=cbag.chi, eval_order=cbag.eval_order,
+                out_attrs=cbag.out_attrs,
+                inputs=list(cbag.input_names), width=cbag.width,
+                reused_from_signature=reused is not None)
+            plan.bags.append(bag_plan)
+            if reused is not None:
+                retained[id(node)] = reused
+                continue
+            bag_plan.parallelized = parallel_node is not None \
+                and id(node) == parallel_node
+            result = self._run_compiled_bag(node, cbag, semiring,
+                                            aggregate_mode, retained,
+                                            stats)
+            retained[id(node)] = result
+            memo[cbag.signature] = (result, cbag.canonical_out)
+        stats.trie_cache_hits += self.cache.hits - marks[0]
+        stats.trie_cache_misses += self.cache.misses - marks[1]
+        stats.level0_cache_hits += self.cache.level0_hits - marks[2]
+        stats.level0_cache_misses += self.cache.level0_misses - marks[3]
+        root_result = retained[id(ghd.root)]
+        if aggregate_mode:
+            return self._finish_aggregate(rule, root_result)
+        return self._finish_materialize(rule, ghd, retained, root_result)
+
+    def _run_compiled_bag(self, node, cbag, semiring, aggregate_mode,
+                          retained, stats):
+        """Evaluate one bag through its generated function.
+
+        Child pass-ups are built exactly as in :meth:`_evaluate_bag`;
+        should a pass-up's runtime shape ever disagree with the baked
+        spec, the reference interpreter evaluates the same inputs
+        instead (cannot happen with the current planner, but the guard
+        keeps the fallback airtight).
+        """
+        inputs = list(cbag.base_inputs)
+        tries = [bag_input.trie for bag_input in cbag.base_inputs]
+        scalar_factor = 1.0
+        dead = False
+        spec_ok = True
+        passups = iter(cbag.passups)
+        for child in node.children:
+            child_result = retained[id(child)]
+            if not child_result.out_attrs:
+                if aggregate_mode:
+                    scalar_factor *= child_result.scalar \
+                        if child_result.scalar is not None \
+                        else semiring.zero
+                elif not child_result.scalar:
+                    dead = True
+                continue
+            passed = self._pass_up(child_result, node.chi_set,
+                                   aggregate_mode, semiring)
+            if passed is None:
+                spec_ok = False
+                continue
+            relation, annotated = passed
+            spec = next(passups, None)
+            if spec is None:
+                spec_ok = False
+                cols = relation_columns(relation)
+                ordered_vars = tuple(a for a in cbag.eval_order
+                                     if a in cols)
+                key_order = tuple(cols.index(a) for a in ordered_vars)
+            else:
+                ordered_vars, key_order, spec_annotated = spec
+                if annotated != spec_annotated:
+                    spec_ok = False
+            trie = Trie(relation, key_order=key_order,
+                        optimizer=SetOptimizer(self.config.layout_level))
+            inputs.append(BagInput(trie, ordered_vars,
+                                   annotated=annotated,
+                                   name=relation.name))
+            tries.append(trie)
+        eval_order, out_count = cbag.eval_order, cbag.out_count
+        if dead:
+            result = BagResult(cbag.out_attrs,
+                               np.empty((0, out_count), dtype=np.uint32),
+                               annotations=np.empty(0),
+                               scalar=semiring.zero)
+        elif not spec_ok:
+            result = evaluate_bag(eval_order, out_count, inputs,
+                                  semiring, self.config)
+        elif self._parallel_node is not None \
+                and id(node) == self._parallel_node:
+            from .parallel import evaluate_bag_parallel
+            stats.compiled_bag_calls += 1
+            result = evaluate_bag_parallel(
+                eval_order, out_count, inputs, semiring, self.config,
+                cache=self.cache, stats=stats,
+                compiled=(cbag.generated, tries))
+        else:
+            # The interpreter's vectorized whole-bag shortcuts answer
+            # identically and are cheaper than any loop nest, so the
+            # compiled path keeps them as a pre-flight probe.
+            probe = BagEvaluator(eval_order, out_count, inputs, semiring,
+                                 self.config)
+            fast = probe.try_fast_paths()
+            if fast is not None:
+                result = fast
+            else:
+                stats.compiled_bag_calls += 1
+                result = cbag.generated(tries, self.config)
+        if aggregate_mode and scalar_factor != 1.0:
+            if result.scalar is not None:
+                result.scalar *= scalar_factor
+            if result.annotations is not None:
+                result.annotations = result.annotations * scalar_factor
+        return result
+
     # -- finalization ---------------------------------------------------------
 
     def _finish_aggregate(self, rule, root_result):
@@ -634,24 +975,7 @@ class RuleExecutor:
         pseudo = _clone_rule(rule, head_vars=pseudo_head, annotation=None,
                              assignment=None)
         distinct = self._execute_plan(pseudo, atoms, None)
-        env = dict(self.env)
-        if not rule.head_vars:
-            value = eval_expression(rule.assignment,
-                                    float(distinct.cardinality), env)
-            return Relation.scalar(rule.head_name, float(value))
-        keys = distinct.data[:, :-1]
-        order = np.lexsort(tuple(keys[:, c]
-                                 for c in range(keys.shape[1] - 1, -1, -1)))
-        keys = keys[order]
-        new_group = np.ones(keys.shape[0], dtype=bool)
-        new_group[1:] = np.any(keys[1:] != keys[:-1], axis=1)
-        group_ids = np.cumsum(new_group) - 1
-        counts = np.bincount(group_ids).astype(np.float64)
-        heads = keys[new_group]
-        values = eval_expression(rule.assignment, counts, env)
-        values = np.broadcast_to(np.asarray(values, dtype=np.float64),
-                                 (heads.shape[0],)).copy()
-        return Relation(rule.head_name, heads, values)
+        return _finish_count_distinct(rule, distinct, dict(self.env))
 
     def _empty_output(self, rule):
         if rule.annotation is not None and not rule.head_vars:
@@ -711,6 +1035,30 @@ def _remap_memoized(entry, canonical_out, out_attrs):
         stored.data.reshape(-1, len(columns))
     return BagResult(out_attrs, data, annotations=stored.annotations,
                      scalar=stored.scalar)
+
+
+def _finish_count_distinct(rule, distinct, env):
+    """Finalizer for ``<<COUNT(v)>>``: group the materialized pseudo
+    head (head attributes + the count argument) and count the distinct
+    bindings per group.  Shared by the interpreted and compiled paths.
+    """
+    if not rule.head_vars:
+        value = eval_expression(rule.assignment,
+                                float(distinct.cardinality), env)
+        return Relation.scalar(rule.head_name, float(value))
+    keys = distinct.data[:, :-1]
+    order = np.lexsort(tuple(keys[:, c]
+                             for c in range(keys.shape[1] - 1, -1, -1)))
+    keys = keys[order]
+    new_group = np.ones(keys.shape[0], dtype=bool)
+    new_group[1:] = np.any(keys[1:] != keys[:-1], axis=1)
+    group_ids = np.cumsum(new_group) - 1
+    counts = np.bincount(group_ids).astype(np.float64)
+    heads = keys[new_group]
+    values = eval_expression(rule.assignment, counts, env)
+    values = np.broadcast_to(np.asarray(values, dtype=np.float64),
+                             (heads.shape[0],)).copy()
+    return Relation(rule.head_name, heads, values)
 
 
 def _clone_rule(rule, **changes):

@@ -71,6 +71,50 @@ class BagResult:
                                              self.cardinality)
 
 
+def empty_bag_result(eval_order, out_count, semiring):
+    """The :class:`BagResult` of a bag with no bindings."""
+    if out_count == 0:
+        return BagResult((), np.empty((0, 0), dtype=np.uint32),
+                         scalar=semiring.zero)
+    return BagResult(tuple(eval_order)[:out_count],
+                     np.empty((0, out_count), dtype=np.uint32),
+                     annotations=np.empty(0, dtype=np.float64))
+
+
+def assemble_chunks(eval_order, out_count, chunks, semiring):
+    """Concatenate emission chunks into one :class:`BagResult`.
+
+    A chunk is ``(prefix_tuple, values_array, ann_array)``: either a
+    pure-leaf run (``values`` holds the last output column for one
+    prefix) or a boundary emission (``values`` empty, the prefix is a
+    complete row with one annotation).  Shared by the interpreting
+    :class:`BagEvaluator` and the generated code, which guarantees both
+    produce byte-identical result arrays for the same chunk stream.
+    """
+    out_attrs = tuple(eval_order)[:out_count]
+    if not chunks:
+        return empty_bag_result(eval_order, out_count, semiring)
+    rows = []
+    anns = []
+    for prefix, values, factors in chunks:
+        if values.shape[0]:
+            block = np.empty((values.shape[0], out_count),
+                             dtype=np.uint32)
+            for column, value in enumerate(prefix):
+                block[:, column] = value
+            block[:, out_count - 1] = values
+            rows.append(block)
+            anns.append(factors)
+        else:
+            rows.append(np.asarray(prefix,
+                                   dtype=np.uint32).reshape(1, -1))
+            anns.append(factors)
+    data = np.concatenate(rows) if rows \
+        else np.empty((0, out_count), dtype=np.uint32)
+    annotations = np.concatenate(anns) if anns else None
+    return BagResult(out_attrs, data, annotations=annotations)
+
+
 class BagEvaluator:
     """Runs Algorithm 1 for one bag.
 
@@ -275,12 +319,7 @@ class BagEvaluator:
     # -- helpers -------------------------------------------------------------
 
     def _empty_result(self):
-        if self.out_count == 0:
-            return BagResult((), np.empty((0, 0), dtype=np.uint32),
-                             scalar=self.semiring.zero)
-        return BagResult(self.order[:self.out_count],
-                         np.empty((0, self.out_count), dtype=np.uint32),
-                         annotations=np.empty(0, dtype=np.float64))
+        return empty_bag_result(self.order, self.out_count, self.semiring)
 
     def _level_sets(self, level):
         return [self._cursors[index].set
@@ -404,30 +443,8 @@ class BagEvaluator:
             self._undo(undo)
 
     def _assemble(self):
-        out_attrs = self.order[:self.out_count]
-        if not self._chunks:
-            return self._empty_result()
-        # A chunk either carries a trailing value array (pure leaf) or a
-        # complete prefix with one annotation (boundary emission).
-        rows = []
-        anns = []
-        for prefix, values, factors in self._chunks:
-            if values.shape[0]:
-                block = np.empty((values.shape[0], self.out_count),
-                                 dtype=np.uint32)
-                for column, value in enumerate(prefix):
-                    block[:, column] = value
-                block[:, self.out_count - 1] = values
-                rows.append(block)
-                anns.append(factors)
-            else:
-                rows.append(np.asarray(prefix,
-                                       dtype=np.uint32).reshape(1, -1))
-                anns.append(factors)
-        data = np.concatenate(rows) if rows \
-            else np.empty((0, self.out_count), dtype=np.uint32)
-        annotations = np.concatenate(anns) if anns else None
-        return BagResult(out_attrs, data, annotations=annotations)
+        return assemble_chunks(self.order, self.out_count, self._chunks,
+                               self.semiring)
 
 
 def evaluate_bag(eval_order, out_count, inputs, semiring, config):

@@ -176,7 +176,17 @@ def _level0_candidates(inputs, order, config, cache=None):
 
 
 def _evaluate_morsel(spec, values):
-    """Evaluate the shared bag restricted to one morsel's values."""
+    """Evaluate the shared bag restricted to one morsel's values.
+
+    When the compiled pipeline supplies a generated function, the
+    morsel runs through it (its ``restrict`` argument is exactly this
+    hook); otherwise the interpreting evaluator handles the morsel.
+    """
+    compiled = spec.get("compiled")
+    if compiled is not None:
+        function, tries = compiled
+        return function(tries, spec["config"],
+                        restrict=UintSet(values))
     evaluator = BagEvaluator(
         spec["order"], spec["out_count"], spec["inputs"],
         spec["semiring"], spec["config"],
@@ -361,7 +371,8 @@ def _combine(partials, out_count, eval_order, semiring):
 
 def evaluate_bag_parallel(eval_order, out_count, inputs, semiring, config,
                           workers=None, strategy=None, threshold=None,
-                          morsels_per_worker=None, cache=None, stats=None):
+                          morsels_per_worker=None, cache=None, stats=None,
+                          compiled=None):
     """Drop-in replacement for
     :func:`~repro.engine.generic_join.evaluate_bag` that partitions the
     outermost loop across forked workers.
@@ -370,6 +381,12 @@ def evaluate_bag_parallel(eval_order, out_count, inputs, semiring, config,
     answers the bag outright, the candidate count is below
     ``threshold``, only one morsel remains, or ``workers <= 1``; the
     outcome is recorded in ``stats.mode`` either way.
+
+    ``compiled`` is an optional ``(generated, tries)`` pair from the
+    compiled pipeline: every morsel then runs the generated function
+    with its values as the level-0 ``restrict`` set.  Forked children
+    inherit the ``exec``-compiled function copy-on-write, so nothing is
+    pickled.
     """
     workers = config.parallel_workers if workers is None else workers
     strategy = config.parallel_strategy if strategy is None else strategy
@@ -384,10 +401,17 @@ def evaluate_bag_parallel(eval_order, out_count, inputs, semiring, config,
     if fast is not None:
         stats.mode = "fast-path"
         return fast
+
+    def run_serial():
+        if compiled is not None:
+            function, tries = compiled
+            return function(tries, config)
+        return probe.run()
+
     candidates = _level0_candidates(inputs, eval_order, config, cache)
     if workers <= 1 or candidates.size < max(threshold, 2):
         stats.mode = "serial"
-        return probe.run()
+        return run_serial()
     if strategy == "static":
         chunks = [chunk for chunk
                   in np.array_split(candidates, workers) if chunk.size]
@@ -402,7 +426,7 @@ def evaluate_bag_parallel(eval_order, out_count, inputs, semiring, config,
         schedule = sorted(morsels, key=lambda m: -m.cost)
     if len(schedule) <= 1:
         stats.mode = "serial"
-        return probe.run()
+        return run_serial()
     n_workers = min(workers, len(schedule))
     if strategy != "static":
         # Work stealing decouples worker count from partition count, so
@@ -415,7 +439,7 @@ def evaluate_bag_parallel(eval_order, out_count, inputs, semiring, config,
             morsel.home = position % n_workers
     spec = {"order": tuple(eval_order), "out_count": out_count,
             "inputs": list(inputs), "semiring": semiring,
-            "config": config,
+            "config": config, "compiled": compiled,
             "morsels": {m.index: m.values for m in schedule}}
     if n_workers > 1 and _can_fork():
         stats.mode = "forked"

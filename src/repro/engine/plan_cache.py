@@ -1,0 +1,176 @@
+"""Compiled-plan caching for the code-generating execution path.
+
+EmptyHeaded compiles a query once and amortizes the compilation over
+repeated executions; this module supplies the three cache tiers that
+make the compiled path's repeat cost approach the pure join work:
+
+* **program tier** — query text → parsed rule ASTs, so a repeated
+  ``Database.query`` call skips the parser entirely;
+* **rule tier** — rule text → :class:`CompiledRule` (GHD choice, global
+  order, per-bag generated functions, baked base tries), guarded by
+  catalog relation *identity* so replacing a relation (new load,
+  recursion round) transparently invalidates;
+* **bag-source tier** — normalized bag signature (attribute order +
+  head split + semiring + per-input layouts/annotations) → compiled
+  :class:`~repro.engine.codegen.GeneratedQuery`, so structurally
+  identical bags across different rules share one ``exec``.
+
+Every tier keys on :func:`config_signature` — the engine switches that
+change results or plan shape — so ablation configs never cross-hit.
+"""
+
+from .codegen import GeneratedQuery  # noqa: F401  (re-export for callers)
+
+#: Default per-tier entry cap; oldest entries evict first (dict order).
+MAX_ENTRIES = 256
+
+
+def config_signature(config):
+    """The :class:`~repro.engine.config.EngineConfig` switches a cached
+    plan depends on.  Anything that alters plan shape, kernel choice,
+    or result layout must appear here; the op counter and parallel
+    knobs (which change scheduling, not plans) must not."""
+    return (config.layout_level, config.adaptive_algorithms, config.simd,
+            config.use_ghd, config.push_selections,
+            config.eliminate_redundant_bags, config.skip_top_down,
+            config.uint_algorithm)
+
+
+class CompiledBag:
+    """One GHD bag lowered to a generated function plus its runtime
+    wiring: the baked base-relation tries (in spec order), the static
+    shape of every child pass-up input, and the bag-equivalence
+    signature the redundant-bag elimination memoizes on."""
+
+    __slots__ = ("eval_order", "out_attrs", "out_count", "base_inputs",
+                 "passups", "generated", "chi", "width", "input_names",
+                 "signature", "canonical_out")
+
+    def __init__(self, eval_order, out_attrs, base_inputs, passups,
+                 generated, chi=(), width=0.0, input_names=(),
+                 signature=None, canonical_out=()):
+        self.eval_order = tuple(eval_order)
+        self.out_attrs = tuple(out_attrs)
+        self.out_count = len(self.out_attrs)
+        #: BagInput list over cache-owned tries (base relations only).
+        self.base_inputs = list(base_inputs)
+        #: ``(ordered_vars, key_order, annotated)`` per pass-up child,
+        #: in child order, for children that pass a relation up.
+        self.passups = list(passups)
+        self.generated = generated
+        self.chi = tuple(chi)
+        self.width = width
+        self.input_names = list(input_names)
+        #: Structural signature (ghd.equivalence) for run-time reuse.
+        self.signature = signature
+        self.canonical_out = tuple(canonical_out)
+
+
+class CompiledRule:
+    """A rule compiled for repeated execution.
+
+    ``kind`` selects the runtime driver:
+
+    ``"plan"``
+        Normal GHD plan — ``bags`` maps ``id(node)`` to
+        :class:`CompiledBag`, walked bottom-up over ``ghd``.
+    ``"count_distinct"``
+        ``<<COUNT(v)>>`` rules — ``inner`` holds the compiled pseudo
+        materialization plan; the distinct-count finalizer runs on its
+        result.
+    ``"empty"``
+        A 0-ary guard atom was empty at compile time — the rule's
+        result is statically empty.
+
+    ``guards`` pins the catalog relations the compilation read; the
+    cache revalidates them by identity before reuse.
+    """
+
+    __slots__ = ("kind", "rule", "guards", "ghd", "duplicates",
+                 "global_order", "semiring", "aggregate_mode", "bags",
+                 "inner")
+
+    def __init__(self, kind, rule, guards, ghd=None, duplicates=(),
+                 global_order=(), semiring=None, aggregate_mode=False,
+                 bags=None, inner=None):
+        self.kind = kind
+        self.rule = rule
+        self.guards = tuple(guards)
+        self.ghd = ghd
+        self.duplicates = duplicates
+        self.global_order = tuple(global_order)
+        self.semiring = semiring
+        self.aggregate_mode = aggregate_mode
+        self.bags = bags if bags is not None else {}
+        self.inner = inner
+
+    def valid(self, catalog):
+        """True while every relation the compilation saw is still the
+        installed one (identity check — replacements always rebind)."""
+        return all(catalog.get(name) is relation
+                   for name, relation in self.guards)
+
+
+class PlanCache:
+    """Three-tier cache: programs, compiled rules, generated bag code."""
+
+    def __init__(self, max_entries=MAX_ENTRIES):
+        self.max_entries = max_entries
+        self._programs = {}
+        self._rules = {}
+        self._bag_code = {}
+
+    # -- program tier -------------------------------------------------------
+
+    def get_program(self, key):
+        """Parsed rules for ``(text, config_signature)`` or ``None``."""
+        return self._programs.get(key)
+
+    def put_program(self, key, rules):
+        self._evict(self._programs)
+        self._programs[key] = rules
+
+    # -- rule tier ----------------------------------------------------------
+
+    def get_rule(self, key, catalog):
+        """Valid :class:`CompiledRule` for the key, or ``None``.
+
+        Stale entries (a guard relation was replaced) are dropped on
+        probe, so the caller recompiles exactly once per invalidation.
+        """
+        compiled = self._rules.get(key)
+        if compiled is None:
+            return None
+        if not compiled.valid(catalog):
+            del self._rules[key]
+            return None
+        return compiled
+
+    def put_rule(self, key, compiled):
+        self._evict(self._rules)
+        self._rules[key] = compiled
+
+    # -- bag-source tier ----------------------------------------------------
+
+    def get_bag_code(self, signature):
+        """Compiled :class:`GeneratedQuery` for a bag signature."""
+        return self._bag_code.get(signature)
+
+    def put_bag_code(self, signature, generated):
+        self._evict(self._bag_code)
+        self._bag_code[signature] = generated
+
+    # -- maintenance --------------------------------------------------------
+
+    def _evict(self, tier):
+        while len(tier) >= self.max_entries:
+            tier.pop(next(iter(tier)))
+
+    def clear(self):
+        self._programs.clear()
+        self._rules.clear()
+        self._bag_code.clear()
+
+    def __len__(self):
+        return len(self._programs) + len(self._rules) \
+            + len(self._bag_code)

@@ -76,6 +76,17 @@ class ExecStats:
     #: Trie cache hits/misses during this execution.
     trie_cache_hits: int = 0
     trie_cache_misses: int = 0
+    #: Which executor ran: ``"interpreted"`` or ``"compiled"``.
+    execution_mode: str = "interpreted"
+    #: Compiled-path counters — the plan-cache acceptance tests assert
+    #: that a repeated query performs zero parses/GHD builds/codegen.
+    parses: int = 0
+    ghd_builds: int = 0
+    codegen_runs: int = 0
+    bag_codegen_reuses: int = 0
+    compiled_bag_calls: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     # -- recording ----------------------------------------------------------
 
@@ -172,4 +183,12 @@ class ExecStats:
         lines.append(
             "  trie cache: %d hit(s), %d miss(es)"
             % (self.trie_cache_hits, self.trie_cache_misses))
+        if self.execution_mode == "compiled":
+            lines.append(
+                "compiled pipeline: plan cache %d hit(s)/%d miss(es), "
+                "%d parse(s), %d GHD build(s), %d codegen run(s) "
+                "(%d source reuse(s)), %d generated bag call(s)"
+                % (self.plan_cache_hits, self.plan_cache_misses,
+                   self.parses, self.ghd_builds, self.codegen_runs,
+                   self.bag_codegen_reuses, self.compiled_bag_calls))
         return "\n".join(lines)

@@ -24,9 +24,12 @@ class TestGeneratedSource:
         generated, _ = compile_count_rule(triangle_rule(), db)
         source = generated.source
         assert source.count("for v") == 2          # x and y loops
-        assert source.count("_intersect_many") == 3  # one per level
-        assert "total += s2.cardinality" in source
+        for level in range(3):                     # one candidate set per level
+            assert "s%d = " % level in source
+        assert "s2.cardinality" in source          # leaf counts, no z loop
+        assert "for v2" not in source
         assert "bind 'x'" in source and "bind 'y'" in source
+        assert "restrict" in source                # the parallel morsel hook
 
     def test_generated_matches_interpreter(self):
         for seed in range(3):

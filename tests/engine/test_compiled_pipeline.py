@@ -1,0 +1,246 @@
+"""Compiled pipeline: codegen-vs-interpreter parity and plan caching.
+
+The compiled execution path must be *bit-identical* to the interpreting
+:class:`~repro.engine.generic_join.BagEvaluator` — same tuples, same
+annotation arrays, same scalars — across set layouts, semirings, head
+modes, and worker counts.  On top of parity, the plan cache must make a
+repeated query skip parse, GHD search, and code generation entirely,
+which the ``ExecStats`` counters prove.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.engine.codegen import (InputSpec, compile_count_rule,
+                                  generate_bag_plan, trie_level_kind)
+from repro.engine.plan_cache import PlanCache, config_signature
+from repro.engine.semiring import COUNT, SUM
+from repro.errors import ExecutionError
+from repro.query import parse_rule
+from repro.sets import BitSet, BlockedSet, PShortSet, UintSet
+from repro.sets.intersect import PAIR_KERNELS, intersect, \
+    specialized_pair_kernel
+from tests.conftest import brute_force_triangles, random_undirected_edges
+
+EDGES = random_undirected_edges(30, 110, seed=7)
+WEIGHTED = [(u, v) for u, v in random_undirected_edges(25, 80, seed=3)]
+WEIGHTS = [((u * 7 + v * 13) % 11) / 4.0 + 0.25 for u, v in WEIGHTED]
+
+LAYOUTS = ["set", "uint_only", "bitset_only", "block"]
+
+QUERIES = [
+    # scalar COUNT(*) — the paper's triangle query
+    "T(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.",
+    # materializing head, no aggregation
+    "Tri(x,y,z) :- Edge(x,y),Edge(y,z),Edge(x,z).",
+    # projection (EXISTS folds the aggregated suffix)
+    "P(x,z) :- Edge(x,y),Edge(y,z).",
+    # keyed COUNT
+    "D(x;c:long) :- Edge(x,y); c=<<COUNT(*)>>.",
+    # annotated SUM through a three-atom join
+    "S(x;s:float) :- W(x,y),Edge(y,z); s=<<SUM(*)>>.",
+    # MIN / MAX over annotations
+    "M(x;m:float) :- W(x,y); m=<<MIN(*)>>.",
+    "X(;m:float) :- W(x,y); m=<<MAX(*)>>.",
+    # COUNT(v): distinct bindings per head tuple
+    "N(;c:long) :- Edge(x,y); c=<<COUNT(x)>>.",
+    "C(x;c:long) :- Edge(x,y),Edge(y,z); c=<<COUNT(z)>>.",
+    # constant selection pushed into the plan
+    "F(y) :- Edge(0,y).",
+    # multi-bag GHD plan (two triangle bags sharing an edge path)
+    "B(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z),"
+    "Edge(z,p),Edge(p,q),Edge(z,q); w=<<COUNT(*)>>.",
+]
+
+
+def make_db(mode, layout="set", workers=1):
+    db = Database(execution_mode=mode, layout_level=layout,
+                  parallel_workers=workers, parallel_threshold=4)
+    db.load_graph("Edge", EDGES)
+    db.add_relation("W", WEIGHTED, annotations=WEIGHTS)
+    return db
+
+
+def assert_identical(a, b, query):
+    assert np.array_equal(a.relation.data, b.relation.data), query
+    ann_a, ann_b = a.relation.annotations, b.relation.annotations
+    if ann_a is None or ann_b is None:
+        assert ann_a is None and ann_b is None, query
+    else:
+        assert np.array_equal(ann_a, ann_b), query
+
+
+class TestParityMatrix:
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_layouts_serial(self, layout, query):
+        interpreted = make_db("interpreted", layout)
+        compiled = make_db("compiled", layout)
+        assert_identical(interpreted.query(query),
+                         compiled.query(query), query)
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_four_workers(self, query):
+        interpreted = make_db("interpreted", workers=4)
+        compiled = make_db("compiled", workers=4)
+        assert_identical(interpreted.query(query),
+                         compiled.query(query), query)
+
+    def test_triangles_match_brute_force(self):
+        compiled = make_db("compiled")
+        assert compiled.query(QUERIES[0]).scalar \
+            == 6.0 * brute_force_triangles(EDGES)
+
+    def test_recursion_parity(self):
+        program = ("R(x,y) :- Edge(x,y). "
+                   "R(x,y)* :- R(x,z),Edge(z,y).")
+        interpreted = make_db("interpreted")
+        compiled = make_db("compiled")
+        assert_identical(interpreted.query(program),
+                         compiled.query(program), program)
+
+    def test_repeated_queries_stay_identical(self):
+        compiled = make_db("compiled")
+        first = compiled.query(QUERIES[0]).scalar
+        for _ in range(3):
+            assert compiled.query(QUERIES[0]).scalar == first
+
+    def test_unknown_mode_rejected(self):
+        db = make_db("interpreted")
+        db.config = db.config.ablated(execution_mode="vectorized")
+        db._executor.config = db.config
+        with pytest.raises(ExecutionError):
+            db._executor.execute(parse_rule(QUERIES[1]))
+
+
+class TestPlanCache:
+    def test_repeat_skips_parse_ghd_codegen(self):
+        db = make_db("compiled")
+        db.query(QUERIES[0])
+        first = db.last_stats
+        assert first.parses == 1
+        assert first.ghd_builds >= 1
+        assert first.codegen_runs >= 1
+        assert first.plan_cache_misses >= 1
+        db.query(QUERIES[0])
+        second = db.last_stats
+        assert second.parses == 0
+        assert second.ghd_builds == 0
+        assert second.codegen_runs == 0
+        assert second.bag_codegen_reuses == 0
+        assert second.plan_cache_hits >= 1
+        assert second.plan_cache_misses == 0
+        assert second.compiled_bag_calls >= 1
+
+    def test_reload_invalidates_by_identity(self):
+        db = make_db("compiled")
+        db.query(QUERIES[0])
+        db.load_graph("Edge", random_undirected_edges(30, 90, seed=11))
+        db.query(QUERIES[0])
+        stats = db.last_stats
+        # The rule must recompile (guards saw a new relation object)…
+        assert stats.plan_cache_misses >= 1
+        assert stats.ghd_builds >= 1
+        # …but the bag-source tier still matches the unchanged shape.
+        assert stats.codegen_runs == 0
+        assert stats.bag_codegen_reuses >= 1
+
+    def test_config_signature_separates_ablations(self):
+        base = make_db("compiled")
+        assert config_signature(base.config) \
+            != config_signature(base.config.ablated(simd=False))
+        assert config_signature(base.config) \
+            == config_signature(base.config.ablated(parallel_workers=8))
+
+    def test_rule_tier_evicts_oldest(self):
+        cache = PlanCache(max_entries=2)
+        for i in range(4):
+            cache.put_program(("q%d" % i, ()), [])
+        assert len(cache) == 2
+        assert cache.get_program(("q3", ())) is not None
+        assert cache.get_program(("q0", ())) is None
+
+    def test_describe_mentions_compiled_counters(self):
+        db = make_db("compiled")
+        db.query(QUERIES[0])
+        text = db.last_stats.describe()
+        assert "plan cache" in text and "codegen" in text
+
+    def test_identical_rule_shapes_share_source(self):
+        # Two rules with the same bag shape: the second compiles its
+        # plan but reuses the first's generated source verbatim.
+        program = ("T1(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); "
+                   "w=<<COUNT(*)>>. "
+                   "T2(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); "
+                   "w=<<COUNT(*)>>.")
+        db = make_db("compiled")
+        result = db.query(program)
+        stats = db.last_stats
+        assert stats.ghd_builds == 2
+        assert stats.codegen_runs == 1
+        assert stats.bag_codegen_reuses == 1
+        assert result.scalar == 6.0 * brute_force_triangles(EDGES)
+
+
+class TestGeneratedCode:
+    def test_unannotated_count_accumulates_in_int(self):
+        db = make_db("interpreted")
+        rule = parse_rule(QUERIES[0])
+        generated, tries = compile_count_rule(rule, db)
+        value = generated(tries, db.config)
+        assert isinstance(value, int) and not isinstance(value, bool)
+        # The old float accumulator bug: no float literals belong in an
+        # unannotated COUNT loop nest.
+        assert "0.0" not in generated.source
+
+    def test_materializing_source_shape(self):
+        specs = [InputSpec("E", ("x", "y")), InputSpec("F", ("y", "z"))]
+        generated = generate_bag_plan(("x", "y", "z"), 2, specs, COUNT)
+        assert "chunks.append" in generated.source
+        assert "_assemble" in generated.source
+
+    def test_annotated_sum_uses_float_zero(self):
+        specs = [InputSpec("W", ("x", "y"), annotated=True)]
+        generated = generate_bag_plan(("x", "y"), 0, specs, SUM)
+        assert "annotation" in generated.source
+
+    def test_specialized_kernels_match_generic(self):
+        config = Database().config
+        rng = np.random.RandomState(5)
+        arrays = [
+            np.unique(rng.randint(0, 120, size=60)).astype(np.uint32),
+            np.unique(rng.randint(0, 5000, size=40)).astype(np.uint32),
+            np.arange(200, 460, 2, dtype=np.uint32),
+        ]
+        kinds_seen = set()
+        for a in arrays:
+            for b in arrays:
+                for make_x in (UintSet, BitSet, PShortSet, BlockedSet):
+                    for make_y in (UintSet, BitSet, PShortSet,
+                                   BlockedSet):
+                        x, y = make_x(a), make_y(b)
+                        kernel = specialized_pair_kernel(x.kind, y.kind)
+                        if kernel is None:
+                            continue
+                        kinds_seen.add((x.kind, y.kind))
+                        expected = intersect(x, y, config.counter,
+                                             simd=config.simd)
+                        got = kernel(x, y, config)
+                        assert np.array_equal(got.to_array(),
+                                              expected.to_array())
+        assert len(kinds_seen) == len(PAIR_KERNELS)
+
+    def test_kernel_table_covers_pshort(self):
+        assert ("pshort", "pshort") in PAIR_KERNELS
+        assert specialized_pair_kernel("variant", "uint") is None
+
+    def test_trie_level_kind_homogeneous_layouts(self):
+        db = Database(layout_level="uint_only")
+        db.load_graph("Edge", EDGES)
+        trie = db._trie_cache.get(db.catalog["Edge"], (0, 1),
+                                  "uint_only")
+        assert trie_level_kind(trie, 0, "uint_only") == "uint"
+        assert trie_level_kind(trie, 1, "uint_only") == "uint"
+        assert trie_level_kind(trie, 0, "bitset_only") == "bitset"
+        assert trie_level_kind(trie, 0, "block") == "block"
