@@ -92,6 +92,30 @@ def run_repeated(db, query, reps, clear_cache=False):
     return result
 
 
+def phase_split(db, query, clear_cache=False):
+    """Compile-vs-execute wall-time split of one traced repetition.
+
+    Runs the query once under the span tracer (:mod:`repro.obs`) and
+    returns ``(compile_ms, execute_ms)``: time in the front of the
+    pipeline (parse, GHD search, attribute ordering, codegen,
+    plan-cache lookups) vs time executing bags.  Tracing is turned off
+    again before returning, so the timed repetitions stay untraced.
+    """
+    from repro.obs.explain import category_seconds, phase_totals
+    tracer = db.enable_tracing()
+    tracer.reset()
+    try:
+        if clear_cache:
+            db._plan_cache.clear()
+        db.query(query)
+    finally:
+        db.disable_tracing()
+    compile_seconds = sum(seconds for _, seconds
+                          in phase_totals(tracer).values())
+    execute_seconds = category_seconds(tracer, "execute")
+    return compile_seconds * 1e3, execute_seconds * 1e3
+
+
 def best_of(fn, rounds=3):
     """Best-of-``rounds`` wall time; best-of damps scheduler noise."""
     times = []
@@ -130,6 +154,12 @@ def test_repeated_pattern_query(benchmark, label, query_label, query):
         benchmark.extra_info["last_rep_ghd_builds"] = stats.ghd_builds
         benchmark.extra_info["last_rep_codegen_runs"] = stats.codegen_runs
         benchmark.extra_info["plan_cache_hits"] = stats.plan_cache_hits
+    # One extra traced repetition, outside the timed loop, prices the
+    # compile vs execute split for the report's phase-breakdown table.
+    compile_ms, execute_ms = phase_split(db, query,
+                                         clear_cache=clear_cache)
+    benchmark.extra_info["phase_compile_ms"] = round(compile_ms, 3)
+    benchmark.extra_info["phase_execute_ms"] = round(execute_ms, 3)
 
 
 # -- shape assertions (CI runs these without timing) --------------------------
@@ -190,6 +220,20 @@ def test_shape_cached_beats_interpreted_wall_clock():
     cached_time = best_of(
         lambda: run_repeated(cached, TRIANGLE_COUNT, reps))
     assert cached_time < interpreted_time
+
+
+def test_shape_phase_split_shows_cache_win():
+    """The traced phase split localizes the cached win in the compile
+    phase: a cache-defeating repetition pays parse+GHD+codegen, a
+    cache-hit repetition only pays the plan-cache lookup."""
+    db = codegen_db("compiled+cached")
+    db.query(TRIANGLE_COUNT)  # prime the plan cache
+    fresh_compile, fresh_execute = phase_split(db, TRIANGLE_COUNT,
+                                               clear_cache=True)
+    cached_compile, cached_execute = phase_split(db, TRIANGLE_COUNT)
+    assert fresh_execute > 0
+    assert cached_execute > 0
+    assert fresh_compile > cached_compile
 
 
 def test_shape_lane_ops_match_interpreter():

@@ -27,7 +27,10 @@ EXPECTATIONS = {
         "show zero on the cached path); the uncached compiled row "
         "prices the full pipeline and lands between the two.  Lane "
         "ops per repetition match the interpreter — the win is "
-        "pipeline overhead, not cheaper arithmetic."),
+        "pipeline overhead, not cheaper arithmetic.  The "
+        "phase_compile_ms / phase_execute_ms columns come from one "
+        "extra traced repetition (repro.obs span tracer) and are "
+        "re-rendered in the phase-breakdown section at the bottom."),
     "parallel": (
         "Paper §5.1.2: dynamic load balancing on power-law graphs — "
         "4-worker work stealing beats the static np.array_split "
@@ -162,7 +165,44 @@ def render(data):
                     row.append(str(value))
                 lines.append("| " + " | ".join(row) + " |")
             lines.append("")
+    phase_lines = render_phase_breakdown(data)
+    if phase_lines:
+        lines.extend(phase_lines)
     return "\n".join(lines)
+
+
+def render_phase_breakdown(data):
+    """Compile-vs-execute table for benchmarks that stamped per-phase
+    timings (``phase_compile_ms`` / ``phase_execute_ms`` in
+    ``extra_info``, measured by one traced repetition through the
+    ``repro.obs`` span tracer)."""
+    rows = []
+    for bench in data["benchmarks"]:
+        extra = bench.get("extra_info", {})
+        if "phase_compile_ms" not in extra:
+            continue
+        compile_ms = float(extra["phase_compile_ms"])
+        execute_ms = float(extra["phase_execute_ms"])
+        total = compile_ms + execute_ms
+        rows.append((bench.get("group") or "ungrouped",
+                     bench["name"].replace("test_", "", 1),
+                     compile_ms, execute_ms,
+                     100.0 * compile_ms / total if total else 0.0))
+    if not rows:
+        return []
+    lines = ["### phase breakdown (compile vs execute)", "",
+             "*One traced repetition per row: time in the pipeline "
+             "front (parse, GHD search, attribute ordering, codegen, "
+             "plan-cache lookups) vs time executing bags.  Cached "
+             "rows should spend ~everything in execute.*", "",
+             "| group | engine/variant | compile (ms) | execute (ms) "
+             "| compile share |",
+             "|---|---|---|---|---|"]
+    for group, name, compile_ms, execute_ms, share in sorted(rows):
+        lines.append("| %s | %s | %.3f | %.3f | %.1f%% |"
+                     % (group, name, compile_ms, execute_ms, share))
+    lines.append("")
+    return lines
 
 
 def main(argv):

@@ -12,6 +12,9 @@ compiler → worst-case optimal execution engine.
 6.0
 """
 
+import os
+import time
+
 import numpy as np
 
 from .engine.config import EngineConfig
@@ -20,6 +23,8 @@ from .engine.plan_cache import PlanCache, config_signature
 from .engine.recursion import execute_recursive
 from .engine.stats import ExecStats
 from .errors import SchemaError, UnknownRelationError
+from .obs.metrics import MetricsRegistry, TIME_BUCKETS
+from .obs.trace import Tracer, maybe_span
 from .query.parser import parse
 from .storage.dictionary import Dictionary
 from .storage.ordering import apply_order, order_nodes
@@ -119,6 +124,16 @@ class Database:
         self._executor = RuleExecutor(self.catalog, self.config,
                                       self._trie_cache, self._env,
                                       plan_cache=self._plan_cache)
+        self._metrics = MetricsRegistry(enabled=False)
+        self._tracer = None
+        self._trace_path = None
+        trace_env = os.environ.get("REPRO_TRACE")
+        if trace_env:
+            # REPRO_TRACE=1 enables in-memory tracing; any other value
+            # is the Chrome trace path rewritten after every query.
+            path = None if trace_env.lower() in ("1", "true", "on") \
+                else trace_env
+            self.enable_tracing(path=path)
 
     # -- loading --------------------------------------------------------------
 
@@ -223,20 +238,46 @@ class Database:
         generated bag sources are all cached, so a repeated query skips
         parse → GHD → codegen entirely (verifiable through the counters
         on :attr:`last_stats`).
+
+        When tracing (:meth:`enable_tracing` / ``REPRO_TRACE``) or
+        metrics (:meth:`enable_metrics`) are on, the run is recorded;
+        both are off by default and cost nothing when off.
         """
-        if self.config.execution_mode == "compiled":
-            return self._query_compiled(text)
-        program = parse(text)
+        tracer = self.config.tracer
+        metrics = self.config.metrics
+        marks = self.config.counter.snapshot() \
+            if metrics is not None else None
+        start = time.perf_counter()
+        with maybe_span(tracer, "query", "query",
+                        mode=self.config.execution_mode):
+            if self.config.execution_mode == "compiled":
+                result = self._query_compiled(text)
+            else:
+                result = self._query_interpreted(text)
+        if metrics is not None:
+            self._record_query_metrics(metrics, marks,
+                                       time.perf_counter() - start)
+        if tracer is not None and tracer.enabled and self._trace_path:
+            from .obs.export import write_chrome_trace
+            write_chrome_trace(tracer, self._trace_path)
+        return result
+
+    def _query_interpreted(self, text):
+        tracer = self.config.tracer
+        with maybe_span(tracer, "parse", "compile", chars=len(text)):
+            program = parse(text)
         result_relation = None
         for rule in program.rules:
             # Resolve decode dictionaries against the pre-execution
             # catalog: a recursive rule replaces its own head relation
             # mid-flight, which would otherwise lose them.
             head_dictionaries = self._head_dictionaries(rule)
-            if rule.recursive:
-                result_relation = execute_recursive(rule, self._executor)
-            else:
-                result_relation = self._executor.execute(rule)
+            with maybe_span(tracer, "rule:%s" % rule.head_name, "query"):
+                if rule.recursive:
+                    result_relation = execute_recursive(rule,
+                                                        self._executor)
+                else:
+                    result_relation = self._executor.execute(rule)
             if head_dictionaries is not None and result_relation.arity:
                 result_relation.dictionaries = head_dictionaries
             self._install(rule.head_name, result_relation)
@@ -255,20 +296,24 @@ class Database:
         stats = ExecStats(execution_mode="compiled",
                           strategy=self.config.parallel_strategy,
                           workers=self.config.parallel_workers)
+        tracer = self.config.tracer
         key = (text, config_signature(self.config))
         rules = self._plan_cache.get_program(key)
         if rules is None:
             stats.parses += 1
-            rules = tuple(parse(text).rules)
+            with maybe_span(tracer, "parse", "compile", chars=len(text)):
+                rules = tuple(parse(text).rules)
             self._plan_cache.put_program(key, rules)
         result_relation = None
         for rule in rules:
             head_dictionaries = self._head_dictionaries(rule)
-            if rule.recursive:
-                result_relation = execute_recursive(rule, self._executor)
-            else:
-                result_relation = self._executor.execute_compiled_mode(
-                    rule, stats)
+            with maybe_span(tracer, "rule:%s" % rule.head_name, "query"):
+                if rule.recursive:
+                    result_relation = execute_recursive(rule,
+                                                        self._executor)
+                else:
+                    result_relation = \
+                        self._executor.execute_compiled_mode(rule, stats)
             if head_dictionaries is not None and result_relation.arity:
                 result_relation.dictionaries = head_dictionaries
             self._install(rule.head_name, result_relation)
@@ -334,6 +379,93 @@ class Database:
         per-morsel timings, steal counts, and cache hit rates.
         """
         return self._executor.last_stats
+
+    # -- observability -------------------------------------------------------
+
+    def enable_tracing(self, path=None, capture_intersections=False):
+        """Turn on query-lifecycle span tracing.
+
+        ``path``, when given, names a Chrome ``trace_event`` JSON file
+        rewritten after every query (load it at ``chrome://tracing`` or
+        https://ui.perfetto.dev).  ``capture_intersections=True`` also
+        records one span per set intersection — detailed, but with
+        measurable per-call cost, so it is off by default.  Returns the
+        live :class:`~repro.obs.trace.Tracer`.
+        """
+        if self._tracer is None:
+            self._tracer = Tracer(
+                capture_intersections=capture_intersections)
+        else:
+            self._tracer.enabled = True
+            self._tracer.capture_intersections = capture_intersections
+        self.config.tracer = self._tracer
+        self._trace_path = path
+        return self._tracer
+
+    def disable_tracing(self):
+        """Stop tracing.  The tracer object and its recorded spans are
+        kept, so :meth:`write_trace` still works afterwards."""
+        self.config.tracer = None
+        self._trace_path = None
+
+    @property
+    def tracer(self):
+        """The span tracer, or ``None`` if tracing was never enabled."""
+        return self._tracer
+
+    def write_trace(self, path):
+        """Export the recorded spans as Chrome trace-event JSON."""
+        if self._tracer is None:
+            raise ValueError(
+                "tracing was never enabled; call enable_tracing() first")
+        from .obs.export import write_chrome_trace
+        write_chrome_trace(self._tracer, path)
+
+    def enable_metrics(self):
+        """Turn on the metrics registry (counters, gauges, histograms
+        accumulated across queries).  Returns the live
+        :class:`~repro.obs.metrics.MetricsRegistry`."""
+        self._metrics.enabled = True
+        self.config.metrics = self._metrics
+        return self._metrics
+
+    def disable_metrics(self):
+        """Stop recording metrics; accumulated values are kept."""
+        self.config.metrics = None
+
+    @property
+    def metrics(self):
+        """The metrics registry (disabled until
+        :meth:`enable_metrics`)."""
+        return self._metrics
+
+    def _record_query_metrics(self, metrics, marks, elapsed):
+        metrics.inc("queries")
+        metrics.observe("query.seconds", elapsed, TIME_BUCKETS)
+        metrics.record_exec_stats(self._executor.last_stats)
+        metrics.record_counter_delta(marks,
+                                     self.config.counter.snapshot())
+        for tier, size in self._plan_cache.sizes().items():
+            metrics.set_gauge("plan_cache.%s" % tier, size)
+        metrics.set_gauge("trie_cache.entries", len(self._trie_cache))
+
+    def explain_analyze(self, text):
+        """Run the query under a private tracer and render the GHD plan
+        annotated with actuals: per-bag wall time and lane-ops,
+        predicted vs actual cost-model error, chosen set layouts,
+        cache outcomes, and phase timings.  Returns the report string.
+        """
+        from .obs.explain import render_explain_analyze
+        own = Tracer(capture_intersections=False)
+        previous = self.config.tracer
+        self.config.tracer = own
+        try:
+            result = self.query(text)
+        finally:
+            self.config.tracer = previous
+        return render_explain_analyze(
+            self._executor.last_plan, self._executor.last_stats, own,
+            self.config, result=result.relation)
 
     def _head_dictionaries(self, rule):
         """Column dictionaries for the head, looked up from the body

@@ -92,6 +92,18 @@ def _add_loader_flags(parser):
 def cmd_query(args):
     """``repro query``: run a program and print its result."""
     db = _load_database(args)
+    if args.trace:
+        db.enable_tracing(path=args.trace)
+    if args.metrics:
+        db.enable_metrics()
+    if args.explain_analyze:
+        report = db.explain_analyze(args.query)
+        print(report)
+        if args.metrics:
+            print(db.metrics.describe(), file=sys.stderr)
+        if args.trace:
+            print("trace written to %s" % args.trace, file=sys.stderr)
+        return 0
     start = time.perf_counter()
     result = db.query(args.query)
     elapsed = time.perf_counter() - start
@@ -112,6 +124,10 @@ def cmd_query(args):
           file=sys.stderr)
     if db.last_stats is not None:
         print(db.last_stats.describe(), file=sys.stderr)
+    if args.metrics:
+        print(db.metrics.describe(), file=sys.stderr)
+    if args.trace:
+        print("trace written to %s" % args.trace, file=sys.stderr)
     return 0
 
 
@@ -176,6 +192,15 @@ def build_parser():
     query.add_argument("query", help="datalog-like program text")
     query.add_argument("--limit", type=int, default=20,
                        help="max tuples to print")
+    query.add_argument("--trace", metavar="FILE",
+                       help="write a Chrome trace-event JSON of the "
+                            "query lifecycle (chrome://tracing)")
+    query.add_argument("--metrics", action="store_true",
+                       help="print the metrics registry to stderr")
+    query.add_argument("--explain-analyze", action="store_true",
+                       help="print the GHD plan annotated with actual "
+                            "timings and cost-model error instead of "
+                            "the result tuples")
     query.set_defaults(func=cmd_query)
 
     explain = sub.add_parser("explain", help="show the compiled plan")

@@ -133,19 +133,46 @@ class GeneratedQuery:
 
 
 def _intersect_many_config(sets, config):
-    """Runtime helper bound into generated namespaces."""
-    return intersect_many(sets, counter=config.counter,
-                          algorithm=config.uint_algorithm,
-                          adaptive=config.adaptive_algorithms,
-                          simd=config.simd)
+    """Runtime helper bound into generated namespaces.
+
+    Carries the compiled path's per-intersection observability: the
+    ``metrics``/``tracer`` config slots are ``None`` unless enabled, so
+    the generated hot loop pays one ``is not None`` check each.
+    (Layout-specialized pair kernels bypass this helper; their calls
+    are still attributed via the op counter's per-algorithm tallies.)
+    """
+    tracer = config.tracer
+    if tracer is not None and tracer.capture_intersections:
+        start = tracer.now()
+        result = intersect_many(sets, counter=config.counter,
+                                algorithm=config.uint_algorithm,
+                                adaptive=config.adaptive_algorithms,
+                                simd=config.simd)
+        tracer.record(
+            "intersect", "intersect", start, tracer.now(),
+            args={"inputs": [int(s.cardinality) for s in sets],
+                  "out": int(result.cardinality)})
+    else:
+        result = intersect_many(sets, counter=config.counter,
+                                algorithm=config.uint_algorithm,
+                                adaptive=config.adaptive_algorithms,
+                                simd=config.simd)
+    if config.metrics is not None:
+        config.metrics.observe("intersection.size",
+                               int(result.cardinality))
+    return result
 
 
 def _intersect_pair_config(x, y, config):
     """Runtime helper: generic pair intersection under the config."""
-    return intersect(x, y, config.counter,
-                     algorithm=config.uint_algorithm,
-                     adaptive=config.adaptive_algorithms,
-                     simd=config.simd)
+    result = intersect(x, y, config.counter,
+                       algorithm=config.uint_algorithm,
+                       adaptive=config.adaptive_algorithms,
+                       simd=config.simd)
+    if config.metrics is not None:
+        config.metrics.observe("intersection.size",
+                               int(result.cardinality))
+    return result
 
 
 def generate_bag_plan(eval_order, out_count, specs, semiring):

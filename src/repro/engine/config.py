@@ -75,6 +75,15 @@ class EngineConfig:
         mean finer-grained stealing at slightly higher queue overhead.
     counter:
         Simulated-SIMD op counter every kernel charges into.
+    tracer:
+        :class:`repro.obs.trace.Tracer` recording lifecycle spans, or
+        ``None`` (default).  Hot paths gate on ``is not None``, so a
+        disabled tracer costs nothing.  Not part of the plan-cache
+        ``config_signature`` — tracing never changes results.
+    metrics:
+        :class:`repro.obs.metrics.MetricsRegistry` absorbing counters
+        and histograms, or ``None`` (default).  Same gating and
+        signature exemption as ``tracer``.
     """
 
     layout_level: str = "set"
@@ -91,6 +100,8 @@ class EngineConfig:
     parallel_strategy: str = "steal"
     parallel_morsels_per_worker: int = 8
     counter: OpCounter = field(default_factory=OpCounter)
+    tracer: Optional[object] = None
+    metrics: Optional[object] = None
 
     def ablated(self, **changes):
         """Copy of this config with some switches flipped."""

@@ -18,10 +18,12 @@ For one non-recursive rule the executor:
 """
 
 import itertools
+import time
 
 import numpy as np
 
 from ..errors import ExecutionError, PlanError, UnknownRelationError
+from ..obs.trace import maybe_span
 from ..ghd.attribute_order import bag_evaluation_order, global_attribute_order
 from ..ghd.decompose import decompose
 from ..ghd.equivalence import bag_signature, canonical_attr_indexes
@@ -345,29 +347,32 @@ class RuleExecutor:
     # -- plan construction ----------------------------------------------------
 
     def _choose_ghd(self, rule, atoms, aggregate_mode):
-        hypergraph = Hypergraph(_AtomView(a) for a in atoms)
-        sizes = {i: atoms[i].relation.cardinality
-                 for i in range(len(atoms))}
-        selected_vars = set()
-        selection_edges = set()
-        for index, atom in enumerate(atoms):
-            if atom.is_selection:
-                selection_edges.add(index)
-                selected_vars |= set(atom.variables)
-        ghd = decompose(
-            hypergraph, sizes=sizes, selected_vars=selected_vars,
-            selection_edges=selection_edges,
-            prefer_deep_selections=self.config.push_selections,
-            use_ghd=self.config.use_ghd)
-        if aggregate_mode and not self._aggregate_flow_ok(ghd, rule):
-            # Head attributes span bags in a way early aggregation cannot
-            # express; fall back to the (always correct) single-node plan.
-            ghd = decompose(hypergraph, sizes=sizes, use_ghd=False)
-        duplicates = set()
-        if self.config.push_selections and selection_edges:
-            duplicates = self._push_selection_copies(ghd, hypergraph,
-                                                     selection_edges)
-        return ghd, duplicates
+        with maybe_span(self.config.tracer, "ghd_search", "compile",
+                        atoms=len(atoms)):
+            hypergraph = Hypergraph(_AtomView(a) for a in atoms)
+            sizes = {i: atoms[i].relation.cardinality
+                     for i in range(len(atoms))}
+            selected_vars = set()
+            selection_edges = set()
+            for index, atom in enumerate(atoms):
+                if atom.is_selection:
+                    selection_edges.add(index)
+                    selected_vars |= set(atom.variables)
+            ghd = decompose(
+                hypergraph, sizes=sizes, selected_vars=selected_vars,
+                selection_edges=selection_edges,
+                prefer_deep_selections=self.config.push_selections,
+                use_ghd=self.config.use_ghd)
+            if aggregate_mode and not self._aggregate_flow_ok(ghd, rule):
+                # Head attributes span bags in a way early aggregation
+                # cannot express; fall back to the (always correct)
+                # single-node plan.
+                ghd = decompose(hypergraph, sizes=sizes, use_ghd=False)
+            duplicates = set()
+            if self.config.push_selections and selection_edges:
+                duplicates = self._push_selection_copies(ghd, hypergraph,
+                                                         selection_edges)
+            return ghd, duplicates
 
     @staticmethod
     def _aggregate_flow_ok(ghd, rule):
@@ -406,8 +411,9 @@ class RuleExecutor:
         ghd, duplicates = self._choose_ghd(rule, atoms, aggregate_mode)
         selected_vars = {v for a in atoms if a.is_selection
                          for v in a.variables}
-        global_order = global_attribute_order(ghd, selected_vars,
-                                              rule.head_vars)
+        with maybe_span(self.config.tracer, "attribute_order", "compile"):
+            global_order = global_attribute_order(ghd, selected_vars,
+                                                  rule.head_vars)
         semiring = semiring_for(agg.op) if aggregate_mode else EXISTS
         # Multi-bag parallelism: fork only the largest bag (it dominates
         # the runtime; the rest evaluate serially in the parent).
@@ -467,10 +473,12 @@ class RuleExecutor:
                 continue
             bag_plan.parallelized = self._parallel_node is not None \
                 and id(node) == self._parallel_node
-            result = self._evaluate_bag(node, atoms, out_attrs,
-                                        global_order, semiring,
-                                        aggregate_mode, retained,
-                                        duplicates)
+            result = self._timed_bag(
+                bag_plan,
+                lambda: self._evaluate_bag(node, atoms, out_attrs,
+                                           global_order, semiring,
+                                           aggregate_mode, retained,
+                                           duplicates, bag_plan))
             retained[id(node)] = result
             signatures[id(node)] = signature
             memo[signature] = (result, canonical_out)
@@ -487,8 +495,25 @@ class RuleExecutor:
             return self._finish_aggregate(rule, root_result)
         return self._finish_materialize(rule, ghd, retained, root_result)
 
+    def _timed_bag(self, bag_plan, evaluate):
+        """Evaluate one bag, recording wall time, charged lane ops, and
+        (when tracing) a ``bag:`` span.  The always-on part is two
+        clock reads and one counter delta per bag — bags are few."""
+        counter = self.config.counter
+        ops_before = counter.total_ops
+        start = time.perf_counter()
+        with maybe_span(self.config.tracer,
+                        "bag:%s" % ",".join(bag_plan.chi), "execute",
+                        width=bag_plan.width,
+                        parallel=bag_plan.parallelized):
+            result = evaluate()
+        bag_plan.actual_seconds = time.perf_counter() - start
+        bag_plan.actual_ops = counter.total_ops - ops_before
+        return result
+
     def _evaluate_bag(self, node, atoms, out_attrs, global_order, semiring,
-                      aggregate_mode, retained, duplicates):
+                      aggregate_mode, retained, duplicates,
+                      bag_plan=None):
         eval_order = bag_evaluation_order(node.chi, out_attrs, global_order)
         inputs = []
         for edge in node.edges:
@@ -532,6 +557,8 @@ class RuleExecutor:
             inputs.append(BagInput(trie, ordered_vars,
                                    annotated=annotated,
                                    name=relation.name))
+        if bag_plan is not None:
+            bag_plan.input_profiles = _input_profiles(inputs)
         out_count = len(out_attrs)
         if dead:
             return BagResult(out_attrs,
@@ -598,7 +625,11 @@ class RuleExecutor:
                               workers=self.config.parallel_workers)
         self.last_stats = stats
         key = (str(rule), config_signature(self.config))
-        compiled = self.plans.get_rule(key, self.catalog)
+        with maybe_span(self.config.tracer, "plan_cache.lookup",
+                        "cache") as span:
+            compiled = self.plans.get_rule(key, self.catalog)
+            if span is not None:
+                span.args["hit"] = compiled is not None
         if compiled is None:
             stats.plan_cache_misses += 1
             compiled = self.compile_rule(rule, stats)
@@ -658,8 +689,9 @@ class RuleExecutor:
         ghd, duplicates = self._choose_ghd(rule, atoms, aggregate_mode)
         selected_vars = {v for a in atoms if a.is_selection
                          for v in a.variables}
-        global_order = global_attribute_order(ghd, selected_vars,
-                                              rule.head_vars)
+        with maybe_span(self.config.tracer, "attribute_order", "compile"):
+            global_order = global_attribute_order(ghd, selected_vars,
+                                                  rule.head_vars)
         semiring = semiring_for(agg.op) if aggregate_mode else EXISTS
         parents = ghd.parent_map()
         head = frozenset(rule.head_vars)
@@ -738,9 +770,11 @@ class RuleExecutor:
             generated = self.plans.get_bag_code(bag_sig)
             if generated is None:
                 stats.codegen_runs += 1
-                generated = generate_bag_plan(eval_order,
-                                              len(out_attrs), specs,
-                                              semiring)
+                with maybe_span(self.config.tracer, "codegen", "compile",
+                                bag=",".join(node.chi)):
+                    generated = generate_bag_plan(eval_order,
+                                                  len(out_attrs), specs,
+                                                  semiring)
                 self.plans.put_bag_code(bag_sig, generated)
             else:
                 stats.bag_codegen_reuses += 1
@@ -809,9 +843,11 @@ class RuleExecutor:
                 continue
             bag_plan.parallelized = parallel_node is not None \
                 and id(node) == parallel_node
-            result = self._run_compiled_bag(node, cbag, semiring,
-                                            aggregate_mode, retained,
-                                            stats)
+            result = self._timed_bag(
+                bag_plan,
+                lambda: self._run_compiled_bag(node, cbag, semiring,
+                                               aggregate_mode, retained,
+                                               stats, bag_plan))
             retained[id(node)] = result
             memo[cbag.signature] = (result, cbag.canonical_out)
         stats.trie_cache_hits += self.cache.hits - marks[0]
@@ -824,7 +860,7 @@ class RuleExecutor:
         return self._finish_materialize(rule, ghd, retained, root_result)
 
     def _run_compiled_bag(self, node, cbag, semiring, aggregate_mode,
-                          retained, stats):
+                          retained, stats, bag_plan=None):
         """Evaluate one bag through its generated function.
 
         Child pass-ups are built exactly as in :meth:`_evaluate_bag`;
@@ -872,6 +908,8 @@ class RuleExecutor:
                                    annotated=annotated,
                                    name=relation.name))
             tries.append(trie)
+        if bag_plan is not None:
+            bag_plan.input_profiles = _input_profiles(inputs)
         eval_order, out_count = cbag.eval_order, cbag.out_count
         if dead:
             result = BagResult(cbag.out_attrs,
@@ -1006,6 +1044,27 @@ def relation_columns(relation):
     """Attribute names attached to a passed-up relation."""
     return list(getattr(relation, "attr_names",
                         [str(i) for i in range(relation.arity)]))
+
+
+def _input_profiles(inputs):
+    """Cheap per-input profiles for EXPLAIN ANALYZE's cost prediction.
+
+    O(#inputs) attribute reads — root cardinality, tuple count, and the
+    optimizer's chosen root-set layout kind — captured at the moment
+    the bag's inputs (base tries plus pass-ups) are assembled.
+    """
+    profiles = []
+    for bag_input in inputs:
+        trie = bag_input.trie
+        root_set = trie.root.set
+        profiles.append({
+            "name": bag_input.name,
+            "variables": tuple(bag_input.variables),
+            "root_card": int(root_set.cardinality),
+            "cardinality": int(trie.cardinality),
+            "kind": root_set.kind,
+        })
+    return profiles
 
 
 def _largest_bag_node(ghd, atoms):

@@ -166,6 +166,13 @@ class BagEvaluator:
         self._cursors = [bag_input.trie.root for bag_input in self.inputs]
         self._chunks = []       # (prefix_tuple, values_array, ann_array)
         self._prefix = []
+        # Observability hooks, resolved once so the per-intersection
+        # cost when disabled is a single ``is not None`` check.
+        self._metrics = getattr(config, "metrics", None)
+        tracer = getattr(config, "tracer", None)
+        self._trace = tracer if (tracer is not None and tracer.enabled
+                                 and tracer.capture_intersections) \
+            else None
 
     # -- public -------------------------------------------------------------
 
@@ -331,11 +338,22 @@ class BagEvaluator:
             sets = sets + [self.restrict_level0]
         if len(sets) == 1:
             return sets[0]
-        return intersect_many(
+        tracer = self._trace
+        start = tracer.now() if tracer is not None else 0.0
+        result = intersect_many(
             sets, counter=self.config.counter,
             algorithm=self.config.uint_algorithm,
             adaptive=self.config.adaptive_algorithms,
             simd=self.config.simd)
+        if tracer is not None:
+            tracer.record(
+                "intersect:L%d" % level, "intersect", start, tracer.now(),
+                args={"inputs": [int(s.cardinality) for s in sets],
+                      "out": int(result.cardinality)})
+        if self._metrics is not None:
+            self._metrics.observe("intersection.size",
+                                  int(result.cardinality))
+        return result
 
     def _descend(self, level, value):
         """Advance participating cursors into ``value``; returns the

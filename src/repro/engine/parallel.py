@@ -220,9 +220,12 @@ def _worker_main(worker_id, tasks, results):
             start = time.perf_counter()
             result = _evaluate_morsel(spec, values)
             elapsed = time.perf_counter() - start
+            # ``start`` rides along for lane attribution: perf_counter
+            # is CLOCK_MONOTONIC on Linux, so the parent's tracer can
+            # place this morsel on the worker's timeline directly.
             results.put(("ok", worker_id, index,
                          _pack(result, spec["out_count"]),
-                         elapsed, counter.total_ops - ops_before))
+                         start, elapsed, counter.total_ops - ops_before))
     except Exception:
         results.put(("error", worker_id, traceback.format_exc()))
     finally:
@@ -251,6 +254,9 @@ def _run_forked(spec, schedule, workers, strategy, stats):
     partials = {}
     by_index = {morsel.index: morsel for morsel in schedule}
     child_ops = 0
+    tracer = getattr(spec["config"], "tracer", None)
+    if tracer is not None and not tracer.enabled:
+        tracer = None
     _SHARED["spec"] = spec
     try:
         if strategy == "static":
@@ -288,13 +294,22 @@ def _run_forked(spec, schedule, workers, strategy, stats):
             elif kind == "error":
                 failures.append(message[2])
             else:
-                _, worker_id, index, payload, elapsed, ops = message
+                (_, worker_id, index, payload, started, elapsed,
+                 ops) = message
                 partials[index] = payload
                 child_ops += ops
                 morsel = by_index[index]
+                stolen = worker_id != morsel.home
                 stats.record_morsel(
                     index, worker_id, morsel.values.size, morsel.cost,
-                    elapsed, ops, stolen=worker_id != morsel.home)
+                    elapsed, ops, stolen=stolen, started=started)
+                if tracer is not None:
+                    tracer.record(
+                        "morsel:%d" % index, "execute", started,
+                        started + elapsed,
+                        lane="worker-%d" % worker_id,
+                        args={"size": int(morsel.values.size),
+                              "ops": int(ops), "stolen": stolen})
     finally:
         _SHARED.pop("spec", None)
         for process in processes:
@@ -321,6 +336,9 @@ def _run_inline(spec, schedule, stats):
     the per-morsel stats — while paying zero fork/queue overhead."""
     partials = {}
     counter = spec["config"].counter
+    tracer = getattr(spec["config"], "tracer", None)
+    if tracer is not None and not tracer.enabled:
+        tracer = None
     for morsel in schedule:
         ops_before = counter.total_ops
         start = time.perf_counter()
@@ -330,10 +348,15 @@ def _run_inline(spec, schedule, stats):
             raise ExecutionError("parallel worker failed:\n%s"
                                  % traceback.format_exc())
         elapsed = time.perf_counter() - start
+        ops = counter.total_ops - ops_before
         partials[morsel.index] = _pack(result, spec["out_count"])
         stats.record_morsel(morsel.index, 0, morsel.values.size,
-                            morsel.cost, elapsed,
-                            counter.total_ops - ops_before)
+                            morsel.cost, elapsed, ops, started=start)
+        if tracer is not None:
+            tracer.record("morsel:%d" % morsel.index, "execute", start,
+                          start + elapsed, lane="worker-0",
+                          args={"size": int(morsel.values.size),
+                                "ops": int(ops)})
     return partials
 
 

@@ -21,6 +21,18 @@ class BagPlan:
     width: float = 0.0
     reused_from_signature: bool = False
     parallelized: bool = False
+    #: Observability (EXPLAIN ANALYZE): wall seconds and simulated lane
+    #: ops this bag's evaluation actually took.  Recorded by the
+    #: executor on every run (cheap: two clock reads and one counter
+    #: delta per bag); ``None`` on bags that never evaluated (reused
+    #: results, plain ``explain``).
+    actual_seconds: float = None
+    actual_ops: int = None
+    #: Per-input profiles captured when the bag's inputs were assembled:
+    #: ``{"name", "variables", "root_card", "cardinality", "kind"}``
+    #: dicts feeding the cost-model prediction in
+    #: :mod:`repro.obs.explain`.
+    input_profiles: List = field(default_factory=list)
 
     def describe(self):
         """One-line rendering for explain output."""

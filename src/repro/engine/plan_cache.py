@@ -171,6 +171,12 @@ class PlanCache:
         self._rules.clear()
         self._bag_code.clear()
 
+    def sizes(self):
+        """Per-tier entry counts — feeds the observability gauges."""
+        return {"programs": len(self._programs),
+                "rules": len(self._rules),
+                "bag_code": len(self._bag_code)}
+
     def __len__(self):
         return len(self._programs) + len(self._rules) \
             + len(self._bag_code)

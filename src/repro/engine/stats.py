@@ -37,6 +37,10 @@ class MorselStat:
         True when the executing worker differs from the morsel's home
         worker under the static round-robin assignment — i.e. the
         morsel was pulled off the shared queue by an idle worker.
+    started:
+        ``time.perf_counter()`` timestamp at which the worker began the
+        morsel (CLOCK_MONOTONIC, comparable across forked processes).
+        0.0 when the executor predates lane attribution.
     """
 
     index: int
@@ -46,6 +50,7 @@ class MorselStat:
     seconds: float
     lane_ops: int = 0
     stolen: bool = False
+    started: float = 0.0
 
 
 @dataclass
@@ -91,10 +96,10 @@ class ExecStats:
     # -- recording ----------------------------------------------------------
 
     def record_morsel(self, index, worker, size, cost, seconds,
-                      lane_ops=0, stolen=False):
+                      lane_ops=0, stolen=False, started=0.0):
         """Append one morsel's record."""
         self.morsels.append(MorselStat(index, worker, size, cost,
-                                       seconds, lane_ops, stolen))
+                                       seconds, lane_ops, stolen, started))
 
     # -- derived numbers ----------------------------------------------------
 
@@ -124,18 +129,26 @@ class ExecStats:
             ops[morsel.worker] = ops.get(morsel.worker, 0) + morsel.lane_ops
         return ops
 
+    @property
+    def stranded_workers(self):
+        """Workers that never received a morsel in a multi-worker run."""
+        if self.workers <= 1 or not self.morsels:
+            return 0
+        return max(0, self.workers - len(self.worker_busy))
+
     def busy_ratio(self):
         """Max/min per-worker busy time — the straggler penalty.
 
-        1.0 is perfect balance.  Workers that ran no morsel count as
-        (near-)zero busy time, so a static plan that strands a worker
-        shows up as a large ratio rather than being hidden.
+        1.0 is perfect balance.  Only workers that actually ran a
+        morsel participate: dividing by a stranded worker's ~zero busy
+        time would report a meaningless ~1e9 ratio, so stranded workers
+        are counted separately (:attr:`stranded_workers`) and called
+        out by :meth:`describe` instead of poisoning the ratio.
         """
         busy = self.worker_busy
         if not busy:
             return 1.0
-        times = [busy.get(w, 0.0) for w in range(self.workers)] \
-            if self.workers > 1 else list(busy.values())
+        times = list(busy.values())
         slowest = max(times)
         fastest = min(times)
         if slowest <= 0.0:
@@ -158,25 +171,38 @@ class ExecStats:
 
     def describe(self):
         """Multi-line human-readable summary (used by the CLI)."""
-        lines = [
-            "parallel execution: strategy=%s workers=%d mode=%s"
-            % (self.strategy, self.workers, self.mode),
-            "  morsels: %d  steals: %d" % (self.n_morsels, self.steals),
-        ]
-        busy = self.worker_busy
-        if busy:
+        lines = ["execution mode: %s" % self.execution_mode]
+        ran_parallel = bool(self.morsels) or self.mode in ("forked",
+                                                           "inline")
+        if ran_parallel:
             lines.append(
-                "  busy ratio (max/min worker): %.2f   "
-                "morsel time ratio: %.2f"
-                % (self.busy_ratio(), self.morsel_time_ratio()))
-            ops = self.worker_ops
-            for worker in sorted(busy):
+                "parallel execution: strategy=%s workers=%d mode=%s"
+                % (self.strategy, self.workers, self.mode))
+            lines.append("  morsels: %d  steals: %d"
+                         % (self.n_morsels, self.steals))
+            busy = self.worker_busy
+            if busy:
                 lines.append(
-                    "  worker %d: %.4fs busy, %d morsel(s), %d lane ops"
-                    % (worker, busy[worker],
-                       sum(1 for m in self.morsels
-                           if m.worker == worker),
-                       ops.get(worker, 0)))
+                    "  busy ratio (max/min worker): %.2f   "
+                    "morsel time ratio: %.2f"
+                    % (self.busy_ratio(), self.morsel_time_ratio()))
+                if self.stranded_workers:
+                    lines.append(
+                        "  stranded workers: %d of %d never received "
+                        "a morsel (excluded from busy ratio)"
+                        % (self.stranded_workers, self.workers))
+                ops = self.worker_ops
+                for worker in sorted(busy):
+                    lines.append(
+                        "  worker %d: %.4fs busy, %d morsel(s), "
+                        "%d lane ops"
+                        % (worker, busy[worker],
+                           sum(1 for m in self.morsels
+                               if m.worker == worker),
+                           ops.get(worker, 0)))
+        elif self.mode == "fast-path":
+            lines.append(
+                "serial vectorized fast path (no morsels scheduled)")
         lines.append(
             "  level-0 intersection cache: %d hit(s), %d miss(es)"
             % (self.level0_cache_hits, self.level0_cache_misses))

@@ -1,0 +1,25 @@
+"""Observability for the query pipeline: tracing, metrics, EXPLAIN ANALYZE.
+
+Three cooperating pieces, all optional and all free when disabled:
+
+* :mod:`repro.obs.trace` — hierarchical span tracer over the query
+  lifecycle (parse → GHD search → attribute ordering → codegen →
+  plan-cache lookup → bags → morsels → intersections), with per-worker
+  lane attribution.
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON export
+  (``chrome://tracing`` / Perfetto) and schema validation.
+* :mod:`repro.obs.metrics` — cross-query counters/gauges/histograms
+  superseding the scattered per-query ``ExecStats`` counters.
+* :mod:`repro.obs.explain` — EXPLAIN ANALYZE rendering with
+  predicted-vs-actual cost-model error per GHD bag.
+
+Entry points: ``Database.enable_tracing()`` / ``Database.enable_metrics()``
+/ ``Database.explain_analyze()``, the CLI flags ``--trace`` /
+``--metrics`` / ``--explain-analyze``, and the ``REPRO_TRACE``
+environment variable.
+"""
+
+from .metrics import MetricsRegistry
+from .trace import Tracer, maybe_span
+
+__all__ = ["MetricsRegistry", "Tracer", "maybe_span"]

@@ -1,0 +1,238 @@
+"""Metrics registry: counters, gauges, and histograms for the engine.
+
+Absorbs and supersedes the scattered per-query counters in
+:mod:`repro.engine.stats`: a :class:`MetricsRegistry` accumulates
+*across* queries (``ExecStats`` stays the per-query snapshot behind
+``Database.last_stats``).  The engine feeds it from two directions:
+
+* ``Database`` calls :meth:`MetricsRegistry.record_exec_stats` after
+  every query, folding the ExecStats counters plus morsel-latency and
+  lane-ops histograms into the registry, along with layout-dispatch
+  counts derived from the simulated-SIMD :class:`repro.sets.cost.OpCounter`.
+* hot paths (interpretation's intersection loop, the compiled runtime
+  helpers) hold ``config.metrics`` — ``None`` unless enabled, so the
+  disabled cost is one ``is not None`` check — and observe
+  intersection sizes directly.
+
+Everything is process-local and allocation-light; no external
+dependencies.
+"""
+
+import math
+
+#: Power-of-four upper bounds for size-like histograms (set
+#: cardinalities, lane ops): 1, 4, 16, ... ~1.07e9.
+SIZE_BUCKETS = tuple(4 ** i for i in range(16))
+
+#: Upper bounds (seconds) for latency histograms: 1 µs .. ~100 s.
+TIME_BUCKETS = tuple(1e-6 * (10 ** (i / 2.0)) for i in range(17))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+
+
+class Gauge:
+    """Last-set value (e.g. cache sizes, worker counts)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count/min/max.
+
+    ``buckets`` are inclusive upper bounds; observations above the last
+    bound land in an implicit overflow bucket.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total",
+                 "minimum", "maximum")
+
+    def __init__(self, name, buckets=SIZE_BUCKETS):
+        self.name = name
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value):
+        index = 0
+        for bound in self.buckets:
+            if value <= bound:
+                break
+            index += 1
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self):
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "buckets": {
+                ("<=%g" % bound if i < len(self.buckets) else "inf"):
+                    self.counts[i]
+                for i, bound in enumerate(self.buckets + (math.inf,))
+                if self.counts[i]
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms, created on first use.
+
+    ``enabled`` gates every mutation so a disabled registry can stay
+    attached without cost; the engine additionally keeps
+    ``config.metrics`` as ``None`` when disabled so hot paths pay only
+    an ``is not None`` check.
+    """
+
+    def __init__(self, enabled=True):
+        self.enabled = enabled
+        self.counters = {}
+        self.gauges = {}
+        self.histograms = {}
+
+    # -- instrument access --------------------------------------------------
+
+    def counter(self, name):
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name):
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name, buckets=SIZE_BUCKETS):
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(name, buckets)
+        return histogram
+
+    # -- recording ----------------------------------------------------------
+
+    def inc(self, name, amount=1):
+        if not self.enabled:
+            return
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name, value):
+        if not self.enabled:
+            return
+        self.gauge(name).set(value)
+
+    def observe(self, name, value, buckets=SIZE_BUCKETS):
+        if not self.enabled:
+            return
+        self.histogram(name, buckets).observe(value)
+
+    def record_exec_stats(self, stats):
+        """Fold one query's :class:`repro.engine.stats.ExecStats` in."""
+        if not self.enabled or stats is None:
+            return
+        self.inc("cache.trie.hits", stats.trie_cache_hits)
+        self.inc("cache.trie.misses", stats.trie_cache_misses)
+        self.inc("cache.level0.hits", stats.level0_cache_hits)
+        self.inc("cache.level0.misses", stats.level0_cache_misses)
+        self.inc("cache.plan.hits", stats.plan_cache_hits)
+        self.inc("cache.plan.misses", stats.plan_cache_misses)
+        self.inc("pipeline.parses", stats.parses)
+        self.inc("pipeline.ghd_builds", stats.ghd_builds)
+        self.inc("pipeline.codegen_runs", stats.codegen_runs)
+        self.inc("pipeline.bag_codegen_reuses", stats.bag_codegen_reuses)
+        self.inc("pipeline.compiled_bag_calls", stats.compiled_bag_calls)
+        if stats.morsels:
+            self.inc("parallel.morsels", stats.n_morsels)
+            self.inc("parallel.steals", stats.steals)
+            self.inc("parallel.stranded_workers", stats.stranded_workers)
+            self.set_gauge("parallel.workers", stats.workers)
+            for morsel in stats.morsels:
+                self.observe("morsel.seconds", morsel.seconds, TIME_BUCKETS)
+                self.observe("morsel.lane_ops", morsel.lane_ops)
+
+    def record_counter_delta(self, before, after):
+        """Fold an :class:`~repro.sets.cost.OpCounter` snapshot delta in.
+
+        ``before``/``after`` are ``OpCounter.snapshot()`` dicts; the
+        per-algorithm call deltas give layout-dispatch counts.
+        """
+        if not self.enabled:
+            return
+        self.inc("ops.simd", after["simd_ops"] - before["simd_ops"])
+        self.inc("ops.scalar", after["scalar_ops"] - before["scalar_ops"])
+        previous = before["by_algorithm"]
+        for algorithm, stat in after["by_algorithm"].items():
+            prior = previous.get(algorithm, {"calls": 0})
+            calls = stat["calls"] - prior["calls"]
+            if calls:
+                self.inc("intersect.calls.%s" % algorithm, calls)
+
+    # -- inspection ---------------------------------------------------------
+
+    def snapshot(self):
+        """Plain-dict view of every instrument (JSON-serializable)."""
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self.counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self.gauges.items())},
+            "histograms": {name: h.snapshot()
+                           for name, h in sorted(self.histograms.items())},
+        }
+
+    def reset(self):
+        """Drop every instrument (names re-create lazily)."""
+        self.counters = {}
+        self.gauges = {}
+        self.histograms = {}
+
+    def describe(self):
+        """Human-readable dump, one instrument per line."""
+        lines = ["metrics:"]
+        for name, counter in sorted(self.counters.items()):
+            lines.append("  %-32s %d" % (name, counter.value))
+        for name, gauge in sorted(self.gauges.items()):
+            lines.append("  %-32s %g (gauge)" % (name, gauge.value))
+        for name, histogram in sorted(self.histograms.items()):
+            if not histogram.count:
+                continue
+            lines.append(
+                "  %-32s count=%d mean=%.3g min=%.3g max=%.3g" % (
+                    name, histogram.count, histogram.mean,
+                    histogram.minimum, histogram.maximum))
+        if len(lines) == 1:
+            lines.append("  (empty)")
+        return "\n".join(lines)

@@ -17,10 +17,18 @@ cardinality ratio where galloping overtakes shuffling — independent of
 interpreter noise.
 """
 
+import math
 from dataclasses import dataclass, field
 
 #: Number of 32-bit integer lanes in one SIMD comparison (SSE, 128-bit).
 SIMD_UINT32_LANES = 4
+
+#: Cardinality ratio beyond which the hybrid dispatcher switches from
+#: SIMDShuffling to SIMDGalloping (paper Section 4.2 / Algorithm 2).
+#: :mod:`repro.sets.intersect` re-exports this as ``GALLOPING_THRESHOLD``;
+#: it lives here so the *predictive* side of the model below stays in
+#: lock-step with the dispatch side.
+GALLOPING_CROSSOVER = 32
 
 #: Number of bits processed by one SIMD AND over a 256-bit AVX register.
 SIMD_REGISTER_BITS = 256
@@ -101,3 +109,62 @@ GLOBAL_COUNTER = OpCounter()
 def get_counter(counter=None):
     """Return ``counter`` if given, else the module-level shared counter."""
     return GLOBAL_COUNTER if counter is None else counter
+
+
+# ---------------------------------------------------------------------------
+# predictive side of the model
+# ---------------------------------------------------------------------------
+#
+# The charge formulas above record what an intersection *did* cost; the
+# functions below predict, from cardinalities alone, what the dispatcher
+# in :mod:`repro.sets.intersect` *will* charge for sorted-uint inputs.
+# EXPLAIN ANALYZE (:mod:`repro.obs.explain`) compares these predictions
+# against the measured lane ops to report the cost-model error per GHD
+# bag — this is the single place the prediction formulas live, so the
+# comparison is model-vs-reality, not model-vs-itself-rederived.
+
+def _log2_ceil(n):
+    return max(1, math.ceil(math.log2(max(int(n), 2))))
+
+
+def predict_pair_ops(card_a, card_b, simd=True):
+    """Predicted total lane ops for one two-set intersection.
+
+    Mirrors the adaptive uint dispatch: past the
+    :data:`GALLOPING_CROSSOVER` cardinality ratio the galloping family
+    runs (``O(small log large)``); below it the shuffling/merge family
+    runs (``O(small + large)``).  The shuffling output term is bounded
+    by the smaller input, making this an upper-bound prediction.
+    """
+    small = max(0, min(int(card_a), int(card_b)))
+    large = max(0, max(int(card_a), int(card_b)))
+    if small == 0:
+        return 0
+    galloping = large > GALLOPING_CROSSOVER * small
+    if not simd:
+        if galloping:
+            return small * _log2_ceil(large)
+        return small + large
+    if galloping:
+        blocks = -(-large // SIMD_UINT32_LANES)
+        return 2 * small + small * _log2_ceil(blocks)
+    return (-(-small // SIMD_UINT32_LANES) + -(-large // SIMD_UINT32_LANES)
+            + small)
+
+
+def predict_intersection_ops(cards, simd=True):
+    """Predicted lane ops for a multi-way intersection.
+
+    Models ``intersect_many``'s smallest-first left fold: each step
+    intersects the running result (bounded by the smallest cardinality
+    seen so far) with the next-larger set.
+    """
+    cards = sorted(max(0, int(c)) for c in cards)
+    if len(cards) < 2:
+        return 0
+    total = 0
+    running = cards[0]
+    for card in cards[1:]:
+        total += predict_pair_ops(running, card, simd=simd)
+        running = min(running, card)
+    return total

@@ -27,14 +27,16 @@ import numpy as np
 from .base import SetLayout
 from .bitset import BLOCK_BITS, BitSet, WORDS_PER_BLOCK
 from .bitpacked import BitPackedSet
-from .cost import (SIMD_REGISTER_BITS, SIMD_UINT16_LANES, SIMD_UINT32_LANES,
-                   get_counter)
+from .cost import (GALLOPING_CROSSOVER, SIMD_REGISTER_BITS,
+                   SIMD_UINT16_LANES, SIMD_UINT32_LANES, get_counter)
 from .uint import UintSet
 from .variant import VariantSet
 
 #: Cardinality ratio beyond which the hybrid dispatcher switches from
 #: SIMDShuffling to SIMDGalloping (paper Section 4.2 / Algorithm 2).
-GALLOPING_THRESHOLD = 32
+#: Defined in :mod:`repro.sets.cost` so the predictive model
+#: (``predict_pair_ops``) and this dispatch share one constant.
+GALLOPING_THRESHOLD = GALLOPING_CROSSOVER
 
 #: Algorithm names accepted by the ``algorithm`` parameter.
 UINT_ALGORITHMS = ("shuffling", "v1", "galloping", "simd_galloping", "bmiss")

@@ -1,0 +1,138 @@
+"""Metrics registry: instruments, snapshot/reset, query absorption."""
+
+import pytest
+
+from repro import Database
+from repro.engine.stats import ExecStats
+from repro.obs.metrics import (Histogram, MetricsRegistry, SIZE_BUCKETS,
+                               TIME_BUCKETS)
+
+from tests.conftest import random_undirected_edges
+
+TRIANGLES = ("T(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); "
+             "w=<<COUNT(*)>>.")
+
+
+class TestInstruments:
+    def test_counter_gauge_histogram_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.inc("a", 4)
+        registry.set_gauge("g", 7)
+        registry.observe("h", 3)
+        registry.observe("h", 100)
+        snap = registry.snapshot()
+        assert snap["counters"]["a"] == 5
+        assert snap["gauges"]["g"] == 7
+        assert snap["histograms"]["h"]["count"] == 2
+        assert snap["histograms"]["h"]["min"] == 3
+        assert snap["histograms"]["h"]["max"] == 100
+        assert snap["histograms"]["h"]["mean"] == pytest.approx(51.5)
+
+    def test_histogram_buckets_cover_range(self):
+        histogram = Histogram("h", buckets=(1, 4, 16))
+        for value in (0, 1, 2, 5, 1000):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["buckets"]["<=1"] == 2
+        assert snap["buckets"]["<=4"] == 1
+        assert snap["buckets"]["<=16"] == 1
+        assert snap["buckets"]["inf"] == 1
+
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.inc("a")
+        registry.set_gauge("g", 1)
+        registry.observe("h", 1)
+        registry.record_exec_stats(ExecStats())
+        snap = registry.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+
+    def test_describe_lists_instruments(self):
+        registry = MetricsRegistry()
+        registry.inc("queries", 2)
+        text = registry.describe()
+        assert text.startswith("metrics:")
+        assert "queries" in text
+
+    def test_time_and_size_buckets_are_increasing(self):
+        assert list(SIZE_BUCKETS) == sorted(SIZE_BUCKETS)
+        assert list(TIME_BUCKETS) == sorted(TIME_BUCKETS)
+
+
+class TestExecStatsAbsorption:
+    def test_morsel_histograms_and_counters(self):
+        stats = ExecStats(workers=2, mode="forked")
+        stats.record_morsel(0, 0, 10, 1.0, 0.01, lane_ops=50)
+        stats.record_morsel(1, 1, 10, 1.0, 0.02, lane_ops=70,
+                            stolen=True)
+        registry = MetricsRegistry()
+        registry.record_exec_stats(stats)
+        snap = registry.snapshot()
+        assert snap["counters"]["parallel.morsels"] == 2
+        assert snap["counters"]["parallel.steals"] == 1
+        assert snap["gauges"]["parallel.workers"] == 2
+        assert snap["histograms"]["morsel.seconds"]["count"] == 2
+        assert snap["histograms"]["morsel.lane_ops"]["max"] == 70
+
+    def test_none_stats_is_a_noop(self):
+        registry = MetricsRegistry()
+        registry.record_exec_stats(None)
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestQueryAbsorption:
+    @pytest.fixture
+    def db(self):
+        # Interpreted mode explicitly — these tests assert behavior
+        # (intersection-size histograms, serial last_stats) that the
+        # compiled pipeline's specialized kernels rightly change, so
+        # they must not float with REPRO_EXECUTION_MODE.
+        database = Database(execution_mode="interpreted")
+        database.load_graph(
+            "Edge", random_undirected_edges(30, 90, seed=3), prune=True)
+        return database
+
+    def test_query_populates_registry(self, db):
+        registry = db.enable_metrics()
+        db.query(TRIANGLES)
+        snap = registry.snapshot()
+        assert snap["counters"]["queries"] == 1
+        assert snap["counters"]["ops.simd"] > 0
+        assert any(name.startswith("intersect.calls.")
+                   for name in snap["counters"])
+        assert snap["histograms"]["intersection.size"]["count"] > 0
+        assert snap["histograms"]["query.seconds"]["count"] == 1
+        assert "trie_cache.entries" in snap["gauges"]
+
+    def test_compiled_query_counts_pipeline_work(self):
+        db = Database(execution_mode="compiled")
+        db.load_graph(
+            "Edge", random_undirected_edges(30, 90, seed=3), prune=True)
+        registry = db.enable_metrics()
+        db.query(TRIANGLES)
+        db.query(TRIANGLES)
+        snap = registry.snapshot()
+        assert snap["counters"]["queries"] == 2
+        assert snap["counters"]["pipeline.codegen_runs"] >= 1
+        assert snap["counters"]["pipeline.compiled_bag_calls"] >= 2
+        assert snap["gauges"]["plan_cache.rules"] >= 1
+
+    def test_disable_metrics_stops_recording(self, db):
+        registry = db.enable_metrics()
+        db.query(TRIANGLES)
+        first = registry.snapshot()["counters"]["queries"]
+        db.disable_metrics()
+        db.query(TRIANGLES)
+        assert registry.snapshot()["counters"]["queries"] == first
+
+    def test_serial_interpreted_query_keeps_last_stats_none(self, db):
+        db.enable_metrics()
+        db.query(TRIANGLES)
+        assert db.last_stats is None

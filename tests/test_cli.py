@@ -63,3 +63,39 @@ class TestCommands:
                      "--layout-level", "uint_only", self.TRIANGLES])
         assert code == 0
         assert capsys.readouterr().out.strip().startswith("1.0")
+
+
+class TestObservabilityFlags:
+    TRIANGLES = TestCommands.TRIANGLES
+
+    def test_trace_writes_valid_chrome_json(self, edge_file, tmp_path,
+                                            capsys):
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+
+        trace = tmp_path / "trace.json"
+        code = main(["query", "--edges", edge_file, "--prune",
+                     "--trace", str(trace), self.TRIANGLES])
+        assert code == 0
+        assert "trace written to" in capsys.readouterr().err
+        payload = json.loads(trace.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert payload["traceEvents"]
+
+    def test_metrics_printed_to_stderr(self, edge_file, capsys):
+        code = main(["query", "--edges", edge_file, "--prune",
+                     "--metrics", self.TRIANGLES])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "metrics:" in err
+        assert "queries" in err
+
+    def test_explain_analyze_replaces_result_output(self, edge_file,
+                                                    capsys):
+        code = main(["query", "--edges", edge_file, "--prune",
+                     "--explain-analyze", self.TRIANGLES])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("EXPLAIN ANALYZE")
+        assert "cost-model error:" in out

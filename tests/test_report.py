@@ -55,6 +55,23 @@ class TestRender:
         assert "Paper Table 5" in text
         assert "Paper Figure 10" in text
 
+    def test_phase_breakdown_section(self):
+        data = {"benchmarks": [
+            {"name": "test_repeated[compiled]", "group": "codegen:tri",
+             "stats": {"mean": 0.01},
+             "extra_info": {"phase_compile_ms": 4.0,
+                            "phase_execute_ms": 6.0}},
+            {"name": "test_other", "group": "fig10:x",
+             "stats": {"mean": 0.01}, "extra_info": {}},
+        ]}
+        text = report.render(data)
+        assert "### phase breakdown (compile vs execute)" in text
+        assert "| codegen:tri | repeated[compiled] | 4.000 | 6.000 " \
+               "| 40.0% |" in text
+
+    def test_phase_breakdown_absent_without_stamps(self, sample_data):
+        assert "phase breakdown" not in report.render(sample_data)
+
     def test_every_experiment_has_an_expectation(self):
         """Each bench module's group prefix must have commentary."""
         bench_dir = REPORT_PATH.parent
