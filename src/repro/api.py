@@ -19,6 +19,7 @@ import numpy as np
 
 from .engine.config import EngineConfig
 from .engine.executor import RuleExecutor, TrieCache
+from .engine.memo import BagMemo
 from .engine.plan_cache import PlanCache, config_signature
 from .engine.recursion import execute_recursive
 from .engine.stats import ExecStats
@@ -262,25 +263,44 @@ class Database:
             write_chrome_trace(tracer, self._trace_path)
         return result
 
+    def _program_memo(self):
+        """A fresh cross-rule bag memo, or ``None`` when disabled.
+
+        Installed on the executor for one program's duration so a bag
+        that reappears in a later rule (same relations, same pattern,
+        same selections and aggregation) reuses the earlier rule's
+        result instead of re-joining.
+        """
+        if self.config.eliminate_redundant_bags \
+                and self.config.cross_rule_cse:
+            return BagMemo()
+        return None
+
     def _query_interpreted(self, text):
         tracer = self.config.tracer
         with maybe_span(tracer, "parse", "compile", chars=len(text)):
             program = parse(text)
         result_relation = None
-        for rule in program.rules:
-            # Resolve decode dictionaries against the pre-execution
-            # catalog: a recursive rule replaces its own head relation
-            # mid-flight, which would otherwise lose them.
-            head_dictionaries = self._head_dictionaries(rule)
-            with maybe_span(tracer, "rule:%s" % rule.head_name, "query"):
-                if rule.recursive:
-                    result_relation = execute_recursive(rule,
-                                                        self._executor)
-                else:
-                    result_relation = self._executor.execute(rule)
-            if head_dictionaries is not None and result_relation.arity:
-                result_relation.dictionaries = head_dictionaries
-            self._install(rule.head_name, result_relation)
+        self._executor.program_memo = self._program_memo()
+        try:
+            for rule in program.rules:
+                # Resolve decode dictionaries against the pre-execution
+                # catalog: a recursive rule replaces its own head
+                # relation mid-flight, which would otherwise lose them.
+                head_dictionaries = self._head_dictionaries(rule)
+                with maybe_span(tracer, "rule:%s" % rule.head_name,
+                                "query"):
+                    if rule.recursive:
+                        result_relation = execute_recursive(rule,
+                                                            self._executor)
+                    else:
+                        result_relation = self._executor.execute(rule)
+                if head_dictionaries is not None and result_relation.arity:
+                    result_relation.dictionaries = head_dictionaries
+                self._install(rule.head_name, result_relation)
+        finally:
+            self._record_memo_metrics(self._executor.program_memo)
+            self._executor.program_memo = None
         return Result(result_relation)
 
     def _query_compiled(self, text):
@@ -305,22 +325,36 @@ class Database:
                 rules = tuple(parse(text).rules)
             self._plan_cache.put_program(key, rules)
         result_relation = None
-        for rule in rules:
-            head_dictionaries = self._head_dictionaries(rule)
-            with maybe_span(tracer, "rule:%s" % rule.head_name, "query"):
-                if rule.recursive:
-                    result_relation = execute_recursive(rule,
-                                                        self._executor)
-                else:
-                    result_relation = \
-                        self._executor.execute_compiled_mode(rule, stats)
-            if head_dictionaries is not None and result_relation.arity:
-                result_relation.dictionaries = head_dictionaries
-            self._install(rule.head_name, result_relation)
+        self._executor.program_memo = self._program_memo()
+        try:
+            for rule in rules:
+                head_dictionaries = self._head_dictionaries(rule)
+                with maybe_span(tracer, "rule:%s" % rule.head_name,
+                                "query"):
+                    if rule.recursive:
+                        result_relation = execute_recursive(rule,
+                                                            self._executor)
+                    else:
+                        result_relation = \
+                            self._executor.execute_compiled_mode(rule,
+                                                                 stats)
+                if head_dictionaries is not None and result_relation.arity:
+                    result_relation.dictionaries = head_dictionaries
+                self._install(rule.head_name, result_relation)
+        finally:
+            self._record_memo_metrics(self._executor.program_memo)
+            self._executor.program_memo = None
         # Recursion rounds install their own per-round stats; the
         # program-level counters are what the caller sees.
         self._executor.last_stats = stats
         return Result(result_relation)
+
+    def _record_memo_metrics(self, memo):
+        metrics = self.config.metrics
+        if memo is None or metrics is None:
+            return
+        metrics.inc("cse.bag_hits", memo.hits)
+        metrics.inc("cse.bag_misses", memo.misses)
 
     def plan(self, text):
         """Compile the last rule of a program without executing it.
@@ -337,6 +371,30 @@ class Database:
         """Compile-only plan description for a program's last rule:
         chosen GHD, widths, global attribute order, per-bag orders."""
         return self.plan(text).describe()
+
+    def explain_logical(self, text):
+        """Pass-by-pass logical plan of every rule in a program.
+
+        Runs the frontend, rewrite, and plan phases of the
+        :mod:`repro.lir` optimizer (no tuples are joined) and renders
+        each pass's trace: what constant folding folded, what pruning
+        projected away, the GHD choice with its cardinalities, pushed
+        selections, and the global attribute order.  Like :meth:`plan`,
+        rules are compiled against the current catalog, so intermediate
+        heads from earlier rules must already exist.
+        """
+        from .lir import OptimizerOptions, optimize_rule, plan_rule
+        options = OptimizerOptions.from_config(self.config)
+        sections = []
+        for rule in parse(text).rules:
+            logical = optimize_rule(rule, self.catalog, options)
+            try:
+                plan_rule(logical, options)
+            except Exception as error:  # pragma: no cover - diagnostics
+                logical.trace.record("plan", False,
+                                     ["failed: %s" % error])
+            sections.append(logical.trace.describe())
+        return "\n\n".join(sections)
 
     def relation(self, name):
         """Fetch a stored relation by name."""
@@ -465,7 +523,8 @@ class Database:
             self.config.tracer = previous
         return render_explain_analyze(
             self._executor.last_plan, self._executor.last_stats, own,
-            self.config, result=result.relation)
+            self.config, result=result.relation,
+            logical=self._executor.last_logical)
 
     def _head_dictionaries(self, rule):
         """Column dictionaries for the head, looked up from the body

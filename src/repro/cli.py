@@ -96,6 +96,9 @@ def cmd_query(args):
         db.enable_tracing(path=args.trace)
     if args.metrics:
         db.enable_metrics()
+    if args.explain_logical:
+        print(db.explain_logical(args.query))
+        return 0
     if args.explain_analyze:
         report = db.explain_analyze(args.query)
         print(report)
@@ -201,6 +204,10 @@ def build_parser():
                        help="print the GHD plan annotated with actual "
                             "timings and cost-model error instead of "
                             "the result tuples")
+    query.add_argument("--explain-logical", action="store_true",
+                       help="print the optimizer's pass-by-pass logical "
+                            "plan (rewrites, GHD choice, pushdown, "
+                            "attribute order) without executing")
     query.set_defaults(func=cmd_query)
 
     explain = sub.add_parser("explain", help="show the compiled plan")

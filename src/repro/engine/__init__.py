@@ -4,8 +4,8 @@ from .codegen import (GeneratedQuery, InputSpec, compile_count_rule,
                       generate_bag_plan, generate_count_plan,
                       trie_level_kind)
 from .config import EngineConfig
-from .executor import (RuleExecutor, TrieCache, eval_expression,
-                       normalize_atom)
+from ..lir.build import normalize_atom
+from .executor import RuleExecutor, TrieCache, eval_expression
 from .generic_join import (BagEvaluator, BagInput, BagResult,
                            assemble_chunks, evaluate_bag)
 from .parallel import evaluate_bag_parallel, parallel_count

@@ -458,8 +458,8 @@ def compile_count_rule(rule, database):
     from ..ghd.attribute_order import (bag_evaluation_order,
                                        global_attribute_order)
     from ..ghd.decompose import decompose
+    from ..lir.build import normalize_atom
     from ..query.hypergraph import Hypergraph
-    from .executor import normalize_atom
 
     aggregates = rule.aggregates
     if rule.head_vars or not aggregates or aggregates[0].op != "COUNT" \
@@ -467,7 +467,7 @@ def compile_count_rule(rule, database):
         raise PlanError("code generation supports COUNT(*) rules with an "
                         "empty head")
     atoms = [normalize_atom(atom, database.catalog) for atom in rule.body]
-    hypergraph = Hypergraph(_View(a) for a in atoms)
+    hypergraph = Hypergraph(atoms)
     ghd = decompose(hypergraph, use_ghd=False)
     global_order = global_attribute_order(ghd)
     eval_order = bag_evaluation_order(ghd.root.chi, (), global_order)
@@ -482,11 +482,3 @@ def compile_count_rule(rule, database):
         tries.append(trie)
     generated = generate_count_plan(eval_order, specs)
     return generated, tries
-
-
-class _View:
-    """Hypergraph adapter for normalized atoms (same as executor's)."""
-
-    def __init__(self, atom):
-        self.name = atom.name
-        self.variables = atom.variables

@@ -46,6 +46,16 @@ class EngineConfig:
     skip_top_down:
         Elide Yannakakis' top-down pass when the root already holds every
         head attribute (Appendix B.2).
+    prune_attributes:
+        Project away purely existential body attributes before GHD
+        search (the :class:`repro.lir` attribute-pruning rewrite pass).
+    fold_constants:
+        Fold constant subexpressions of annotation assignments at
+        optimization time (the constant-folding rewrite pass).
+    cross_rule_cse:
+        Extend redundant-bag elimination across the rules of one program
+        via a program-scoped :class:`~repro.engine.memo.BagMemo`; only
+        effective while ``eliminate_redundant_bags`` is on.
     uint_algorithm:
         Force one uint∩uint kernel by name (``None`` = adaptive
         dispatch); used by the micro-benchmarks.
@@ -93,6 +103,9 @@ class EngineConfig:
     push_selections: bool = True
     eliminate_redundant_bags: bool = True
     skip_top_down: bool = True
+    prune_attributes: bool = True
+    fold_constants: bool = True
+    cross_rule_cse: bool = True
     uint_algorithm: Optional[str] = None
     execution_mode: str = field(default_factory=_default_execution_mode)
     parallel_workers: int = 1

@@ -1,20 +1,23 @@
-"""GHD plan execution: Yannakakis over worst-case optimal bags (§3.3).
+"""Physical planning and GHD plan execution (paper §3.3).
 
-For one non-recursive rule the executor:
+This module is the bottom half of the four-layer pipeline (see
+``docs/architecture.md``): the logical work — atom normalization,
+rewrites, GHD choice, selection pushdown, attribute ordering — happens
+in :mod:`repro.lir`; the executor receives an optimized
+:class:`~repro.lir.ir.LogicalRule` and
 
-1. *normalizes* atoms — applies constant selections and repeated-variable
-   filters so every remaining atom is over distinct variables;
-2. compiles the hypergraph to a GHD (min fractional width, selection
-   push-down) and fixes the global attribute order;
-3. runs Yannakakis' **bottom-up** pass: every bag is evaluated with the
+1. lowers it to per-bag physical plans (evaluation orders, inputs,
+   pass-up shapes), interpreted or code-generated;
+2. runs Yannakakis' **bottom-up** pass: every bag is evaluated with the
    generic worst-case optimal join, aggregating away attributes its
    parent does not need (early aggregation) and passing the result up as
    an additional input relation — with structurally identical bags
-   evaluated once (Appendix B.2);
-4. when head attributes span several bags in a materialization query,
+   evaluated once (Appendix B.2), within a rule and (through the
+   program-scoped :class:`~repro.engine.memo.BagMemo`) across rules;
+3. when head attributes span several bags in a materialization query,
    runs the **top-down** pass joining the retained bag results; the pass
    is elided when the root already covers the head (Appendix B.2);
-5. applies the rule's annotation expression (e.g. ``0.15 + 0.85*<<SUM>>``).
+4. applies the rule's annotation expression (e.g. ``0.15 + 0.85*<<SUM>>``).
 """
 
 import itertools
@@ -22,19 +25,20 @@ import time
 
 import numpy as np
 
-from ..errors import ExecutionError, PlanError, UnknownRelationError
+from ..errors import ExecutionError, PlanError
 from ..obs.trace import maybe_span
-from ..ghd.attribute_order import bag_evaluation_order, global_attribute_order
-from ..ghd.decompose import decompose
+from ..ghd.attribute_order import bag_evaluation_order
 from ..ghd.equivalence import bag_signature, canonical_attr_indexes
-from ..query.ast import Agg, BinOp, Constant, Num, Ref
-from ..query.hypergraph import Hypergraph
+from ..lir import OptimizerOptions, optimize_rule, plan_rule
+from ..lir.build import normalize_atom  # noqa: F401  (compat re-export)
+from ..query.ast import Agg, BinOp, Num, Ref
 from ..sets.optimizer import SetOptimizer
-from ..storage.relation import Relation
+from ..storage.relation import Relation, relation_columns
 from ..storage.trie import Trie
 from .codegen import InputSpec, generate_bag_plan, static_level_kind, \
     trie_level_kind
 from .generic_join import BagEvaluator, BagInput, BagResult, evaluate_bag
+from .memo import remap_memoized
 from .plan import BagPlan, PhysicalPlan
 from .plan_cache import CompiledBag, CompiledRule, PlanCache, \
     config_signature
@@ -146,84 +150,6 @@ class TrieCache:
         return len(self._tries)
 
 
-class NormalizedAtom:
-    """A body atom reduced to distinct variables over a concrete relation."""
-
-    __slots__ = ("relation", "variables", "is_selection", "annotated",
-                 "name")
-
-    def __init__(self, relation, variables, is_selection, annotated, name):
-        self.relation = relation
-        self.variables = tuple(variables)
-        self.is_selection = is_selection
-        self.annotated = annotated
-        self.name = name
-
-
-def normalize_atom(atom, catalog):
-    """Resolve and reduce one atom.
-
-    Constant terms become equality filters (the "pushing selections
-    within a node" of Appendix B.1 — the filter happens before any join
-    work); repeated variables become column-equality filters.  Returns a
-    :class:`NormalizedAtom`, possibly over an empty derived relation.
-    """
-    relation = catalog.get(atom.name)
-    if relation is None:
-        raise UnknownRelationError(atom.name, catalog.keys())
-    if len(atom.terms) != relation.arity:
-        raise ExecutionError(
-            "atom %s has %d terms but relation arity is %d"
-            % (atom, len(atom.terms), relation.arity))
-    data = relation.data
-    annotations = relation.annotations
-    mask = np.ones(data.shape[0], dtype=bool)
-    is_selection = False
-    for position, constant in atom.selections:
-        is_selection = True
-        encoded = _encode_constant(relation, position, constant.value)
-        if encoded is None:
-            mask[:] = False
-            break
-        mask &= data[:, position] == encoded
-    keep_columns = []
-    seen_vars = {}
-    for position, term in enumerate(atom.terms):
-        if isinstance(term, Constant):
-            continue
-        if term.name in seen_vars:
-            mask &= data[:, position] == data[:, seen_vars[term.name]]
-        else:
-            seen_vars[term.name] = position
-            keep_columns.append((term.name, position))
-    variables = tuple(name for name, _ in keep_columns)
-    if is_selection or len(keep_columns) != relation.arity:
-        data = data[mask][:, [p for _, p in keep_columns]]
-        annotations = annotations[mask] if annotations is not None else None
-        derived = Relation("%s|%s" % (relation.name, atom), data,
-                           annotations, None)
-    else:
-        derived = relation
-    return NormalizedAtom(derived, variables, is_selection,
-                          derived.annotations is not None, atom.name)
-
-
-def _encode_constant(relation, position, value):
-    """Encode a selection constant through the column's dictionary.
-
-    Returns ``None`` when the value is absent (the selection is empty).
-    """
-    if relation.dictionaries is not None:
-        dictionary = relation.dictionaries[position]
-        try:
-            return dictionary.lookup(value)
-        except KeyError:
-            return None
-    if isinstance(value, (int, np.integer)) and 0 <= value < 2 ** 32:
-        return int(value)
-    return None
-
-
 def eval_expression(expr, agg_value, env):
     """Evaluate an annotation expression tree.
 
@@ -258,7 +184,13 @@ def eval_expression(expr, agg_value, env):
 
 
 class RuleExecutor:
-    """Executes one normalized, non-recursive rule against a catalog."""
+    """Executes one optimized, non-recursive rule against a catalog.
+
+    All logical planning is delegated to :mod:`repro.lir`; this class
+    owns only physical concerns — tries, bag evaluation, Yannakakis
+    passes, finalization — plus the compiled-mode plan cache keyed on
+    the canonical (alpha-invariant) optimized IR.
+    """
 
     def __init__(self, catalog, config, trie_cache=None, env=None,
                  plan_cache=None):
@@ -269,7 +201,15 @@ class RuleExecutor:
         self.plans = plan_cache if plan_cache is not None else PlanCache()
         self.last_plan = None  # PhysicalPlan of the latest execution
         self.last_stats = None  # ExecStats of the latest parallel run
+        self.last_logical = None  # LogicalRule of the latest execution
+        #: Program-scoped cross-rule bag memo (a
+        #: :class:`~repro.engine.memo.BagMemo`), installed by
+        #: ``Database.query`` for the duration of a program.
+        self.program_memo = None
         self._parallel_node = None  # id() of the bag chosen for forking
+
+    def _options(self):
+        return OptimizerOptions.from_config(self.config)
 
     # -- public ---------------------------------------------------------------
 
@@ -285,25 +225,29 @@ class RuleExecutor:
         if mode != "interpreted":
             raise ExecutionError("unknown execution_mode %r" % (mode,))
         self.last_stats = None
-        atoms = [normalize_atom(atom, self.catalog) for atom in rule.body]
-        guards = [a for a in atoms if not a.variables]
-        atoms = [a for a in atoms if a.variables]
-        if any(g.relation.cardinality == 0 for g in guards):
+        logical = optimize_rule(rule, self.catalog, self._options())
+        self.last_logical = logical
+        if logical.has_empty_guard:
             return self._empty_output(rule)
-        body_vars = set()
-        for atom in atoms:
-            body_vars |= set(atom.variables)
-        missing = [v for v in rule.head_vars if v not in body_vars]
-        if missing:
-            raise PlanError("head variables %s unbound in the body"
-                            % missing)
-        aggregates = rule.aggregates
-        if len(aggregates) > 1:
-            raise PlanError("at most one aggregate per rule is supported")
-        agg = aggregates[0] if aggregates else None
+        self._validate(logical)
+        agg = logical.aggregate
         if agg is not None and agg.op == "COUNT" and agg.arg != "*":
-            return self._execute_count_distinct(rule, atoms, agg)
-        return self._execute_plan(rule, atoms, agg)
+            return self._execute_count_distinct(logical, agg)
+        return self._execute_plan(logical)
+
+    @staticmethod
+    def _validate(logical):
+        """Enforce the head/aggregate restrictions the builder recorded.
+
+        Deferred until after the empty-guard short-circuit so a rule
+        with a statically empty guard atom returns an empty result
+        instead of raising, matching the engine's historical behavior.
+        """
+        if logical.unbound_head:
+            raise PlanError("head variables %s unbound in the body"
+                            % logical.unbound_head)
+        if logical.too_many_aggregates:
+            raise PlanError("at most one aggregate per rule is supported")
 
     def compile(self, rule):
         """Compile ``rule`` to a :class:`PhysicalPlan` without running it.
@@ -313,19 +257,17 @@ class RuleExecutor:
         before any tuple is touched; only the runtime facts (bag reuse,
         whether the top-down pass ran) stay at their defaults.
         """
-        atoms = [normalize_atom(atom, self.catalog) for atom in rule.body]
-        atoms = [a for a in atoms if a.variables]
-        aggregates = rule.aggregates
-        aggregate_mode = rule.annotation is not None and bool(aggregates)
-        ghd, _ = self._choose_ghd(rule, atoms, aggregate_mode)
-        selected_vars = {v for a in atoms if a.is_selection
-                         for v in a.variables}
-        global_order = global_attribute_order(ghd, selected_vars,
-                                              rule.head_vars)
-        plan = PhysicalPlan(rule=rule, ghd=ghd, global_order=global_order,
+        logical = optimize_rule(rule, self.catalog, self._options())
+        self.last_logical = logical
+        plan_rule(logical, self._options())
+        atoms = logical.atoms
+        ghd = logical.ghd
+        aggregate_mode = logical.aggregate_mode
+        plan = PhysicalPlan(rule=rule, ghd=ghd,
+                            global_order=logical.global_order,
                             aggregate_mode=aggregate_mode)
         parents = ghd.parent_map()
-        head = frozenset(rule.head_vars)
+        head = frozenset(logical.head_vars)
         for node in ghd.nodes_bottom_up():
             parent = parents[node]
             shared = node.chi_set & parent.chi_set if parent is not None \
@@ -336,7 +278,7 @@ class RuleExecutor:
                     keep |= node.chi_set & child.chi_set
             out_attrs = [a for a in node.chi if a in head or a in keep]
             eval_order = bag_evaluation_order(node.chi, out_attrs,
-                                              global_order)
+                                              logical.global_order)
             plan.bags.append(BagPlan(
                 chi=tuple(node.chi), eval_order=tuple(eval_order),
                 out_attrs=tuple(out_attrs),
@@ -344,83 +286,42 @@ class RuleExecutor:
                 width=node.width()))
         return plan
 
-    # -- plan construction ----------------------------------------------------
+    # -- cross-rule memo ------------------------------------------------------
 
-    def _choose_ghd(self, rule, atoms, aggregate_mode):
-        with maybe_span(self.config.tracer, "ghd_search", "compile",
-                        atoms=len(atoms)):
-            hypergraph = Hypergraph(_AtomView(a) for a in atoms)
-            sizes = {i: atoms[i].relation.cardinality
-                     for i in range(len(atoms))}
-            selected_vars = set()
-            selection_edges = set()
-            for index, atom in enumerate(atoms):
-                if atom.is_selection:
-                    selection_edges.add(index)
-                    selected_vars |= set(atom.variables)
-            ghd = decompose(
-                hypergraph, sizes=sizes, selected_vars=selected_vars,
-                selection_edges=selection_edges,
-                prefer_deep_selections=self.config.push_selections,
-                use_ghd=self.config.use_ghd)
-            if aggregate_mode and not self._aggregate_flow_ok(ghd, rule):
-                # Head attributes span bags in a way early aggregation
-                # cannot express; fall back to the (always correct)
-                # single-node plan.
-                ghd = decompose(hypergraph, sizes=sizes, use_ghd=False)
-            duplicates = set()
-            if self.config.push_selections and selection_edges:
-                duplicates = self._push_selection_copies(ghd, hypergraph,
-                                                         selection_edges)
-            return ghd, duplicates
+    def _memo_probe(self, memo, signature, canonical_out, out_attrs):
+        """Check the per-rule memo, then the program-scoped one."""
+        if not self.config.eliminate_redundant_bags:
+            return None
+        entry = memo.get(signature)
+        if entry is None and self.program_memo is not None:
+            entry = self.program_memo.get(signature, self.catalog)
+        if entry is None:
+            return None
+        return remap_memoized(entry, canonical_out, out_attrs)
 
-    @staticmethod
-    def _aggregate_flow_ok(ghd, rule):
-        """Early aggregation needs every bag's head attributes visible to
-        its parent (head values cannot be re-derived going up)."""
-        head = frozenset(rule.head_vars)
-        parents = ghd.parent_map()
-        for node in ghd.nodes_preorder():
-            parent = parents[node]
-            if parent is None:
-                continue
-            if not (head & node.chi_set) <= parent.chi_set:
-                return False
-        return True
-
-    @staticmethod
-    def _push_selection_copies(ghd, hypergraph, selection_edges):
-        """Appendix B.1.1 step 2: copy selection atoms into every bag
-        covering their variables.  Returns the duplicated (node, edge)
-        pairs so their annotations are not multiplied twice."""
-        duplicates = set()
-        by_index = {e.index: e for e in hypergraph.edges}
-        for node in ghd.nodes_preorder():
-            own = {e.index for e in node.edges}
-            for index in selection_edges:
-                edge = by_index[index]
-                if index not in own and edge.varset <= node.chi_set:
-                    node.edges.append(edge)
-                    duplicates.add((id(node), index))
-        return duplicates
+    def _memo_store(self, memo, signature, result, canonical_out, logical):
+        memo[signature] = (result, canonical_out)
+        if self.program_memo is not None:
+            self.program_memo.put(signature, result, canonical_out,
+                                  _relation_guards(logical))
 
     # -- execution ------------------------------------------------------------
 
-    def _execute_plan(self, rule, atoms, agg):
-        aggregate_mode = rule.annotation is not None and agg is not None
-        ghd, duplicates = self._choose_ghd(rule, atoms, aggregate_mode)
-        selected_vars = {v for a in atoms if a.is_selection
-                         for v in a.variables}
-        with maybe_span(self.config.tracer, "attribute_order", "compile"):
-            global_order = global_attribute_order(ghd, selected_vars,
-                                                  rule.head_vars)
+    def _execute_plan(self, logical):
+        agg = logical.aggregate
+        aggregate_mode = logical.aggregate_mode
+        plan_rule(logical, self._options())
+        atoms = logical.atoms
+        ghd = logical.ghd
+        duplicates = logical.duplicates
+        global_order = logical.global_order
+        sig_names = logical.sig_names()
         semiring = semiring_for(agg.op) if aggregate_mode else EXISTS
         # Multi-bag parallelism: fork only the largest bag (it dominates
         # the runtime; the rest evaluate serially in the parent).
         self._parallel_node = None
         cache_marks = None
         if self.config.parallel_workers > 1:
-            from .stats import ExecStats
             self._parallel_node = _largest_bag_node(ghd, atoms)
             self.last_stats = ExecStats(
                 strategy=self.config.parallel_strategy,
@@ -429,11 +330,12 @@ class RuleExecutor:
                            self.cache.level0_hits,
                            self.cache.level0_misses)
         parents = ghd.parent_map()
-        head = frozenset(rule.head_vars)
+        head = frozenset(logical.head_vars)
         retained = {}
         signatures = {}
         memo = {}
-        plan = PhysicalPlan(rule=rule, ghd=ghd, global_order=global_order,
+        plan = PhysicalPlan(rule=logical.rule, ghd=ghd,
+                            global_order=global_order,
                             aggregate_mode=aggregate_mode)
         self.last_plan = plan
         for node in ghd.nodes_bottom_up():
@@ -450,12 +352,12 @@ class RuleExecutor:
             signature = bag_signature(
                 node, out_attrs,
                 [signatures[id(c)] for c in node.children],
-                aggregation_sig=(semiring.name, aggregate_mode))
-            canonical_out = canonical_attr_indexes(node.edges, out_attrs)
-            reused = None
-            if self.config.eliminate_redundant_bags and signature in memo:
-                reused = _remap_memoized(memo[signature], canonical_out,
-                                         out_attrs)
+                aggregation_sig=(semiring.name, aggregate_mode),
+                edge_names=sig_names)
+            canonical_out = canonical_attr_indexes(node.edges, out_attrs,
+                                                   edge_names=sig_names)
+            reused = self._memo_probe(memo, signature, canonical_out,
+                                      out_attrs)
             eval_order = bag_evaluation_order(node.chi, out_attrs,
                                               global_order)
             bag_plan = BagPlan(
@@ -481,7 +383,8 @@ class RuleExecutor:
                                            duplicates, bag_plan))
             retained[id(node)] = result
             signatures[id(node)] = signature
-            memo[signature] = (result, canonical_out)
+            self._memo_store(memo, signature, result, canonical_out,
+                             logical)
         if cache_marks is not None:
             hits0, misses0, l0_hits0, l0_misses0 = cache_marks
             self.last_stats.trie_cache_hits = self.cache.hits - hits0
@@ -492,8 +395,8 @@ class RuleExecutor:
                 self.cache.level0_misses - l0_misses0
         root_result = retained[id(ghd.root)]
         if aggregate_mode:
-            return self._finish_aggregate(rule, root_result)
-        return self._finish_materialize(rule, ghd, retained, root_result)
+            return self._finish_aggregate(logical, root_result)
+        return self._finish_materialize(logical, ghd, retained, root_result)
 
     def _timed_bag(self, bag_plan, evaluate):
         """Evaluate one bag, recording wall time, charged lane ops, and
@@ -612,10 +515,12 @@ class RuleExecutor:
         """Run ``rule`` through the code-generating pipeline (§3.3).
 
         The rule is compiled at most once per catalog state: the plan
-        cache keys on the rule's normalized text plus the
-        result-affecting config switches, and revalidates by relation
-        identity, so a repeated query skips GHD search and codegen
-        entirely.  ``stats`` carries program-level counters when
+        cache keys on the *optimized logical IR's* canonical form
+        (:meth:`repro.lir.ir.LogicalRule.cache_key` — invariant under
+        variable renaming, so alpha-renamed queries share one entry)
+        plus the result-affecting config switches, and revalidates by
+        relation identity, so a repeated query skips GHD search and
+        codegen entirely.  ``stats`` carries program-level counters when
         ``Database.query`` drives a multi-rule program; a fresh
         :class:`~repro.engine.stats.ExecStats` is created otherwise.
         """
@@ -624,7 +529,9 @@ class RuleExecutor:
                               strategy=self.config.parallel_strategy,
                               workers=self.config.parallel_workers)
         self.last_stats = stats
-        key = (str(rule), config_signature(self.config))
+        logical = optimize_rule(rule, self.catalog, self._options())
+        self.last_logical = logical
+        key = (logical.cache_key(), config_signature(self.config))
         with maybe_span(self.config.tracer, "plan_cache.lookup",
                         "cache") as span:
             compiled = self.plans.get_rule(key, self.catalog)
@@ -632,51 +539,39 @@ class RuleExecutor:
                 span.args["hit"] = compiled is not None
         if compiled is None:
             stats.plan_cache_misses += 1
-            compiled = self.compile_rule(rule, stats)
+            compiled = self.compile_rule(logical, stats)
             self.plans.put_rule(key, compiled)
         else:
             stats.plan_cache_hits += 1
         return self.run_compiled(compiled, stats)
 
-    def compile_rule(self, rule, stats):
-        """Lower one non-recursive rule to a :class:`CompiledRule`.
+    def compile_rule(self, logical, stats):
+        """Lower one optimized non-recursive rule to a
+        :class:`CompiledRule`.
 
         Performs the same validation and plan choice as :meth:`execute`
         but stops before touching any tuples beyond trie construction:
         the result pins the catalog relations it read (``guards``) and
         holds one generated function per GHD bag.
         """
-        guards = tuple((atom.name, self.catalog.get(atom.name))
-                       for atom in rule.body)
-        atoms = [normalize_atom(atom, self.catalog) for atom in rule.body]
-        zero_ary = [a for a in atoms if not a.variables]
-        atoms = [a for a in atoms if a.variables]
-        if any(g.relation.cardinality == 0 for g in zero_ary):
-            return CompiledRule("empty", rule, guards)
-        body_vars = set()
-        for atom in atoms:
-            body_vars |= set(atom.variables)
-        missing = [v for v in rule.head_vars if v not in body_vars]
-        if missing:
-            raise PlanError("head variables %s unbound in the body"
-                            % missing)
-        aggregates = rule.aggregates
-        if len(aggregates) > 1:
-            raise PlanError("at most one aggregate per rule is supported")
-        agg = aggregates[0] if aggregates else None
+        guards = _relation_guards(logical)
+        if logical.has_empty_guard:
+            return CompiledRule("empty", logical.rule, guards,
+                                logical=logical)
+        self._validate(logical)
+        agg = logical.aggregate
         if agg is not None and agg.op == "COUNT" and agg.arg != "*":
-            if agg.arg in rule.head_vars:
+            if agg.arg in logical.head_vars:
                 raise PlanError("COUNT argument %r is a head variable"
                                 % agg.arg)
-            pseudo_head = tuple(rule.head_vars) + (agg.arg,)
-            pseudo = _clone_rule(rule, head_vars=pseudo_head,
-                                 annotation=None, assignment=None)
-            inner = self._compile_plan(pseudo, atoms, None, guards, stats)
-            return CompiledRule("count_distinct", rule, guards,
-                                inner=inner)
-        return self._compile_plan(rule, atoms, agg, guards, stats)
+            pseudo_head = tuple(logical.head_vars) + (agg.arg,)
+            pseudo = logical.with_head(pseudo_head)
+            inner = self._compile_plan(pseudo, guards, stats)
+            return CompiledRule("count_distinct", logical.rule, guards,
+                                inner=inner, logical=logical)
+        return self._compile_plan(logical, guards, stats)
 
-    def _compile_plan(self, rule, atoms, agg, guards, stats):
+    def _compile_plan(self, logical, guards, stats):
         """Choose the GHD and lower every bag to generated code.
 
         Structurally identical bags (same evaluation order, head split,
@@ -684,17 +579,18 @@ class RuleExecutor:
         the plan cache's bag-source tier — codegen runs once per shape,
         not once per bag.
         """
-        aggregate_mode = rule.annotation is not None and agg is not None
+        agg = logical.aggregate
+        aggregate_mode = logical.aggregate_mode
         stats.ghd_builds += 1
-        ghd, duplicates = self._choose_ghd(rule, atoms, aggregate_mode)
-        selected_vars = {v for a in atoms if a.is_selection
-                         for v in a.variables}
-        with maybe_span(self.config.tracer, "attribute_order", "compile"):
-            global_order = global_attribute_order(ghd, selected_vars,
-                                                  rule.head_vars)
+        plan_rule(logical, self._options())
+        atoms = logical.atoms
+        ghd = logical.ghd
+        duplicates = logical.duplicates
+        global_order = logical.global_order
+        sig_names = logical.sig_names()
         semiring = semiring_for(agg.op) if aggregate_mode else EXISTS
         parents = ghd.parent_map()
-        head = frozenset(rule.head_vars)
+        head = frozenset(logical.head_vars)
         bags = {}
         signatures = {}
         for node in ghd.nodes_bottom_up():
@@ -712,9 +608,11 @@ class RuleExecutor:
             signature = bag_signature(
                 node, out_attrs,
                 [signatures[id(c)] for c in node.children],
-                aggregation_sig=(semiring.name, aggregate_mode))
+                aggregation_sig=(semiring.name, aggregate_mode),
+                edge_names=sig_names)
             signatures[id(node)] = signature
-            canonical_out = canonical_attr_indexes(node.edges, out_attrs)
+            canonical_out = canonical_attr_indexes(node.edges, out_attrs,
+                                                   edge_names=sig_names)
             specs = []
             base_inputs = []
             for edge in node.edges:
@@ -783,10 +681,11 @@ class RuleExecutor:
                 chi=node.chi, width=node.width(),
                 input_names=input_names, signature=signature,
                 canonical_out=canonical_out)
-        return CompiledRule("plan", rule, guards, ghd=ghd,
+        return CompiledRule("plan", logical.rule, guards, ghd=ghd,
                             duplicates=duplicates,
                             global_order=global_order, semiring=semiring,
-                            aggregate_mode=aggregate_mode, bags=bags)
+                            aggregate_mode=aggregate_mode, bags=bags,
+                            logical=logical)
 
     def run_compiled(self, compiled, stats):
         """Execute a :class:`CompiledRule` against the current catalog."""
@@ -794,14 +693,14 @@ class RuleExecutor:
             return self._empty_output(compiled.rule)
         if compiled.kind == "count_distinct":
             distinct = self._run_compiled_plan(compiled.inner, stats)
-            return _finish_count_distinct(compiled.rule, distinct,
+            return _finish_count_distinct(compiled.logical, distinct,
                                           dict(self.env))
         return self._run_compiled_plan(compiled, stats)
 
     def _run_compiled_plan(self, compiled, stats):
         """Yannakakis over precompiled bags (mirrors
         :meth:`_execute_plan` with all planning already done)."""
-        rule = compiled.rule
+        logical = compiled.logical
         ghd = compiled.ghd
         semiring = compiled.semiring
         aggregate_mode = compiled.aggregate_mode
@@ -820,18 +719,14 @@ class RuleExecutor:
         self._parallel_node = parallel_node
         retained = {}
         memo = {}
-        plan = PhysicalPlan(rule=rule, ghd=ghd,
+        plan = PhysicalPlan(rule=compiled.rule, ghd=ghd,
                             global_order=compiled.global_order,
                             aggregate_mode=aggregate_mode)
         self.last_plan = plan
         for node in ghd.nodes_bottom_up():
             cbag = compiled.bags[id(node)]
-            reused = None
-            if self.config.eliminate_redundant_bags \
-                    and cbag.signature in memo:
-                reused = _remap_memoized(memo[cbag.signature],
-                                         cbag.canonical_out,
-                                         cbag.out_attrs)
+            reused = self._memo_probe(memo, cbag.signature,
+                                      cbag.canonical_out, cbag.out_attrs)
             bag_plan = BagPlan(
                 chi=cbag.chi, eval_order=cbag.eval_order,
                 out_attrs=cbag.out_attrs,
@@ -849,15 +744,16 @@ class RuleExecutor:
                                                aggregate_mode, retained,
                                                stats, bag_plan))
             retained[id(node)] = result
-            memo[cbag.signature] = (result, cbag.canonical_out)
+            self._memo_store(memo, cbag.signature, result,
+                             cbag.canonical_out, logical)
         stats.trie_cache_hits += self.cache.hits - marks[0]
         stats.trie_cache_misses += self.cache.misses - marks[1]
         stats.level0_cache_hits += self.cache.level0_hits - marks[2]
         stats.level0_cache_misses += self.cache.level0_misses - marks[3]
         root_result = retained[id(ghd.root)]
         if aggregate_mode:
-            return self._finish_aggregate(rule, root_result)
-        return self._finish_materialize(rule, ghd, retained, root_result)
+            return self._finish_aggregate(logical, root_result)
+        return self._finish_materialize(logical, ghd, retained, root_result)
 
     def _run_compiled_bag(self, node, cbag, semiring, aggregate_mode,
                           retained, stats, bag_plan=None):
@@ -948,32 +844,34 @@ class RuleExecutor:
 
     # -- finalization ---------------------------------------------------------
 
-    def _finish_aggregate(self, rule, root_result):
+    def _finish_aggregate(self, logical, root_result):
         env = dict(self.env)
-        if not rule.head_vars:
+        rule = logical.rule
+        if not logical.head_vars:
             agg_value = root_result.scalar
             if agg_value is None:
                 # Root had out attributes beyond the (empty) head; fold
                 # its annotation column.
-                semiring = semiring_for(rule.aggregates[0].op)
+                semiring = semiring_for(logical.aggregate.op)
                 values = root_result.annotations \
                     if root_result.annotations is not None \
                     else np.zeros(0)
                 agg_value = semiring.fold_leaf(values)
-            value = eval_expression(rule.assignment, agg_value, env)
+            value = eval_expression(logical.assignment, agg_value, env)
             return Relation.scalar(rule.head_name, float(value))
         # Reorder the root's columns into head order.
-        order = [root_result.out_attrs.index(v) for v in rule.head_vars]
+        order = [root_result.out_attrs.index(v) for v in logical.head_vars]
         data = root_result.data[:, order]
         annotations = root_result.annotations
-        final = eval_expression(rule.assignment, annotations, env)
+        final = eval_expression(logical.assignment, annotations, env)
         final = np.broadcast_to(np.asarray(final, dtype=np.float64),
                                 (data.shape[0],)).copy()
         return Relation(rule.head_name, data, final)
 
-    def _finish_materialize(self, rule, ghd, retained, root_result):
+    def _finish_materialize(self, logical, ghd, retained, root_result):
         env = dict(self.env)
-        head = list(rule.head_vars)
+        rule = logical.rule
+        head = list(logical.head_vars)
         root_attrs = list(root_result.out_attrs)
         if set(head) <= set(root_attrs) and (
                 self.config.skip_top_down
@@ -990,30 +888,29 @@ class RuleExecutor:
             relation = Relation(rule.head_name, data).deduplicated()
             data = relation.data
             annotations = None
-        if rule.annotation is not None and rule.assignment is not None:
-            value = eval_expression(rule.assignment, None, env)
+        if logical.annotation is not None and logical.assignment is not None:
+            value = eval_expression(logical.assignment, None, env)
             annotations = np.broadcast_to(
                 np.asarray(value, dtype=np.float64),
                 (data.shape[0],)).copy()
-        elif rule.annotation is None:
+        elif logical.annotation is None:
             # Plain conjunctive rule: no annotation column in the head.
             annotations = None
         return Relation(rule.head_name, data, annotations)
 
     # -- COUNT(var): distinct -------------------------------------------------
 
-    def _execute_count_distinct(self, rule, atoms, agg):
+    def _execute_count_distinct(self, logical, agg):
         """``<<COUNT(v)>>`` counts *distinct* bindings of ``v`` per head
         tuple (the paper's ``N(;w) :- Edge(x,y); w=<<COUNT(x)>>`` counts
         nodes, not edges)."""
-        if agg.arg in rule.head_vars:
+        if agg.arg in logical.head_vars:
             raise PlanError("COUNT argument %r is a head variable"
                             % agg.arg)
-        pseudo_head = tuple(rule.head_vars) + (agg.arg,)
-        pseudo = _clone_rule(rule, head_vars=pseudo_head, annotation=None,
-                             assignment=None)
-        distinct = self._execute_plan(pseudo, atoms, None)
-        return _finish_count_distinct(rule, distinct, dict(self.env))
+        pseudo_head = tuple(logical.head_vars) + (agg.arg,)
+        pseudo = logical.with_head(pseudo_head)
+        distinct = self._execute_plan(pseudo)
+        return _finish_count_distinct(logical, distinct, dict(self.env))
 
     def _empty_output(self, rule):
         if rule.annotation is not None and not rule.head_vars:
@@ -1029,21 +926,11 @@ class RuleExecutor:
 # -- helpers ------------------------------------------------------------------
 
 
-class _AtomView:
-    """Adapter exposing a NormalizedAtom to Hypergraph's Atom protocol."""
-
-    def __init__(self, atom):
-        self.name = atom.name
-        self.variables = atom.variables
-
-    def __str__(self):
-        return "%s(%s)" % (self.name, ",".join(self.variables))
-
-
-def relation_columns(relation):
-    """Attribute names attached to a passed-up relation."""
-    return list(getattr(relation, "attr_names",
-                        [str(i) for i in range(relation.arity)]))
+def _relation_guards(logical):
+    """``(name, relation)`` identity pins for every catalog relation a
+    rule's body resolved to (plan-cache and bag-memo validation)."""
+    return tuple((a.name, a.source)
+                 for a in list(logical.atoms) + list(logical.guard_atoms))
 
 
 def _input_profiles(inputs):
@@ -1080,31 +967,16 @@ def _largest_bag_node(ghd, atoms):
     return id(best) if best is not None else None
 
 
-def _remap_memoized(entry, canonical_out, out_attrs):
-    """Rebind a memoized bag result to a reusing bag's attribute names.
-
-    Returns ``None`` when the column correspondence cannot be
-    established (the reuser then evaluates the bag itself).
-    """
-    stored, stored_canonical = entry
-    if sorted(stored_canonical) != sorted(canonical_out):
-        return None
-    columns = [stored_canonical.index(c) for c in canonical_out]
-    data = stored.data[:, columns] if stored.data.size else \
-        stored.data.reshape(-1, len(columns))
-    return BagResult(out_attrs, data, annotations=stored.annotations,
-                     scalar=stored.scalar)
-
-
-def _finish_count_distinct(rule, distinct, env):
+def _finish_count_distinct(logical, distinct, env):
     """Finalizer for ``<<COUNT(v)>>``: group the materialized pseudo
     head (head attributes + the count argument) and count the distinct
     bindings per group.  Shared by the interpreted and compiled paths.
     """
-    if not rule.head_vars:
-        value = eval_expression(rule.assignment,
+    head_name = logical.rule.head_name
+    if not logical.head_vars:
+        value = eval_expression(logical.assignment,
                                 float(distinct.cardinality), env)
-        return Relation.scalar(rule.head_name, float(value))
+        return Relation.scalar(head_name, float(value))
     keys = distinct.data[:, :-1]
     order = np.lexsort(tuple(keys[:, c]
                              for c in range(keys.shape[1] - 1, -1, -1)))
@@ -1114,20 +986,10 @@ def _finish_count_distinct(rule, distinct, env):
     group_ids = np.cumsum(new_group) - 1
     counts = np.bincount(group_ids).astype(np.float64)
     heads = keys[new_group]
-    values = eval_expression(rule.assignment, counts, env)
+    values = eval_expression(logical.assignment, counts, env)
     values = np.broadcast_to(np.asarray(values, dtype=np.float64),
                              (heads.shape[0],)).copy()
-    return Relation(rule.head_name, heads, values)
-
-
-def _clone_rule(rule, **changes):
-    from ..query.ast import Rule
-    values = dict(head_name=rule.head_name, head_vars=rule.head_vars,
-                  annotation=rule.annotation, recursive=rule.recursive,
-                  iterations=rule.iterations, body=rule.body,
-                  assignment=rule.assignment)
-    values.update(changes)
-    return Rule(**values)
+    return Relation(head_name, heads, values)
 
 
 def _top_down_join(ghd, retained):

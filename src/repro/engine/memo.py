@@ -1,0 +1,77 @@
+"""Bag-result memoization (paper Appendix B.2, extended across rules.)
+
+Within one rule the executor already evaluates structurally identical
+bags once (the Barbell 2x win).  A :class:`BagMemo` extends that scope
+to a whole *program*: ``Database.query`` installs one on the executor
+for the duration of a multi-rule program, so a bag that reappears in a
+later rule — same relations, same join pattern, same selections and
+aggregation — reuses the earlier rule's result instead of re-joining.
+
+Correctness rests on two guards:
+
+* signatures come from :func:`repro.ghd.equivalence.bag_signature` with
+  selection-aware edge names, so only genuinely equivalent bags alias;
+* every entry pins the catalog relations its rule read, *by identity*.
+  Installing a rule head or a recursion round replaces catalog entries
+  wholesale, which invalidates dependent memo entries on next probe.
+"""
+
+from .generic_join import BagResult
+
+
+def remap_memoized(entry, canonical_out, out_attrs):
+    """Rebind a memoized bag result to a reusing bag's attribute names.
+
+    Returns ``None`` when the column correspondence cannot be
+    established (the reuser then evaluates the bag itself).
+    """
+    stored, stored_canonical = entry
+    if sorted(stored_canonical) != sorted(canonical_out):
+        return None
+    if not canonical_out:
+        # Scalar (fully aggregated) bag: no columns to rebind.
+        return BagResult(out_attrs, stored.data,
+                         annotations=stored.annotations,
+                         scalar=stored.scalar)
+    columns = [stored_canonical.index(c) for c in canonical_out]
+    data = stored.data[:, columns] if stored.data.size else \
+        stored.data.reshape(-1, len(columns))
+    return BagResult(out_attrs, data, annotations=stored.annotations,
+                     scalar=stored.scalar)
+
+
+class BagMemo:
+    """Program-scoped memo of evaluated bag results.
+
+    Entries map a bag signature to ``(result, canonical_out, guards)``
+    where ``guards`` is a tuple of ``(name, relation)`` pairs pinning —
+    by object identity — every catalog relation the producing rule read.
+    """
+
+    def __init__(self):
+        self._entries = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, signature, catalog):
+        """``(result, canonical_out)`` for a still-valid entry, else
+        ``None``.  Stale entries (a guard relation was replaced in the
+        catalog) are dropped on probe."""
+        entry = self._entries.get(signature)
+        if entry is None:
+            self.misses += 1
+            return None
+        result, canonical_out, guards = entry
+        if any(catalog.get(name) is not relation
+               for name, relation in guards):
+            del self._entries[signature]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result, canonical_out
+
+    def put(self, signature, result, canonical_out, guards):
+        self._entries[signature] = (result, canonical_out, tuple(guards))
+
+    def __len__(self):
+        return len(self._entries)

@@ -48,7 +48,8 @@ from ..query.hypergraph import Hypergraph
 from ..query.parser import parse_rule
 from ..sets.intersect import intersect_many
 from ..sets.uint import UintSet
-from .executor import eval_expression, normalize_atom
+from ..lir.build import normalize_atom
+from .executor import eval_expression
 from .generic_join import BagEvaluator, BagInput, BagResult
 from .semiring import semiring_for
 from .stats import ExecStats
@@ -502,7 +503,7 @@ def parallel_count(database, query_text, workers=2, strategy=None):
     atoms = [a for a in atoms if a.variables]
     if any(a.relation.cardinality == 0 for a in atoms):
         return semiring.zero
-    hypergraph = Hypergraph(_View(a) for a in atoms)
+    hypergraph = Hypergraph(atoms)
     ghd = decompose(hypergraph, use_ghd=False)  # one bag, by design
     order = bag_evaluation_order(
         ghd.root.chi, (), global_attribute_order(ghd))
@@ -550,11 +551,3 @@ def _available_cpus():
         return max(1, len(os.sched_getaffinity(0)))
     except AttributeError:  # pragma: no cover - non-Linux
         return max(1, os.cpu_count() or 1)
-
-
-class _View:
-    """Hypergraph adapter (same protocol as the executor's)."""
-
-    def __init__(self, atom):
-        self.name = atom.name
-        self.variables = atom.variables

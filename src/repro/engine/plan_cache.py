@@ -33,7 +33,8 @@ def config_signature(config):
     return (config.layout_level, config.adaptive_algorithms, config.simd,
             config.use_ghd, config.push_selections,
             config.eliminate_redundant_bags, config.skip_top_down,
-            config.uint_algorithm)
+            config.uint_algorithm, config.prune_attributes,
+            config.fold_constants)
 
 
 class CompiledBag:
@@ -83,16 +84,19 @@ class CompiledRule:
         result is statically empty.
 
     ``guards`` pins the catalog relations the compilation read; the
-    cache revalidates them by identity before reuse.
+    cache revalidates them by identity before reuse.  ``logical`` keeps
+    the optimized :class:`~repro.lir.ir.LogicalRule` the plan was
+    lowered from — the finalizers read the *rewritten* assignment
+    expression and head from it, not from the raw AST rule.
     """
 
     __slots__ = ("kind", "rule", "guards", "ghd", "duplicates",
                  "global_order", "semiring", "aggregate_mode", "bags",
-                 "inner")
+                 "inner", "logical")
 
     def __init__(self, kind, rule, guards, ghd=None, duplicates=(),
                  global_order=(), semiring=None, aggregate_mode=False,
-                 bags=None, inner=None):
+                 bags=None, inner=None, logical=None):
         self.kind = kind
         self.rule = rule
         self.guards = tuple(guards)
@@ -103,6 +107,7 @@ class CompiledRule:
         self.aggregate_mode = aggregate_mode
         self.bags = bags if bags is not None else {}
         self.inner = inner
+        self.logical = logical
 
     def valid(self, catalog):
         """True while every relation the compilation saw is still the

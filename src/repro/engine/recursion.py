@@ -54,8 +54,8 @@ def execute_recursive(rule, executor, max_rounds=MAX_FIXPOINT_ROUNDS):
 
 def _run_once(rule, executor):
     """Evaluate the rule body once against the current catalog."""
-    from .executor import _clone_rule
-    flat = _clone_rule(rule, recursive=False, iterations=None)
+    from ..query.ast import clone_rule
+    flat = clone_rule(rule, recursive=False, iterations=None)
     return executor.execute(flat)
 
 

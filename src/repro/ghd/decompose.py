@@ -12,12 +12,20 @@ memoized dynamic program keeps the search fast, scoring subtrees by
 2. estimated total cost Σ AGM(bag) with real relation sizes,
 3. selection depth (deeper is better when selections are pushed down,
    Appendix B.1.1 step 3),
-4. bag count (fewer bags win ties).
+4. bag count (fewer bags win ties),
+5. predicted intersection lane ops (``repro.sets.cost``) as the final
+   tiebreaker among otherwise equal plans.
+
+Callers should always pass real catalog cardinalities via ``sizes``;
+edges without one are costed at the symbolic :data:`DEFAULT_SIZE`, and
+the ``size_fallback`` callback reports how many edges that happened to
+(the executor surfaces it as a metrics counter plus a one-time warning).
 """
 
 import math
 from itertools import combinations
 
+from ..sets.cost import predict_intersection_ops
 from .agm import agm_bound, rho_star
 from .ghd import GHD, GHDNode, single_node_ghd
 
@@ -29,21 +37,26 @@ class _Scored:
     """A candidate subtree with its DP score components."""
 
     __slots__ = ("node", "max_width", "cost", "sel_depth", "sel_count",
-                 "n_bags")
+                 "n_bags", "icost")
 
-    def __init__(self, node, max_width, cost, sel_depth, sel_count, n_bags):
+    def __init__(self, node, max_width, cost, sel_depth, sel_count, n_bags,
+                 icost=0):
         self.node = node
         self.max_width = max_width
         self.cost = cost
         self.sel_depth = sel_depth
         self.sel_count = sel_count
         self.n_bags = n_bags
+        self.icost = icost
 
     def key(self, prefer_deep_selections):
         depth_term = -self.sel_depth if prefer_deep_selections else \
             self.sel_depth
+        # icost stays last: it only separates plans the paper's own
+        # criteria consider equal, so adding it never flips an
+        # established width/cost/depth decision.
         return (round(self.max_width, 6), self.cost, depth_term,
-                self.n_bags)
+                self.n_bags, self.icost)
 
 
 def _ordered_vars(edges, vertex_order):
@@ -66,9 +79,21 @@ class GHDSearch:
         self.selection_edges = frozenset(selection_edges)
         self.prefer_deep_selections = prefer_deep_selections
         self._memo = {}
+        #: Edge indexes costed at the symbolic :data:`DEFAULT_SIZE`
+        #: because the caller provided no cardinality for them.
+        self.default_size_edges = set()
 
     def _size_of(self, edge):
-        return self.sizes.get(edge.index, DEFAULT_SIZE)
+        size = self.sizes.get(edge.index)
+        if size is None:
+            self.default_size_edges.add(edge.index)
+            return DEFAULT_SIZE
+        return size
+
+    @property
+    def default_size_uses(self):
+        """How many distinct edges were costed symbolically."""
+        return len(self.default_size_edges)
 
     def _bag_width(self, chi, edges):
         """ρ* of the bag's unselected attributes (B.1.1 step 1)."""
@@ -80,6 +105,11 @@ class GHDSearch:
         bound = agm_bound([e.varset for e in edges],
                           [self._size_of(e) for e in edges])
         return bound if math.isfinite(bound) else float("inf")
+
+    def _bag_icost(self, edges):
+        """Predicted lane ops of the bag's first intersection level
+        (``repro.sets.cost``) — the last-resort tiebreaker."""
+        return predict_intersection_ops([self._size_of(e) for e in edges])
 
     def best(self):
         """Best GHD for the full query."""
@@ -116,6 +146,7 @@ class GHDSearch:
         chi = _ordered_vars(bag_edges, self.vertex_order)
         width = self._bag_width(chi, bag_edges)
         cost = self._bag_cost(chi, bag_edges)
+        icost = self._bag_icost(bag_edges)
         max_width = width
         sel_depth = 0
         sel_count = sum(1 for e in bag_edges
@@ -131,16 +162,19 @@ class GHDSearch:
             children.append(child.node)
             max_width = max(max_width, child.max_width)
             cost += child.cost
+            icost += child.icost
             # Every selection node of the child subtree sinks one level.
             sel_depth += child.sel_depth + child.sel_count
             sel_count += child.sel_count
             n_bags += child.n_bags
         node = GHDNode(chi, list(bag_edges), children)
-        return _Scored(node, max_width, cost, sel_depth, sel_count, n_bags)
+        return _Scored(node, max_width, cost, sel_depth, sel_count, n_bags,
+                       icost)
 
 
 def decompose(hypergraph, sizes=None, selected_vars=(), selection_edges=(),
-              prefer_deep_selections=True, use_ghd=True):
+              prefer_deep_selections=True, use_ghd=True,
+              size_fallback=None):
     """Select the query plan GHD for a hypergraph.
 
     Parameters
@@ -157,13 +191,21 @@ def decompose(hypergraph, sizes=None, selected_vars=(), selection_edges=(),
     use_ghd:
         ``False`` returns the single-node GHD (the Table 8 "-GHD"
         ablation and the LogicBlox-style plan).
+    size_fallback:
+        Callback invoked (once, after the search) with the number of
+        edges that had to be costed at the symbolic :data:`DEFAULT_SIZE`
+        because ``sizes`` had no entry for them.  Not called when every
+        edge had a real cardinality.
     """
     if not use_ghd or hypergraph.n_edges <= 1:
         return single_node_ghd(hypergraph)
     search = GHDSearch(hypergraph, sizes=sizes, selected_vars=selected_vars,
                        selection_edges=selection_edges,
                        prefer_deep_selections=prefer_deep_selections)
-    return search.best()
+    best = search.best()
+    if size_fallback is not None and search.default_size_uses:
+        size_fallback(search.default_size_uses)
+    return best
 
 
 def push_selections_into_bags(ghd, selection_edges):

@@ -8,12 +8,25 @@ bags compute the *same* set of triangles, so one evaluation suffices
 (a 2x win).  This module computes structural signatures the executor
 uses as a memo key.
 
+Edge identity defaults to ``edge.relation`` (the bare atom name); pass
+``edge_names`` — a mapping from edge index to a selection/projection-
+aware name such as :attr:`repro.lir.ir.LogicalAtom.sig_name` — so two
+atoms over the same relation but with *different* constant filters
+(``R(x,1)`` vs ``R(x,2)``) never alias.  The executor always provides
+it; the default keeps the bare-name behavior for standalone use.
+
 The top-down pass of Yannakakis can likewise be skipped when every head
 attribute already appears in the root bag — the second B.2 optimization.
 """
 
 
-def _canonical_pattern(edges, chi, out_attrs):
+def _edge_name(edge, edge_names):
+    if edge_names is None:
+        return edge.relation
+    return edge_names.get(edge.index, edge.relation)
+
+
+def _canonical_pattern(edges, chi, out_attrs, edge_names=None):
     """Rename a bag's attributes by first use so isomorphic bags match.
 
     Attribute names are replaced with dense indexes in order of first
@@ -29,15 +42,17 @@ def _canonical_pattern(edges, chi, out_attrs):
         return rename[attr]
 
     edge_sigs = []
-    for edge in sorted(edges, key=lambda e: (e.relation, e.variables)):
-        edge_sigs.append((edge.relation,
+    for edge in sorted(edges, key=lambda e: (_edge_name(e, edge_names),
+                                             e.variables)):
+        edge_sigs.append((_edge_name(edge, edge_names),
                           tuple(index_of(v) for v in edge.variables)))
     chi_sig = tuple(sorted(index_of(v) for v in chi if v in rename))
     out_sig = tuple(sorted(index_of(v) for v in out_attrs if v in rename))
     return (tuple(edge_sigs), chi_sig, out_sig)
 
 
-def bag_signature(node, out_attrs, child_signatures, aggregation_sig=None):
+def bag_signature(node, out_attrs, child_signatures, aggregation_sig=None,
+                  edge_names=None):
     """Structural signature of one bag's bottom-up result.
 
     Parameters
@@ -51,22 +66,28 @@ def bag_signature(node, out_attrs, child_signatures, aggregation_sig=None):
     aggregation_sig:
         Hashable description of the rule's aggregation as it applies to
         this bag (op + which attributes are aggregated away).
+    edge_names:
+        Optional ``{edge index: name}`` override giving each edge a
+        selection/projection-aware identity (see the module docstring).
     """
-    return (_canonical_pattern(node.edges, node.chi, out_attrs),
+    return (_canonical_pattern(node.edges, node.chi, out_attrs,
+                               edge_names=edge_names),
             tuple(sorted(map(repr, child_signatures))),
             aggregation_sig)
 
 
-def canonical_attr_indexes(edges, attrs):
+def canonical_attr_indexes(edges, attrs, edge_names=None):
     """Canonical index of each attribute under the bag's renaming.
 
     Two bags with equal :func:`bag_signature` may still list their output
     attributes in different positions; the executor uses these indexes to
     permute a memoized bag result's columns onto the reusing bag's
-    attribute names.
+    attribute names.  Must be called with the same ``edge_names`` the
+    signature was built with (both sort edges by the same identity).
     """
     rename = {}
-    for edge in sorted(edges, key=lambda e: (e.relation, e.variables)):
+    for edge in sorted(edges, key=lambda e: (_edge_name(e, edge_names),
+                                             e.variables)):
         for variable in edge.variables:
             if variable not in rename:
                 rename[variable] = len(rename)

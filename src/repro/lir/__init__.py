@@ -1,0 +1,40 @@
+"""Logical IR and pass-based query optimizer (paper §3, Appendix B.1).
+
+EmptyHeaded's compiler is a *sequence of plan rewrites* — attribute
+elimination, selection pushdown, early aggregation — applied before
+GHD-based code generation.  This package makes that sequence explicit:
+
+frontend (``repro.query``)
+    text → AST.
+``repro.lir.build``
+    AST → :class:`~repro.lir.ir.LogicalRule`: atoms are resolved against
+    the catalog, constants become selections, repeated variables become
+    equality filters.
+``repro.lir.passes``
+    Named rewrite passes (constant folding, attribute pruning) followed
+    by plan passes (GHD choice, selection pushdown, global attribute
+    order), each recorded in a :class:`~repro.lir.passes.PassTrace`.
+physical planning + execution (``repro.engine``)
+    The optimized rule is lowered to per-bag physical plans and run by
+    the interpreted or compiled engine.
+
+Layering invariant (enforced by ``tools/check_layering.py``): this
+package never imports from :mod:`repro.engine`, and the query frontend
+never imports from this package.
+"""
+
+from .build import build_rule, encode_constant, normalize_atom
+from .ir import LogicalAtom, LogicalRule, NormalizedAtom
+from .passes import (AttributeOrderPass, AttributePruningPass,
+                     ConstantFoldingPass, GHDChoicePass, OptimizerOptions,
+                     PassTrace, SelectionPushdownPass, optimize_rule,
+                     plan_rule, PLAN_PASSES, REWRITE_PASSES)
+
+__all__ = [
+    "LogicalAtom", "LogicalRule", "NormalizedAtom",
+    "build_rule", "encode_constant", "normalize_atom",
+    "OptimizerOptions", "PassTrace",
+    "ConstantFoldingPass", "AttributePruningPass", "GHDChoicePass",
+    "SelectionPushdownPass", "AttributeOrderPass",
+    "optimize_rule", "plan_rule", "REWRITE_PASSES", "PLAN_PASSES",
+]

@@ -22,8 +22,8 @@ from .trace import CAT_CACHE, CAT_COMPILE
 
 #: Compile-side phase names in lifecycle order, as instrumented by the
 #: executor and ``Database``.
-PHASE_ORDER = ("parse", "ghd_search", "attribute_order", "codegen",
-               "plan_cache.lookup")
+PHASE_ORDER = ("parse", "logical_rewrite", "ghd_search",
+               "attribute_order", "codegen", "plan_cache.lookup")
 
 
 # ---------------------------------------------------------------------------
@@ -172,8 +172,15 @@ def _render_bag(lines, index, bag, stats, simd):
                stats.busy_ratio()))
 
 
-def render_explain_analyze(plan, stats, tracer, config, result=None):
-    """Render the annotated plan; every input may be ``None``-ish."""
+def render_explain_analyze(plan, stats, tracer, config, result=None,
+                           logical=None):
+    """Render the annotated plan; every input may be ``None``-ish.
+
+    ``logical``, when given, is the optimized
+    :class:`~repro.lir.ir.LogicalRule` of the last-executed rule; its
+    pass trace is rendered as the pass-by-pass logical plan between the
+    rule text and the physical plan.
+    """
     lines = ["EXPLAIN ANALYZE"]
     if plan is None:
         lines.append("(no plan recorded — the program produced its "
@@ -183,6 +190,8 @@ def render_explain_analyze(plan, stats, tracer, config, result=None):
         else config.execution_mode
     lines.append("rule: %s" % plan.rule)
     lines.append("execution mode: %s" % mode)
+    if logical is not None and logical.trace is not None:
+        lines.append(logical.trace.describe())
     _render_phases(lines, tracer)
     lines.append("GHD plan (width %.2f, %d bags), global order %s:"
                  % (plan.ghd.width(), plan.ghd.n_nodes,

@@ -209,6 +209,21 @@ class Rule:
                                       body, tail)
 
 
+def clone_rule(rule, **changes):
+    """Copy a :class:`Rule` with some fields replaced.
+
+    The engine uses this for derived rules: recursion flattens the
+    Kleene-star marker off, and ``<<COUNT(v)>>`` extends the head with
+    the counted variable for its distinct-materialization step.
+    """
+    values = dict(head_name=rule.head_name, head_vars=rule.head_vars,
+                  annotation=rule.annotation, recursive=rule.recursive,
+                  iterations=rule.iterations, body=rule.body,
+                  assignment=rule.assignment)
+    values.update(changes)
+    return Rule(**values)
+
+
 @dataclass
 class Program:
     """A sequence of rules executed in order (paper's PageRank is three)."""

@@ -164,3 +164,14 @@ class Relation:
         ann = "" if self.annotations is None else ", annotated"
         return "Relation(%s/%d, %d tuples%s)" % (
             self.name, self.arity, self.cardinality, ann)
+
+
+def relation_columns(relation):
+    """Attribute names attached to a relation.
+
+    Intermediate relations the executor passes between GHD bags carry an
+    ``attr_names`` tuple naming their columns after query variables;
+    base relations fall back to positional names.
+    """
+    return list(getattr(relation, "attr_names",
+                        [str(i) for i in range(relation.arity)]))

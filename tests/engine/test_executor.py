@@ -5,7 +5,8 @@ import pytest
 
 from repro import Database
 from repro.engine import EngineConfig, RuleExecutor, TrieCache
-from repro.engine.executor import eval_expression, normalize_atom
+from repro.engine.executor import eval_expression
+from repro.lir.build import normalize_atom
 from repro.errors import (ExecutionError, PlanError, UnknownRelationError)
 from repro.query import parse_rule
 from repro.query.ast import Agg, BinOp, Num, Ref

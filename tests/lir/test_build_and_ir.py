@@ -1,0 +1,160 @@
+"""Frontend lowering and logical-IR identity tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError, UnknownRelationError
+from repro.lir import build_rule, normalize_atom
+from repro.lir.ir import LogicalRule
+from repro.query import parse_rule
+from repro.storage import Relation
+
+
+def catalog_with_edges(rows, annotations=None):
+    return {"E": Relation("E", np.asarray(rows, dtype=np.uint32),
+                          annotations)}
+
+
+class TestNormalizeAtom:
+    def test_passthrough_shares_source_relation(self):
+        catalog = catalog_with_edges([[0, 1], [1, 2]])
+        atom = parse_rule("Q(x,y) :- E(x,y).").body[0]
+        logical = normalize_atom(atom, catalog)
+        assert logical.relation is catalog["E"]
+        assert logical.sig_name == "E"
+        assert logical.variables == ("x", "y")
+
+    def test_unknown_relation(self):
+        atom = parse_rule("Q(x,y) :- R(x,y).").body[0]
+        with pytest.raises(UnknownRelationError):
+            normalize_atom(atom, {})
+
+    def test_arity_mismatch(self):
+        catalog = catalog_with_edges([[0, 1]])
+        atom = parse_rule("Q(x) :- E(x,y,z).").body[0]
+        with pytest.raises(ExecutionError):
+            normalize_atom(atom, catalog)
+
+    def test_selection_derives_lazily(self):
+        catalog = catalog_with_edges([[0, 1], [0, 2], [1, 2]])
+        atom = parse_rule("Q(x) :- E(x,2).").body[0]
+        logical = normalize_atom(atom, catalog)
+        assert logical.is_selection
+        assert logical._relation is None  # nothing materialized yet
+        derived = logical.relation
+        assert derived.cardinality == 2
+        assert derived.arity == 1
+        assert logical.relation is derived  # memoized
+
+    def test_repeated_variable_becomes_equality(self):
+        catalog = catalog_with_edges([[0, 0], [0, 1], [2, 2]])
+        atom = parse_rule("Q(x) :- E(x,x).").body[0]
+        logical = normalize_atom(atom, catalog)
+        assert logical.variables == ("x",)
+        assert sorted(logical.relation.data[:, 0].tolist()) == [0, 2]
+
+
+class TestSigName:
+    """Selection-aware identity: the fix for the R(x,1)/R(x,2) aliasing
+    a bare-relation-name bag signature would produce."""
+
+    def test_different_constants_different_sig(self):
+        catalog = catalog_with_edges([[0, 1], [0, 2]])
+        one = normalize_atom(parse_rule("Q(x) :- E(x,1).").body[0],
+                             catalog)
+        two = normalize_atom(parse_rule("Q(x) :- E(x,2).").body[0],
+                             catalog)
+        assert one.sig_name != two.sig_name
+        assert one.sig_name != "E"
+
+    def test_same_selection_same_sig(self):
+        catalog = catalog_with_edges([[0, 1], [0, 2]])
+        first = normalize_atom(parse_rule("Q(x) :- E(x,2).").body[0],
+                               catalog)
+        second = normalize_atom(parse_rule("Q(a) :- E(a,2).").body[0],
+                                catalog)
+        assert first.sig_name == second.sig_name
+
+    def test_pruned_atom_changes_sig(self):
+        catalog = catalog_with_edges([[0, 1], [1, 2]])
+        full = normalize_atom(parse_rule("Q(x,y) :- E(x,y).").body[0],
+                              catalog)
+        pruned = full.pruned({"y"})
+        assert pruned.sig_name != full.sig_name
+        assert pruned.variables == ("x",)
+        assert sorted(pruned.relation.data[:, 0].tolist()) == [0, 1]
+
+
+class TestBuildRule:
+    def test_guard_split(self):
+        catalog = catalog_with_edges([[0, 1]])
+        rule = parse_rule("Q(x,y) :- E(x,y),E(0,1).")
+        logical = build_rule(rule, catalog)
+        assert len(logical.atoms) == 1
+        assert len(logical.guard_atoms) == 1
+        assert not logical.has_empty_guard
+
+    def test_empty_guard_detected(self):
+        catalog = catalog_with_edges([[0, 1]])
+        rule = parse_rule("Q(x,y) :- E(x,y),E(1,0).")
+        logical = build_rule(rule, catalog)
+        assert logical.has_empty_guard
+
+    def test_unbound_head_recorded_not_raised(self):
+        catalog = catalog_with_edges([[0, 1]])
+        logical = build_rule(parse_rule("Q(x,z) :- E(x,y)."), catalog)
+        assert logical.unbound_head == ["z"]
+
+    def test_multi_aggregate_recorded(self):
+        catalog = catalog_with_edges([[0, 1]])
+        rule = parse_rule(
+            "Q(;w:long) :- E(x,y); w=<<SUM(x)>>+<<SUM(y)>>.")
+        logical = build_rule(rule, catalog)
+        assert logical.too_many_aggregates
+
+
+class TestCacheKey:
+    def _key(self, text, catalog):
+        return build_rule(parse_rule(text), catalog).cache_key()
+
+    def test_alpha_rename_invariant(self):
+        catalog = catalog_with_edges([[0, 1], [1, 2]])
+        a = self._key("T(x,y,z) :- E(x,y),E(y,z),E(x,z).", catalog)
+        b = self._key("T(p,q,r) :- E(p,q),E(q,r),E(p,r).", catalog)
+        assert a == b
+
+    def test_distinct_patterns_distinct_keys(self):
+        catalog = catalog_with_edges([[0, 1], [1, 2]])
+        triangle = self._key("T(x,y,z) :- E(x,y),E(y,z),E(x,z).", catalog)
+        path = self._key("T(x,y,z) :- E(x,y),E(y,z).", catalog)
+        assert triangle != path
+
+    def test_selection_constant_in_key(self):
+        catalog = catalog_with_edges([[0, 1], [0, 2]])
+        assert self._key("Q(x) :- E(x,1).", catalog) \
+            != self._key("Q(x) :- E(x,2).", catalog)
+
+    def test_head_permutation_changes_key(self):
+        catalog = catalog_with_edges([[0, 1]])
+        assert self._key("Q(x,y) :- E(x,y).", catalog) \
+            != self._key("Q(y,x) :- E(x,y).", catalog)
+
+    def test_assignment_alpha_invariant(self):
+        catalog = catalog_with_edges([[0, 1]])
+        a = self._key("Q(x;w:long) :- E(x,y); w=<<SUM(y)>>.", catalog)
+        b = self._key("Q(p;v:long) :- E(p,q); v=<<SUM(q)>>.", catalog)
+        assert a == b
+
+
+class TestWithHead:
+    def test_count_distinct_pseudo_head(self):
+        catalog = catalog_with_edges([[0, 1], [0, 2]])
+        rule = parse_rule("Q(x;w:long) :- E(x,y); w=<<COUNT(y)>>.")
+        logical = build_rule(rule, catalog)
+        pseudo = logical.with_head(("x", "y"))
+        assert isinstance(pseudo, LogicalRule)
+        assert pseudo.head_vars == ("x", "y")
+        assert pseudo.annotation is None
+        assert pseudo.assignment is None
+        # Rewritten atoms carry over by identity.
+        assert all(a is b for a, b in zip(pseudo.atoms, logical.atoms))

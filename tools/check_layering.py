@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Import-layering check for the four-layer query pipeline.
+
+The pipeline's layer boundaries (see ``docs/architecture.md``) are:
+
+  frontend   repro.query    — parse text into ASTs; knows nothing of
+                              the optimizer or engine
+  optimizer  repro.lir      — logical IR + pass pipeline; may use
+                              query/ghd/sets/storage/obs, never engine
+  planning + execution
+             repro.engine   — physical plans, kernels, caches
+
+This script fails (exit 1) when a forbidden import edge exists:
+
+  * any module under ``repro.lir`` importing ``repro.engine``
+  * any module under ``repro.query`` importing ``repro.lir``
+    (or ``repro.engine``, which is implied by the same boundary)
+
+Detection is by AST walk, so it sees ``import x``, ``from x import y``,
+and relative imports, including those nested inside functions.
+
+Usage: ``python tools/check_layering.py [src_root]``
+"""
+
+import ast
+import os
+import sys
+
+#: lower layer -> modules it must never import (prefix match).
+FORBIDDEN = {
+    "repro.lir": ("repro.engine",),
+    "repro.query": ("repro.lir", "repro.engine"),
+}
+
+
+def module_name(path, src_root):
+    """Dotted module name of ``path`` relative to ``src_root``."""
+    relative = os.path.relpath(path, src_root)
+    parts = relative[:-len(".py")].split(os.sep)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def resolve_relative(module, level, target):
+    """Absolute module a ``from ..x import y`` refers to.
+
+    ``level`` is the number of leading dots; ``target`` the module text
+    after them (may be empty for ``from . import y``).
+    """
+    base = module.split(".")
+    # Relative imports resolve against the package: for a module file,
+    # one dot strips the module name itself.
+    base = base[:len(base) - level] if level <= len(base) else []
+    if target:
+        base = base + target.split(".")
+    return ".".join(base)
+
+
+def imported_modules(path, module):
+    """Every absolute module name ``module`` (at ``path``) imports."""
+    with open(path) as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            found.extend(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                found.append(resolve_relative(module, node.level,
+                                              node.module or ""))
+            elif node.module:
+                found.append(node.module)
+    return found
+
+
+def check(src_root):
+    """Return a list of violation strings for the tree at ``src_root``."""
+    violations = []
+    for directory, _, files in os.walk(src_root):
+        for filename in sorted(files):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(directory, filename)
+            module = module_name(path, src_root)
+            rules = [banned for layer, banned in FORBIDDEN.items()
+                     if module == layer or module.startswith(layer + ".")]
+            if not rules:
+                continue
+            banned = tuple(b for group in rules for b in group)
+            for imported in imported_modules(path, module):
+                for prefix in banned:
+                    if imported == prefix \
+                            or imported.startswith(prefix + "."):
+                        violations.append(
+                            "%s imports %s (forbidden: %s may not "
+                            "depend on %s)"
+                            % (module, imported,
+                               module.split(".")[0] + "."
+                               + module.split(".")[1], prefix))
+    return violations
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    src_root = argv[0] if argv else os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    violations = check(src_root)
+    if violations:
+        print("layering violations:")
+        for violation in violations:
+            print("  " + violation)
+        return 1
+    print("layering OK: repro.lir does not import repro.engine; "
+          "repro.query does not import repro.lir")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
