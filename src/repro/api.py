@@ -120,6 +120,7 @@ class Database:
         self.seed = seed
         self.catalog = {}
         self._env = {}
+        self._dictionary = Dictionary()  # shared by add_relation calls
         self._trie_cache = TrieCache()
         self._plan_cache = PlanCache()
         self._executor = RuleExecutor(self.catalog, self.config,
@@ -139,18 +140,25 @@ class Database:
     # -- loading --------------------------------------------------------------
 
     def add_relation(self, name, tuples, annotations=None,
-                     combine="last"):
+                     combine="last", arity=None):
         """Register a relation from raw tuples (any hashable values).
 
-        All columns share one dictionary; use :meth:`add_encoded` when the
-        data is already dense ``uint32``.  Duplicate key tuples merge
-        their annotations per ``combine`` (``"last"``, ``"sum"``,
-        ``"min"``, or ``"max"`` — relations are sets, so pick the policy
-        that matches the data's meaning, e.g. ``"max"`` for parallel
-        edges keeping the best reliability).
+        All relations registered this way share one *database-wide*
+        dictionary, so the same value encodes to the same id everywhere
+        and cross-relation joins are correct (``load_graph`` keeps its
+        own per-graph dictionary because node ordering permutes its
+        ids).  Use :meth:`add_encoded` when the data is already dense
+        ``uint32``.  Duplicate key tuples merge their annotations per
+        ``combine`` (``"last"``, ``"sum"``, ``"min"``, or ``"max"`` —
+        relations are sets, so pick the policy that matches the data's
+        meaning, e.g. ``"max"`` for parallel edges keeping the best
+        reliability).  ``arity`` pins the column count of an empty
+        relation.
         """
         relation = Relation.from_tuples(name, tuples,
-                                        annotations=annotations)
+                                        annotations=annotations,
+                                        dictionary=self._dictionary,
+                                        arity=arity)
         dictionaries = relation.dictionaries
         relation = relation.deduplicated(combine)
         relation.dictionaries = dictionaries

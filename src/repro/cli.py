@@ -12,6 +12,9 @@ Commands
 ``bench``
     Quick triangle-count timing across engine configurations on one
     dataset — a taste of the paper's ablation tables.
+``fuzz``
+    Differential query fuzzer (forwards to ``python -m repro.fuzz``):
+    random datalog programs cross-checked over every execution path.
 
 Examples
 --------
@@ -182,6 +185,12 @@ def cmd_bench(args):
     return 0
 
 
+def cmd_fuzz(args):
+    """``repro fuzz``: delegate to the differential fuzzer CLI."""
+    from .fuzz.__main__ import main as fuzz_main
+    return fuzz_main(args.fuzz_args)
+
+
 def build_parser():
     """Construct the argparse CLI."""
     parser = argparse.ArgumentParser(
@@ -224,11 +233,25 @@ def build_parser():
     bench.add_argument("--dataset", choices=sorted(DATASETS),
                        default="patents")
     bench.set_defaults(func=cmd_bench)
+
+    fuzz = sub.add_parser("fuzz", add_help=False,
+                          help="differential query fuzzer "
+                               "(python -m repro.fuzz)")
+    fuzz.add_argument("fuzz_args", nargs=argparse.REMAINDER,
+                      help="arguments forwarded to repro.fuzz")
+    fuzz.set_defaults(func=cmd_fuzz)
     return parser
 
 
 def main(argv=None):
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "fuzz":
+        # argparse.REMAINDER refuses leading options; hand the tail to
+        # the fuzzer's own parser untouched.
+        from .fuzz.__main__ import main as fuzz_main
+        return fuzz_main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.func(args)
 

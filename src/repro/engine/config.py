@@ -120,3 +120,79 @@ class EngineConfig:
         """Copy of this config with some switches flipped."""
         from dataclasses import replace
         return replace(self, counter=OpCounter(), **changes)
+
+
+def enumerate_config_matrix(full=False):
+    """``(label, EngineConfig)`` pairs spanning the engine's execution
+    paths, for differential testing (:mod:`repro.fuzz`).
+
+    The default is a one-factor-at-a-time covering set: every execution
+    mode, parallel strategy, optimizer pass, and set-layout level is
+    exercised against the baseline at least once (~a dozen configs).
+    ``full=True`` returns the cross product of the high-impact axes
+    (execution mode × parallelism × optimizer bundle × layout) for
+    deep/nightly runs.
+
+    ``parallel_threshold=0`` in the parallel entries forces the
+    work-stealing executor to engage even on fuzz-sized inputs.
+    """
+    base = dict(execution_mode="interpreted")
+
+    def cfg(**overrides):
+        merged = dict(base)
+        merged.update(overrides)
+        return EngineConfig().ablated(**merged)
+
+    if not full:
+        matrix = [
+            ("interp", cfg()),
+            ("compiled", cfg(execution_mode="compiled")),
+            ("interp-steal", cfg(parallel_workers=4,
+                                 parallel_threshold=0,
+                                 parallel_strategy="steal")),
+            ("interp-static", cfg(parallel_workers=4,
+                                  parallel_threshold=0,
+                                  parallel_strategy="static")),
+            ("compiled-steal", cfg(execution_mode="compiled",
+                                   parallel_workers=4,
+                                   parallel_threshold=0,
+                                   parallel_strategy="steal")),
+            ("no-prune", cfg(prune_attributes=False)),
+            ("no-fold", cfg(fold_constants=False)),
+            ("no-cse", cfg(cross_rule_cse=False,
+                           eliminate_redundant_bags=False)),
+            ("no-ghd", cfg(use_ghd=False, push_selections=False,
+                           skip_top_down=False)),
+            ("uint-only", cfg(layout_level="uint_only", simd=False,
+                              adaptive_algorithms=False)),
+            ("bitset-only", cfg(layout_level="bitset_only")),
+            ("block", cfg(layout_level="block")),
+        ]
+        return matrix
+    matrix = []
+    for mode in ("interpreted", "compiled"):
+        for par_label, par in (("serial", {}),
+                               ("steal", dict(parallel_workers=4,
+                                              parallel_threshold=0,
+                                              parallel_strategy="steal")),
+                               ("static", dict(parallel_workers=4,
+                                               parallel_threshold=0,
+                                               parallel_strategy="static"))):
+            for opt_label, opt in (
+                    ("opt", {}),
+                    ("noopt", dict(prune_attributes=False,
+                                   fold_constants=False,
+                                   cross_rule_cse=False,
+                                   eliminate_redundant_bags=False,
+                                   push_selections=False,
+                                   skip_top_down=False))):
+                for layout in ("set", "uint_only", "bitset_only",
+                               "block"):
+                    label = "%s-%s-%s-%s" % (mode, par_label, opt_label,
+                                             layout)
+                    overrides = dict(execution_mode=mode,
+                                     layout_level=layout)
+                    overrides.update(par)
+                    overrides.update(opt)
+                    matrix.append((label, cfg(**overrides)))
+    return matrix

@@ -435,16 +435,17 @@ class RuleExecutor:
         dead = False
         for child in node.children:
             child_result = retained[id(child)]
-            if not child_result.out_attrs:
-                # Disconnected child (no shared attributes): in aggregate
-                # mode its scalar multiplies into this bag's result; in
-                # materialize mode it is an existence guard.
-                if aggregate_mode:
-                    scalar_factor *= child_result.scalar \
-                        if child_result.scalar is not None \
-                        else semiring.zero
-                elif not child_result.scalar:
+            if _is_disconnected_child(child_result, node.chi_set):
+                # Disconnected child (no shared attributes): an empty
+                # one admits no bindings, so the whole bag is dead; in
+                # aggregate mode a live one's fold multiplies in as a
+                # scalar (distributivity over the cross product); in
+                # materialize mode any columns it carries re-enter in
+                # the top-down pass.
+                if not _bag_alive(child_result, semiring.zero):
                     dead = True
+                elif aggregate_mode:
+                    scalar_factor *= _child_scalar(child_result, semiring)
                 continue
             passed = self._pass_up(child_result, node.chi_set,
                                    aggregate_mode, semiring)
@@ -601,10 +602,14 @@ class RuleExecutor:
             if not aggregate_mode:
                 for child in node.children:
                     keep |= node.chi_set & child.chi_set
-            out_attrs = tuple(a for a in node.chi
-                              if a in head or a in keep)
-            eval_order = tuple(bag_evaluation_order(node.chi, out_attrs,
+            wanted = {a for a in node.chi if a in head or a in keep}
+            eval_order = tuple(bag_evaluation_order(node.chi, wanted,
                                                     global_order))
+            # The generated function (like the interpreter's
+            # ``evaluate_bag``) emits columns as ``eval_order[:k]`` —
+            # record exactly that, or the baked pass-up key orders
+            # would address permuted columns.
+            out_attrs = tuple(eval_order[:len(wanted)])
             signature = bag_signature(
                 node, out_attrs,
                 [signatures[id(c)] for c in node.children],
@@ -649,6 +654,12 @@ class RuleExecutor:
                 else:
                     up_attrs = [a for a in child_out
                                 if a in node.chi_set]
+                    if not up_attrs:
+                        # Disconnected child: nothing flows up as a
+                        # semijoin filter; it acts as an existence
+                        # guard at runtime and its columns re-enter in
+                        # the top-down pass.
+                        continue
                     annotated = False
                 ordered_vars = tuple(a for a in eval_order
                                      if a in up_attrs)
@@ -773,13 +784,11 @@ class RuleExecutor:
         passups = iter(cbag.passups)
         for child in node.children:
             child_result = retained[id(child)]
-            if not child_result.out_attrs:
-                if aggregate_mode:
-                    scalar_factor *= child_result.scalar \
-                        if child_result.scalar is not None \
-                        else semiring.zero
-                elif not child_result.scalar:
+            if _is_disconnected_child(child_result, node.chi_set):
+                if not _bag_alive(child_result, semiring.zero):
                     dead = True
+                elif aggregate_mode:
+                    scalar_factor *= _child_scalar(child_result, semiring)
                 continue
             passed = self._pass_up(child_result, node.chi_set,
                                    aggregate_mode, semiring)
@@ -847,6 +856,7 @@ class RuleExecutor:
     def _finish_aggregate(self, logical, root_result):
         env = dict(self.env)
         rule = logical.rule
+        guard_factor = _guard_annotation_factor(logical)
         if not logical.head_vars:
             agg_value = root_result.scalar
             if agg_value is None:
@@ -857,12 +867,15 @@ class RuleExecutor:
                     if root_result.annotations is not None \
                     else np.zeros(0)
                 agg_value = semiring.fold_leaf(values)
-            value = eval_expression(logical.assignment, agg_value, env)
+            value = eval_expression(logical.assignment,
+                                    agg_value * guard_factor, env)
             return Relation.scalar(rule.head_name, float(value))
         # Reorder the root's columns into head order.
         order = [root_result.out_attrs.index(v) for v in logical.head_vars]
         data = root_result.data[:, order]
         annotations = root_result.annotations
+        if annotations is not None and guard_factor != 1.0:
+            annotations = annotations * guard_factor
         final = eval_expression(logical.assignment, annotations, env)
         final = np.broadcast_to(np.asarray(final, dtype=np.float64),
                                 (data.shape[0],)).copy()
@@ -873,6 +886,22 @@ class RuleExecutor:
         rule = logical.rule
         head = list(logical.head_vars)
         root_attrs = list(root_result.out_attrs)
+        if not head:
+            # 0-ary materialization head: the rule asserts the empty
+            # tuple iff the body is satisfiable (an EXISTS fold).  With
+            # an annotation the head becomes a scalar carrying the
+            # assignment's value; without one it is a 0-ary relation of
+            # cardinality 0 or 1.
+            exists = bool(root_result.scalar) \
+                or root_result.data.shape[0] > 0
+            if logical.annotation is not None \
+                    and logical.assignment is not None:
+                value = eval_expression(logical.assignment, None, env) \
+                    if exists else EXISTS.zero
+                return Relation.scalar(rule.head_name, float(value))
+            return Relation(rule.head_name,
+                            np.empty((1 if exists else 0, 0),
+                                     dtype=np.uint32))
         if set(head) <= set(root_attrs) and (
                 self.config.skip_top_down
                 or all(not n.children for n in [ghd.root])):
@@ -914,9 +943,15 @@ class RuleExecutor:
 
     def _empty_output(self, rule):
         if rule.annotation is not None and not rule.head_vars:
-            semiring = semiring_for(rule.aggregates[0].op) \
-                if rule.aggregates else EXISTS
-            return Relation.scalar(rule.head_name, semiring.zero)
+            if rule.aggregates:
+                # Match the dynamically-empty path: the assignment is
+                # applied to the semiring zero, so COUNT(*)+5 over a
+                # statically empty guard answers 5, not 0.
+                semiring = semiring_for(rule.aggregates[0].op)
+                value = eval_expression(rule.assignment, semiring.zero,
+                                        dict(self.env))
+                return Relation.scalar(rule.head_name, float(value))
+            return Relation.scalar(rule.head_name, EXISTS.zero)
         width = len(rule.head_vars)
         annotations = np.empty(0) if rule.annotation is not None else None
         return Relation(rule.head_name,
@@ -931,6 +966,22 @@ def _relation_guards(logical):
     rule's body resolved to (plan-cache and bag-memo validation)."""
     return tuple((a.name, a.source)
                  for a in list(logical.atoms) + list(logical.guard_atoms))
+
+
+def _guard_annotation_factor(logical):
+    """Product of the matched guard atoms' annotations.
+
+    A fully-constant atom contributes no join attributes, but under
+    semiring semantics its selected tuple's annotation still multiplies
+    into every derivation — exactly like any other body atom's.
+    Unannotated guards contribute 1.
+    """
+    factor = 1.0
+    for guard in logical.guard_atoms:
+        relation = guard.relation
+        if relation.annotations is not None and relation.cardinality:
+            factor *= float(np.prod(relation.annotations))
+    return factor
 
 
 def _input_profiles(inputs):
@@ -992,6 +1043,36 @@ def _finish_count_distinct(logical, distinct, env):
     return Relation(head_name, heads, values)
 
 
+def _is_disconnected_child(child_result, parent_chi):
+    """True when a child bag shares no attributes with its parent —
+    joining it degenerates to a scalar factor (aggregate mode) or an
+    existence guard (materialize mode; any columns it does carry
+    re-enter in the top-down pass)."""
+    return not any(a in parent_chi for a in child_result.out_attrs)
+
+
+def _child_scalar(child_result, semiring):
+    """A disconnected child's contribution as a single semiring value."""
+    if child_result.scalar is not None:
+        return child_result.scalar
+    if child_result.annotations is not None \
+            and len(child_result.annotations):
+        return semiring.fold_leaf(child_result.annotations)
+    return semiring.zero
+
+
+def _bag_alive(result, zero=0.0):
+    """Whether a bag result admits at least one satisfying binding.
+
+    An attribute-less bag signals emptiness with ``scalar ==
+    semiring.zero`` (the fold over no bindings), so the caller must
+    supply its semiring's zero — MIN's is ``inf``, not ``0.0``.
+    """
+    if result.data.shape[0] > 0:
+        return True
+    return result.scalar is not None and result.scalar != zero
+
+
 def _top_down_join(ghd, retained):
     """Yannakakis' top-down pass: join retained bag results along the
     tree.  Annotations multiply across bags (each bag's annotation is the
@@ -1002,6 +1083,14 @@ def _top_down_join(ghd, retained):
         attrs = list(result.out_attrs)
         data = result.data
         annotations = result.annotations
+        if not attrs:
+            # An attribute-less bag (e.g. a fully-selected guard
+            # component) is a pure existence test: join through it as a
+            # zero-column identity row so sibling subtrees still
+            # cross-product, or kill the subtree when it is empty.
+            data = np.empty((1 if _bag_alive(result) else 0, 0),
+                            dtype=np.uint32)
+            annotations = None
         for child in node.children:
             child_data, child_attrs, child_ann = rec(child)
             data, attrs, annotations = _hash_join(
@@ -1037,6 +1126,7 @@ def _hash_join(left, left_attrs, left_ann, right, right_attrs, right_ann):
                     * (right_ann[match] if right_ann is not None else 1.0)
                 out_ann.append(product)
     attrs = list(left_attrs) + [right_attrs[c] for c in right_extra]
-    data = np.asarray(out_rows, dtype=np.uint32).reshape(-1, len(attrs))
+    data = np.asarray(out_rows, dtype=np.uint32).reshape(len(out_rows),
+                                                         len(attrs))
     annotations = np.asarray(out_ann) if out_ann else None
     return data, attrs, annotations

@@ -1,0 +1,97 @@
+"""Persistent corpus of minimized failing programs.
+
+Every engine bug the fuzzer ever found lives on as a JSON file under
+``tests/fuzz_corpus/`` and is replayed as an ordinary pytest case
+(``tests/fuzz/test_corpus.py``), so a fixed bug can never silently
+regress.  Files are human-readable: the program is stored as query
+text and re-parsed on load.
+"""
+
+import json
+import os
+import re
+from pathlib import Path
+
+from ..query.parser import parse
+from .gen import FuzzCase, FuzzRelation
+
+#: Environment override for the corpus location (used by CI and by
+#: installed copies of the package, where the source tree is absent).
+CORPUS_ENV = "REPRO_FUZZ_CORPUS"
+
+
+def corpus_dir(root=None):
+    """Resolve the corpus directory.
+
+    Priority: explicit ``root`` argument, the :data:`CORPUS_ENV`
+    environment variable, then ``tests/fuzz_corpus`` relative to the
+    current working directory (the layout of a source checkout).
+    """
+    if root is not None:
+        return Path(root)
+    env = os.environ.get(CORPUS_ENV)
+    if env:
+        return Path(env)
+    return Path.cwd() / "tests" / "fuzz_corpus"
+
+
+def case_to_dict(case):
+    return {
+        "seed": case.seed,
+        "description": case.description,
+        "relations": [
+            {
+                "name": r.name,
+                "arity": r.arity,
+                "tuples": [list(row) for row in r.tuples],
+                "annotations": r.annotations,
+            }
+            for r in case.relations
+        ],
+        "program": case.program_text,
+        "history": case.history,
+    }
+
+
+def case_from_dict(payload):
+    relations = [
+        FuzzRelation(entry["name"], entry["arity"],
+                     [tuple(row) for row in entry["tuples"]],
+                     list(entry["annotations"])
+                     if entry.get("annotations") is not None else None)
+        for entry in payload["relations"]
+    ]
+    rules = list(parse(payload["program"]).rules)
+    return FuzzCase(payload["seed"], relations, rules,
+                    description=payload.get("description", ""),
+                    history=list(payload.get("history", ())))
+
+
+def save_case(case, directory=None, name=None):
+    """Write one case to the corpus; returns the file path."""
+    directory = corpus_dir(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if name is None:
+        slug = re.sub(r"[^a-z0-9]+", "-",
+                      case.description.lower()).strip("-") or "case"
+        name = "seed%d-%s.json" % (case.seed, slug)
+    path = directory / name
+    path.write_text(json.dumps(case_to_dict(case), indent=2,
+                               sort_keys=True) + "\n")
+    return path
+
+
+def load_corpus(directory=None):
+    """Load every corpus case, sorted by filename for stable test ids.
+
+    Returns ``[(filename, FuzzCase), ...]``; an absent directory is an
+    empty corpus, not an error.
+    """
+    directory = corpus_dir(directory)
+    if not directory.is_dir():
+        return []
+    cases = []
+    for path in sorted(directory.glob("*.json")):
+        payload = json.loads(path.read_text())
+        cases.append((path.name, case_from_dict(payload)))
+    return cases

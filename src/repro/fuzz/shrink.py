@@ -1,0 +1,191 @@
+"""Delta-debugging minimizer for failing fuzz cases.
+
+Greedy ddmin over a priority ladder — each pass tries the biggest
+structural cut first and keeps any reduction that still fails:
+
+1. drop whole rules (with dependency cascade),
+2. drop body atoms,
+3. simplify assignment expressions to the bare aggregate,
+4. drop annotation columns,
+5. drop tuples (binary chunks, then singles),
+6. shrink the value domain (rename every occurrence of the largest
+   value down to an existing smaller one).
+
+Candidates that are no longer well-formed programs
+(:func:`repro.fuzz.gen.validate_case`) are discarded so the minimized
+case fails for the *original* reason, not a validation artifact.
+"""
+
+from ..query.ast import Agg, Constant, clone_rule
+from .gen import validate_case
+
+
+def shrink_case(case, is_failing, max_checks=400):
+    """Minimize ``case`` while ``is_failing(candidate)`` stays true.
+
+    ``is_failing`` re-runs the differential check (or any predicate);
+    it is never called on ill-formed candidates.  At most
+    ``max_checks`` predicate evaluations are spent.
+    """
+    current = case.copy()
+    checks = [0]
+
+    def try_candidate(candidate, note):
+        if checks[0] >= max_checks:
+            return False
+        if not validate_case(candidate):
+            return False
+        checks[0] += 1
+        if is_failing(candidate):
+            candidate.history = current.history + [note]
+            return True
+        return False
+
+    improved = True
+    while improved and checks[0] < max_checks:
+        improved = False
+        for candidate, note in _reductions(current):
+            if try_candidate(candidate, note):
+                current = candidate
+                improved = True
+                break
+    return current
+
+
+def _reductions(case):
+    """Yield ``(candidate, note)`` reductions, most aggressive first."""
+    yield from _drop_rules(case)
+    yield from _drop_atoms(case)
+    yield from _simplify_assignments(case)
+    yield from _drop_annotations(case)
+    yield from _drop_tuples(case)
+    yield from _shrink_domain(case)
+
+
+def _cascade(rules, relations):
+    """Drop rules left dangling after a removal: a body atom naming an
+    undefined relation, or a recursive rule whose base is gone."""
+    defined = {r.name for r in relations}
+    kept = []
+    for rule in rules:
+        names_ok = all(atom.name in defined or
+                       (rule.recursive and atom.name == rule.head_name)
+                       for atom in rule.body)
+        base_ok = not rule.recursive or rule.head_name in defined
+        if names_ok and base_ok:
+            kept.append(rule)
+            defined.add(rule.head_name)
+    return kept
+
+
+def _drop_rules(case):
+    for index in range(len(case.rules) - 1, -1, -1):
+        candidate = case.copy()
+        del candidate.rules[index]
+        candidate.rules = _cascade(candidate.rules, candidate.relations)
+        if not candidate.rules:
+            continue
+        yield candidate, "drop rule %d" % index
+    # Unreferenced relations ride along for free once rules are gone.
+    used = {atom.name for rule in case.rules for atom in rule.body}
+    for index in range(len(case.relations) - 1, -1, -1):
+        if case.relations[index].name in used:
+            continue
+        candidate = case.copy()
+        del candidate.relations[index]
+        yield candidate, "drop unused relation %d" % index
+
+
+def _drop_atoms(case):
+    for rule_index, rule in enumerate(case.rules):
+        if len(rule.body) <= 1:
+            continue
+        for atom_index in range(len(rule.body) - 1, -1, -1):
+            body = rule.body[:atom_index] + rule.body[atom_index + 1:]
+            candidate = case.copy()
+            candidate.rules[rule_index] = clone_rule(rule,
+                                                     body=tuple(body))
+            yield candidate, "drop atom %d of rule %d" % (atom_index,
+                                                          rule_index)
+
+
+def _simplify_assignments(case):
+    for rule_index, rule in enumerate(case.rules):
+        aggs = rule.aggregates
+        if not aggs or isinstance(rule.assignment, Agg):
+            continue
+        candidate = case.copy()
+        candidate.rules[rule_index] = clone_rule(rule,
+                                                 assignment=aggs[0])
+        yield candidate, "bare aggregate in rule %d" % rule_index
+
+
+def _drop_annotations(case):
+    for index, relation in enumerate(case.relations):
+        if relation.annotations is None:
+            continue
+        candidate = case.copy()
+        candidate.relations[index].annotations = None
+        yield candidate, "drop annotations of %s" % relation.name
+
+
+def _drop_tuples(case):
+    for index, relation in enumerate(case.relations):
+        n = len(relation.tuples)
+        if n == 0:
+            continue
+        # Halves first (classic ddmin), then single tuples.
+        spans = []
+        if n >= 4:
+            spans.append((0, n // 2))
+            spans.append((n // 2, n))
+        spans.extend((i, i + 1) for i in range(n - 1, -1, -1))
+        for start, stop in spans:
+            candidate = case.copy()
+            target = candidate.relations[index]
+            del target.tuples[start:stop]
+            if target.annotations is not None:
+                del target.annotations[start:stop]
+                if not target.tuples:
+                    target.annotations = None
+            yield candidate, "drop tuples [%d:%d) of %s" \
+                % (start, stop, relation.name)
+
+
+def _shrink_domain(case):
+    values = sorted({v for relation in case.relations
+                     for row in relation.tuples for v in row})
+    if len(values) < 2:
+        return
+    source = values[-1]
+    for target in values[:-1]:
+        candidate = case.copy()
+        _remap_value(candidate, source, target)
+        yield candidate, "rename value %r -> %r" % (source, target)
+
+
+def _remap_value(case, source, target):
+    for relation in case.relations:
+        rows = []
+        annotations = []
+        seen = {}
+        for position, row in enumerate(relation.tuples):
+            row = tuple(target if v == source else v for v in row)
+            value = relation.annotations[position] \
+                if relation.annotations is not None else None
+            if row in seen:  # merged duplicates keep the later value
+                annotations[seen[row]] = value
+                continue
+            seen[row] = len(rows)
+            rows.append(row)
+            annotations.append(value)
+        relation.tuples = rows
+        relation.annotations = annotations \
+            if relation.annotations is not None else None
+    for index, rule in enumerate(case.rules):
+        body = tuple(
+            atom.__class__(atom.name, tuple(
+                Constant(target) if isinstance(t, Constant)
+                and t.value == source else t for t in atom.terms))
+            for atom in rule.body)
+        case.rules[index] = clone_rule(rule, body=body)

@@ -53,16 +53,25 @@ class Relation:
     # -- constructors -----------------------------------------------------
 
     @classmethod
-    def from_tuples(cls, name, tuples, annotations=None, dictionary=None):
+    def from_tuples(cls, name, tuples, annotations=None, dictionary=None,
+                    arity=None):
         """Encode raw (arbitrary-typed) tuples through a shared dictionary.
 
         All columns share one dictionary, which is the right model for
-        graphs where both columns are node ids.
+        graphs where both columns are node ids.  ``arity`` pins the
+        column count of an *empty* relation (otherwise unknowable from
+        the tuples themselves); with tuples present it is validated.
         """
         tuples = list(tuples)
         if not tuples:
-            return cls(name, np.empty((0, 0), dtype=np.uint32),
-                       annotations=None, dictionaries=None)
+            width = 0 if arity is None else int(arity)
+            dictionaries = [dictionary] * width \
+                if dictionary is not None and width else None
+            return cls(name, np.empty((0, width), dtype=np.uint32),
+                       annotations=None, dictionaries=dictionaries)
+        if arity is not None and len(tuples[0]) != arity:
+            raise SchemaError("expected arity %d, got %d-tuples"
+                              % (arity, len(tuples[0])))
         arity = len(tuples[0])
         shared = dictionary if dictionary is not None else Dictionary()
         data = np.empty((len(tuples), arity), dtype=np.uint32)

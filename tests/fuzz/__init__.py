@@ -1,0 +1,1 @@
+"""Tests for the differential query fuzzer (:mod:`repro.fuzz`)."""

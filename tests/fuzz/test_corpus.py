@@ -1,0 +1,34 @@
+"""Replay the persistent fuzz corpus as ordinary pytest cases.
+
+Every file under ``tests/fuzz_corpus/`` is a minimized program that
+once exposed an engine bug.  Replaying each one across the differential
+config matrix (plus the brute-force oracles) on every test run makes
+those bugs structurally unable to regress silently.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.engine.config import enumerate_config_matrix
+from repro.fuzz import load_corpus, run_case
+from repro.fuzz.gen import validate_case
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "fuzz_corpus"
+
+CASES = load_corpus(CORPUS_DIR)
+
+MATRIX = enumerate_config_matrix()
+
+
+def test_corpus_is_not_empty():
+    assert CASES, "expected minimized regressions in %s" % CORPUS_DIR
+
+
+@pytest.mark.parametrize("name,case", CASES,
+                         ids=[name for name, _ in CASES])
+def test_corpus_case_passes_differentially(name, case):
+    assert validate_case(case), "corpus case no longer parses as a " \
+                                "well-formed program"
+    failure = run_case(case, MATRIX)
+    assert failure is None, failure.describe()

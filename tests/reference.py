@@ -9,6 +9,13 @@ random inputs.
 import itertools
 import math
 
+#: Round cap for the reference fixpoint evaluators.
+MAX_REFERENCE_ROUNDS = 5000
+
+
+class ReferenceDiverged(Exception):
+    """A reference fixpoint did not converge within the round cap."""
+
 
 def evaluate_conjunctive(atom_tuples, atom_vars, head_vars,
                          aggregate=None, annotations=None):
@@ -64,4 +71,227 @@ def evaluate_conjunctive(atom_tuples, atom_vars, head_vars,
             results[key] = max(results.get(key, -math.inf), product)
         else:
             raise ValueError(aggregate)
+    return results
+
+
+# -- recursion (naive fixpoint drivers) --------------------------------------
+#
+# The engine's three recursion modes, replayed with the dumbest possible
+# strategy: re-evaluate the whole rule every round.  ``step`` is a
+# callback evaluating the recursive rule's body against the current
+# value of the head (set for union, ``{tuple: value}`` for the
+# aggregating modes); the drivers own only the iteration policy.
+
+
+def fixpoint_union(base, step, max_rounds=MAX_REFERENCE_ROUNDS):
+    """Union semantics: grow the head until no new tuples appear."""
+    current = set(base)
+    for _ in range(max_rounds):
+        produced = set(step(current))
+        merged = current | produced
+        if len(merged) == len(current):
+            return current
+        current = merged
+    raise ReferenceDiverged("union fixpoint did not converge")
+
+
+def fixpoint_replace(base, step, iterations):
+    """Replace semantics (``*[i=k]``): each round's output wholly
+    replaces the head, ``iterations`` times."""
+    current = base
+    for _ in range(iterations):
+        current = step(current)
+    return current
+
+
+def fixpoint_monotone(base, step, op, max_rounds=MAX_REFERENCE_ROUNDS):
+    """Monotone MIN/MAX semantics: merge each round's improvements into
+    the accumulated ``{tuple: value}`` until none improve."""
+    if op == "MIN":
+        def better(new, old):
+            return new < old
+    elif op == "MAX":
+        def better(new, old):
+            return new > old
+    else:
+        raise ValueError(op)
+    best = dict(base)
+    for _ in range(max_rounds):
+        produced = step(best)
+        improved = False
+        for key, value in produced.items():
+            old = best.get(key)
+            if old is None or better(value, old):
+                best[key] = value
+                improved = True
+        if not improved:
+            return best
+    raise ReferenceDiverged("monotone fixpoint did not converge")
+
+
+# -- whole programs -----------------------------------------------------------
+
+
+def _eval_reference_expr(expr, agg_value, env):
+    """Annotation-expression arithmetic over plain floats (mirrors the
+    AST shape of ``repro.query.ast`` without importing the engine's
+    evaluator)."""
+    kind = type(expr).__name__
+    if kind == "Num":
+        return float(expr.value)
+    if kind == "Ref":
+        return env[expr.name]
+    if kind == "Agg":
+        return agg_value
+    if kind == "BinOp":
+        left = _eval_reference_expr(expr.left, agg_value, env)
+        right = _eval_reference_expr(expr.right, agg_value, env)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            return left / right
+        raise ValueError("unknown operator %r" % expr.op)
+    raise ValueError("unknown expression node %r" % (expr,))
+
+
+def _rule_inputs(rule, catalog):
+    """Lower one rule's body to ``evaluate_conjunctive`` inputs:
+    constants applied (matching tuples kept, constant positions
+    stripped), per-atom annotation dicts re-keyed accordingly."""
+    atom_tuples, atom_vars, annotations = [], [], []
+    for atom in rule.body:
+        tuples, values = catalog[atom.name]
+        variable_positions = [i for i, t in enumerate(atom.terms)
+                              if type(t).__name__ == "Variable"]
+        names = tuple(atom.terms[i].name for i in variable_positions)
+        kept, kept_values = [], {}
+        for row in tuples:
+            match = all(row[i] == t.value
+                        for i, t in enumerate(atom.terms)
+                        if type(t).__name__ == "Constant")
+            if not match:
+                continue
+            stripped = tuple(row[i] for i in variable_positions)
+            kept.append(stripped)
+            if values is not None:
+                kept_values[stripped] = values[row]
+        atom_tuples.append(kept)
+        atom_vars.append(names)
+        annotations.append(kept_values if values is not None else None)
+    return atom_tuples, atom_vars, annotations
+
+
+def _evaluate_rule(rule, catalog, env):
+    """One non-recursive rule via :func:`evaluate_conjunctive`; returns
+    a normalized ``(kind, value)`` (same vocabulary as the fuzz
+    harness: set / map / scalar / exists)."""
+    head = tuple(rule.head_vars)
+    atom_tuples, atom_vars, annotations = _rule_inputs(rule, catalog)
+    aggs = rule.aggregates
+    agg = aggs[0] if aggs else None
+    if agg is not None and agg.op == "COUNT" and agg.arg != "*":
+        distinct = evaluate_conjunctive(atom_tuples, atom_vars,
+                                        head + (agg.arg,))
+        counts = {}
+        for row in distinct:
+            counts[row[:-1]] = counts.get(row[:-1], 0) + 1
+        if not head:
+            return "scalar", float(_eval_reference_expr(
+                rule.assignment, float(counts.get((), 0)), env))
+        return "map", {key: float(_eval_reference_expr(
+            rule.assignment, float(count), env))
+            for key, count in counts.items()}
+    if agg is not None:
+        fold = "COUNT*" if agg.op == "COUNT" else agg.op
+        folded = evaluate_conjunctive(atom_tuples, atom_vars, head,
+                                      aggregate=fold,
+                                      annotations=annotations)
+        if not head:
+            zero = {"COUNT*": 0.0, "SUM": 0.0, "MIN": math.inf,
+                    "MAX": -math.inf}[fold]
+            return "scalar", float(_eval_reference_expr(
+                rule.assignment, folded.get((), zero), env))
+        return "map", {key: float(_eval_reference_expr(rule.assignment,
+                                                       value, env))
+                       for key, value in folded.items()}
+    keys = evaluate_conjunctive(atom_tuples, atom_vars, head)
+    if rule.annotation is not None:
+        value = float(_eval_reference_expr(rule.assignment, None, env))
+        if not head:
+            return "scalar", value if keys else 0.0
+        return "map", {key: value for key in keys}
+    if not head:
+        return "exists", bool(keys)
+    return "set", frozenset(keys)
+
+
+def _catalog_entry(kind, value):
+    if kind == "set":
+        return sorted(value), None
+    if kind == "map":
+        return sorted(value), dict(value)
+    if kind == "scalar":
+        return [], None
+    if kind == "exists":
+        return ([()] if value else []), None
+    raise ValueError(kind)
+
+
+def evaluate_program(base, rules):
+    """Evaluate a whole program (including recursive rules) by brute
+    force.
+
+    ``base`` maps relation names to ``(tuples, {tuple: annotation} or
+    None)``; ``rules`` are :class:`repro.query.ast.Rule` objects.
+    Returns ``{head_name: (kind, value)}`` with every head's final
+    value.  Raises :class:`ReferenceDiverged` when a fixpoint exceeds
+    the round cap.
+    """
+    catalog = {name: (list(tuples), dict(ann) if ann is not None else None)
+               for name, (tuples, ann) in base.items()}
+    env = {}
+    results = {}
+    for rule in rules:
+        if not rule.recursive:
+            kind, value = _evaluate_rule(rule, catalog, env)
+        else:
+            name = rule.head_name
+            aggs = rule.aggregates
+            op = aggs[0].op if aggs else None
+
+            if rule.iterations is not None:
+                def step_replace(current):
+                    catalog[name] = _catalog_entry(*current)
+                    return _evaluate_rule(rule, catalog, env)
+                start = catalog[name]
+                initial = ("map", dict(start[1])) \
+                    if start[1] is not None \
+                    else ("set", frozenset(start[0]))
+                kind, value = fixpoint_replace(initial, step_replace,
+                                               rule.iterations)
+            elif op is None:
+                def step_union(current):
+                    catalog[name] = (sorted(current), None)
+                    produced = _evaluate_rule(rule, catalog, env)
+                    return produced[1]
+                kind, value = "set", frozenset(
+                    fixpoint_union(catalog[name][0], step_union))
+            elif op in ("MIN", "MAX"):
+                def step_monotone(best):
+                    catalog[name] = (sorted(best), dict(best))
+                    produced = _evaluate_rule(rule, catalog, env)
+                    return produced[1]
+                kind, value = "map", fixpoint_monotone(
+                    dict(catalog[name][1]), step_monotone, op)
+            else:
+                raise ValueError(
+                    "unbounded recursion with non-monotone %r" % op)
+        results[rule.head_name] = (kind, value)
+        catalog[rule.head_name] = _catalog_entry(kind, value)
+        if kind == "scalar":
+            env[rule.head_name] = value
     return results

@@ -1,0 +1,114 @@
+"""Seeded adversarial cross-layout intersection tests (fuzz satellite).
+
+The differential fuzzer (:mod:`repro.fuzz`) cross-checks whole queries;
+these tests pin the layer below it: every set layout, every uint
+kernel, and every optimizer granularity must compute the identical
+intersection on adversarial inputs — empty sets, singletons, dense
+runs (bitset territory), and size-skewed pairs straddling the 32:1
+galloping crossover and the 256 inverse-density bitset crossover.
+Unlike the hypothesis suite next door, inputs here are *constructed*
+around the dispatch thresholds rather than sampled, so every seed hits
+every crossover on both sides.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.sets import (BitPackedSet, BitSet, BlockedSet, PShortSet,
+                        UINT_ALGORITHMS, UintSet, VariantSet, intersect,
+                        intersect_uint_arrays)
+from repro.sets.cost import GALLOPING_CROSSOVER, SIMD_REGISTER_BITS
+from repro.sets.optimizer import build_set
+
+LAYOUTS = [UintSet, BitSet, PShortSet, VariantSet, BitPackedSet,
+           BlockedSet]
+
+#: Optimizer granularities usable on a single set.
+LEVELS = ("set", "block", "uint_only", "bitset_only")
+
+SEEDS = list(range(8))
+
+
+def _values(result):
+    """Result values as a plain list (kernels may return a layout
+    object or a bare array)."""
+    if hasattr(result, "to_array"):
+        result = result.to_array()
+    return [int(v) for v in result]
+
+
+def _sample(rng, n, span):
+    """``n`` distinct values from ``[0, span)``."""
+    n = min(n, span)
+    return sorted(rng.sample(range(span), n))
+
+
+def adversarial_pairs(rng):
+    """Input pairs engineered around every dispatch boundary."""
+    dense = list(range(64, 64 + 300))          # bitset territory
+    sparse = _sample(rng, 40, 1 << 20)
+    pairs = [
+        ([], []),                              # empty x empty
+        ([], dense),                           # empty x dense
+        ([rng.randrange(300)], dense),         # singleton, likely hit
+        ([1 << 21], sparse),                   # singleton, guaranteed miss
+        (dense, dense),                        # identical dense runs
+        (dense, [v + 1 for v in dense]),       # shifted dense runs
+        (sparse, _sample(rng, 40, 1 << 20)),   # sparse x sparse
+    ]
+    # Size ratios straddling the galloping crossover: below, at, above.
+    small = _sample(rng, 8, 1 << 16)
+    for ratio in (GALLOPING_CROSSOVER - 1, GALLOPING_CROSSOVER,
+                  GALLOPING_CROSSOVER * 4):
+        large = _sample(rng, len(small) * ratio, 1 << 18)
+        pairs.append((small, large))
+    # Inverse density straddling the bitset crossover (span/card < 256
+    # becomes a bitset): stretch the same cardinality across a span
+    # just below and just above the threshold.
+    card = 64
+    for span in (card * (SIMD_REGISTER_BITS - 1),
+                 card * (SIMD_REGISTER_BITS + 1)):
+        pairs.append((_sample(rng, card, span), _sample(rng, card, span)))
+    return pairs
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_all_layout_pairs_agree(seed):
+    rng = random.Random(seed)
+    for a, b in adversarial_pairs(rng):
+        expected = sorted(set(a) & set(b))
+        for layout_a in LAYOUTS:
+            for layout_b in LAYOUTS:
+                out = intersect(layout_a(a), layout_b(b))
+                assert list(out.to_array()) == expected, \
+                    (seed, layout_a.__name__, layout_b.__name__)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_all_uint_algorithms_agree(seed):
+    rng = random.Random(seed)
+    for a, b in adversarial_pairs(rng):
+        expected = sorted(set(a) & set(b))
+        arr_a = np.asarray(sorted(set(a)), dtype=np.uint32)
+        arr_b = np.asarray(sorted(set(b)), dtype=np.uint32)
+        for algorithm in UINT_ALGORITHMS:
+            out = intersect_uint_arrays(arr_a, arr_b,
+                                        algorithm=algorithm)
+            assert _values(out) == expected, (seed, algorithm)
+        out = intersect_uint_arrays(arr_a, arr_b, simd=False)
+        assert _values(out) == expected, (seed, "scalar")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_all_optimizer_levels_agree(seed):
+    rng = random.Random(seed)
+    for a, b in adversarial_pairs(rng):
+        expected = sorted(set(a) & set(b))
+        for level_a in LEVELS:
+            for level_b in LEVELS:
+                out = intersect(build_set(a, level_a),
+                                build_set(b, level_b))
+                assert list(out.to_array()) == expected, \
+                    (seed, level_a, level_b)
