@@ -19,6 +19,13 @@ Three engine rows per query:
     The default compiled mode: after the first repetition every query
     is answered from the plan cache (the ``ExecStats`` counters prove
     zero parses / GHD builds / codegen runs on the cached path).
+``fused``
+    Compiled+cached plus ``fused_kernels``: the generated per-tuple
+    loop nest is replaced by the morsel-granular numpy block kernel
+    (:mod:`repro.engine.fused`), eliminating the per-binding Python
+    dispatch entirely.  The acceptance floor is a 2x win over the
+    per-tuple cached row on repeated triangle counting; in practice
+    the block sweep lands far above that.
 
 Shape assertions pin the acceptance claims: bit-identical results
 across modes, cached repetitions skip the whole front of the pipeline,
@@ -45,6 +52,8 @@ ROWS = [
     ("interpreted", {"execution_mode": "interpreted"}, False),
     ("compiled", {"execution_mode": "compiled"}, True),
     ("compiled+cached", {"execution_mode": "compiled"}, False),
+    ("fused", {"execution_mode": "compiled", "fused_kernels": True},
+     False),
 ]
 
 QUERIES = [
@@ -154,6 +163,7 @@ def test_repeated_pattern_query(benchmark, label, query_label, query):
         benchmark.extra_info["last_rep_ghd_builds"] = stats.ghd_builds
         benchmark.extra_info["last_rep_codegen_runs"] = stats.codegen_runs
         benchmark.extra_info["plan_cache_hits"] = stats.plan_cache_hits
+        benchmark.extra_info["fused_blocks"] = stats.fused_blocks
     # One extra traced repetition, outside the timed loop, prices the
     # compile vs execute split for the report's phase-breakdown table.
     compile_ms, execute_ms = phase_split(db, query,
@@ -222,6 +232,37 @@ def test_shape_cached_beats_interpreted_wall_clock():
     assert cached_time < interpreted_time
 
 
+def test_shape_fused_runs_block_kernels_bit_for_bit():
+    """Acceptance: the fused row answers through the block kernel (the
+    ``fused_blocks`` counter is nonzero) with results identical to the
+    per-tuple cached row."""
+    fused = codegen_db("fused")
+    cached = codegen_db("compiled+cached")
+    for _, query in QUERIES:
+        assert fused.query(query).scalar == cached.query(query).scalar
+    assert fused.last_stats.fused_blocks >= 1
+    assert cached.last_stats.fused_blocks == 0
+
+
+def test_shape_fused_beats_per_tuple_2x():
+    """Acceptance: fused block execution is at least 2x faster than the
+    per-tuple generated loop nest on repeated triangle counting.  The
+    2x floor is the issue's acceptance bar; the numpy sweep actually
+    lands far above it because it removes every per-binding Python
+    dispatch from the hot loop."""
+    fused = codegen_db("fused")
+    cached = codegen_db("compiled+cached")
+    reps = FULL_SCALE[2]
+    fused.query(TRIANGLE_COUNT)   # prime both plan caches
+    cached.query(TRIANGLE_COUNT)
+    fused_time = best_of(
+        lambda: run_repeated(fused, TRIANGLE_COUNT, reps))
+    cached_time = best_of(
+        lambda: run_repeated(cached, TRIANGLE_COUNT, reps))
+    assert fused_time * 2.0 <= cached_time, \
+        "fused %.4fs vs per-tuple %.4fs" % (fused_time, cached_time)
+
+
 def test_shape_phase_split_shows_cache_win():
     """The traced phase split localizes the cached win in the compile
     phase: a cache-defeating repetition pays parse+GHD+codegen, a
@@ -261,10 +302,14 @@ def main(argv=None):
     parser.add_argument("--smoke", action="store_true",
                         help="small graph, a few seconds end to end")
     parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--json", metavar="PATH",
+                        help="merge pytest-benchmark-shaped rows into "
+                             "PATH (see benchmarks/report.py --diff)")
     args = parser.parse_args(argv)
     scale = SMOKE_SCALE if args.smoke else FULL_SCALE
     nodes, edge_count, reps = scale
     failures = []
+    benches = []
     for query_label, query in QUERIES:
         print("%s x%d on uniform(%d nodes, %d edges):"
               % (query_label, reps, nodes, edge_count))
@@ -279,13 +324,20 @@ def main(argv=None):
                 rounds=args.rounds)
             detail = ""
             stats = db.last_stats
+            extra = {}
             if stats is not None and stats.execution_mode == "compiled":
                 detail = ("  parses=%d ghd=%d codegen=%d cache_hits=%d"
                           % (stats.parses, stats.ghd_builds,
                              stats.codegen_runs, stats.plan_cache_hits))
+                extra["fused_blocks"] = stats.fused_blocks
+            speedup = timings["interpreted"] / timings[label]
             print("  %-16s %7.3fs  speedup=%5.2fx%s"
-                  % (label, timings[label],
-                     timings["interpreted"] / timings[label], detail))
+                  % (label, timings[label], speedup, detail))
+            from jsonio import bench_row
+            benches.append(bench_row(
+                label, "codegen:%s" % query_label,
+                timings[label] / reps, result=results[label],
+                repetitions=reps, speedup=round(speedup, 3), **extra))
         if len(set(results.values())) != 1:
             failures.append("%s: modes disagree: %r"
                             % (query_label, results))
@@ -294,11 +346,23 @@ def main(argv=None):
                             "interpreted (%.3fs)"
                             % (query_label, timings["compiled+cached"],
                                timings["interpreted"]))
+        if query_label == "triangle" \
+                and timings["fused"] * 2.0 > timings["compiled+cached"]:
+            failures.append("%s: fused (%.3fs) did not hit the 2x "
+                            "acceptance floor over per-tuple cached "
+                            "(%.3fs)"
+                            % (query_label, timings["fused"],
+                               timings["compiled+cached"]))
+    if args.json:
+        from jsonio import write_results
+        write_results(args.json, "codegen", benches)
+        print("wrote %d rows to %s" % (len(benches), args.json))
     if failures:
         for failure in failures:
             print("FAIL: %s" % failure)
         return 1
-    print("OK: compiled+cached beats interpreted on repeated queries")
+    print("OK: compiled+cached beats interpreted, fused beats "
+          "per-tuple by 2x+")
     return 0
 
 

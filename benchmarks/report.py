@@ -10,8 +10,24 @@ Groups benchmarks by their ``benchmark.group`` (``tableNN:...`` /
 ``figNN:...``), renders one markdown table per experiment with wall time
 and the simulated-SIMD op counts the harness attaches via
 ``extra_info``, and prefixes each with the paper's expected shape.
+
+Perf-diff mode::
+
+    python benchmarks/report.py --diff \
+        benchmarks/baselines/bench_results.json current.json \
+        [--threshold 1.25]
+
+Compares the *speedup ratios* each smoke benchmark stamps into
+``extra_info["speedup"]`` (wall time relative to that group's baseline
+row — ``interpreted`` for codegen, ``serial`` for parallel scaling).
+Ratios are machine-relative, so a committed baseline from one host is
+comparable with a CI run on another: absolute times shift together,
+the ratio between rows should not.  Exits nonzero when any row's
+speedup degraded by more than ``--threshold`` (default 1.25 = a >25%
+regression) — the CI ``perf-smoke`` job fails on that signal.
 """
 
+import argparse
 import json
 import sys
 from collections import defaultdict
@@ -215,13 +231,96 @@ def render_phase_breakdown(data):
     return lines
 
 
-def main(argv):
-    if len(argv) != 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    print(render(load(argv[1])))
+def _speedup_index(data):
+    """``{(group, name): speedup}`` for rows that stamped one."""
+    index = {}
+    for bench in data.get("benchmarks", []):
+        speedup = bench.get("extra_info", {}).get("speedup")
+        if speedup is None:
+            continue
+        index[(bench.get("group") or "ungrouped",
+               bench["name"])] = float(speedup)
+    return index
+
+
+def render_diff(base, current, threshold):
+    """Markdown perf-diff of two smoke-benchmark JSON dumps.
+
+    Returns ``(lines, regressions)`` where ``regressions`` lists every
+    row whose speedup (machine-relative, see the module docstring)
+    degraded by more than ``threshold``.  Rows present on only one
+    side are reported but never fail the diff — new benchmarks must
+    not break CI before their baseline lands.
+    """
+    base_index = _speedup_index(base)
+    current_index = _speedup_index(current)
+    lines = ["### perf diff (speedup ratios, threshold %.2fx)"
+             % threshold, "",
+             "*Speedups are relative to each group's baseline row, so "
+             "the comparison is machine-independent.  ratio = "
+             "base / current; above the threshold = regression.*", "",
+             "| group | engine/variant | base | current | ratio | |",
+             "|---|---|---|---|---|---|"]
+    regressions = []
+    for key in sorted(set(base_index) | set(current_index)):
+        group, name = key
+        base_speedup = base_index.get(key)
+        current_speedup = current_index.get(key)
+        if base_speedup is None or current_speedup is None:
+            lines.append("| %s | %s | %s | %s | - | only in %s |"
+                         % (group, name,
+                            "-" if base_speedup is None
+                            else "%.2fx" % base_speedup,
+                            "-" if current_speedup is None
+                            else "%.2fx" % current_speedup,
+                            "current" if base_speedup is None
+                            else "base"))
+            continue
+        ratio = base_speedup / max(current_speedup, 1e-9)
+        verdict = ""
+        if ratio > threshold:
+            verdict = "**REGRESSION**"
+            regressions.append("%s/%s: speedup %.2fx -> %.2fx "
+                               "(%.2fx worse)"
+                               % (group, name, base_speedup,
+                                  current_speedup, ratio))
+        elif ratio < 1.0 / threshold:
+            verdict = "improved"
+        lines.append("| %s | %s | %.2fx | %.2fx | %.2f | %s |"
+                     % (group, name, base_speedup, current_speedup,
+                        ratio, verdict))
+    lines.append("")
+    return lines, regressions
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="render or diff benchmark JSON dumps")
+    parser.add_argument("results", nargs="?",
+                        help="pytest-benchmark JSON to render as "
+                             "EXPERIMENTS.md tables")
+    parser.add_argument("--diff", nargs=2, metavar=("BASE", "CURRENT"),
+                        help="compare two smoke-benchmark dumps by "
+                             "speedup ratio instead of rendering")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="speedup-degradation ratio that fails "
+                             "the diff (default 1.25 = >25%% slower)")
+    args = parser.parse_args(argv)
+    if args.diff:
+        lines, regressions = render_diff(load(args.diff[0]),
+                                         load(args.diff[1]),
+                                         args.threshold)
+        print("\n".join(lines))
+        if regressions:
+            for regression in regressions:
+                print("FAIL: %s" % regression, file=sys.stderr)
+            return 1
+        return 0
+    if not args.results:
+        parser.error("provide a results file or --diff BASE CURRENT")
+    print(render(load(args.results)))
     return 0
 
 
 if __name__ == "__main__":
-    raise SystemExit(main(sys.argv))
+    raise SystemExit(main(sys.argv[1:]))

@@ -122,6 +122,13 @@ class Database:
         self._env = {}
         self._dictionary = Dictionary()  # shared by add_relation calls
         self._trie_cache = TrieCache()
+        self._arena = None
+        if self.config.shared_tries:
+            from .storage.arena import (SharedTrieArena,
+                                        shared_memory_available)
+            if shared_memory_available():
+                self._arena = SharedTrieArena()
+                self._trie_cache.attach_arena(self._arena)
         self._plan_cache = PlanCache()
         self._executor = RuleExecutor(self.catalog, self.config,
                                       self._trie_cache, self._env,
@@ -213,6 +220,8 @@ class Database:
         n_nodes = len(dictionary)
         permutation = order_nodes(data, n_nodes, scheme=scheme, seed=seed)
         dictionary.remap(permutation)
+        if self._arena is not None and not self._arena.closed:
+            dictionary.share_into(self._arena)
         data = apply_order(data, permutation)
         if undirected:
             data = np.concatenate([data, data[:, ::-1]])
@@ -429,6 +438,38 @@ class Database:
         for name, relation in load_catalog(path).items():
             db._install(name, relation)
         return db
+
+    @property
+    def arena(self):
+        """The shared-memory trie arena (``None`` unless the database
+        was created with ``shared_tries=True``)."""
+        return self._arena
+
+    def close(self):
+        """Release held OS resources — today, the shared-memory arena.
+
+        Safe to call on any database (no-op without an arena) and
+        idempotent.  The arena also self-releases at interpreter exit,
+        so calling this is only needed for deterministic reclamation of
+        ``/dev/shm`` space mid-process.  After closing, shared tries
+        become invalid: the trie cache is cleared so later queries
+        rebuild private tries.
+        """
+        if self._arena is None or self._arena.closed:
+            return
+        for relation in self.catalog.values():
+            self._trie_cache.invalidate(relation)
+            for dictionary in (relation.dictionaries or ()):
+                if dictionary is not None:
+                    dictionary._id_array = None
+        self._trie_cache.attach_arena(None)
+        self._arena.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
 
     @property
     def counter(self):

@@ -46,6 +46,11 @@ def _load_database(args):
         # Only override when the flag is given, so the
         # REPRO_EXECUTION_MODE environment default still applies.
         overrides["execution_mode"] = args.execution_mode
+    if getattr(args, "fused", False):
+        overrides["execution_mode"] = "compiled"
+        overrides["fused_kernels"] = True
+    if getattr(args, "shared_tries", False):
+        overrides["shared_tries"] = True
     db = Database(ordering=args.ordering,
                   layout_level=args.layout_level,
                   use_ghd=not args.no_ghd,
@@ -90,6 +95,12 @@ def _add_loader_flags(parser):
                         help="bag execution: generic interpreter "
                              "(default) or generated code with plan "
                              "caching (also: REPRO_EXECUTION_MODE)")
+    parser.add_argument("--fused", action="store_true",
+                        help="fused numpy block kernels (implies "
+                             "--execution-mode compiled)")
+    parser.add_argument("--shared-tries", action="store_true",
+                        help="place tries in shared memory so forked "
+                             "workers map them zero-copy")
 
 
 def cmd_query(args):

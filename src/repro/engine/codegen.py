@@ -118,6 +118,9 @@ def trie_level_kind(trie, depth, layout_level="set"):
 class GeneratedQuery:
     """A compiled bag plan: the emitted source text plus the callable."""
 
+    #: True on plans whose callable runs the fused block kernel.
+    fused = False
+
     def __init__(self, source, function, input_names):
         self.source = source
         self.function = function
@@ -175,7 +178,8 @@ def _intersect_pair_config(x, y, config):
     return result
 
 
-def generate_bag_plan(eval_order, out_count, specs, semiring):
+def generate_bag_plan(eval_order, out_count, specs, semiring,
+                      fused=False):
     """Emit and compile Python source evaluating one bag.
 
     Parameters
@@ -189,6 +193,13 @@ def generate_bag_plan(eval_order, out_count, specs, semiring):
         :class:`InputSpec` list, one per input trie.
     semiring:
         Fold for the aggregated suffix (and the zero of empty results).
+    fused:
+        When true and the bag shape qualifies (all inputs unary or
+        binary, supported semiring), return a
+        :class:`~repro.engine.fused.FusedBagKernel` wrapper that
+        evaluates whole morsels as numpy block operations, with this
+        per-tuple generated function kept as its over-budget fallback.
+        Unqualifying bags silently get the per-tuple plan.
 
     Returns
     -------
@@ -198,6 +209,9 @@ def generate_bag_plan(eval_order, out_count, specs, semiring):
         :class:`~repro.engine.generic_join.BagResult` the interpreting
         :class:`~repro.engine.generic_join.BagEvaluator` produces.
     """
+    if fused:
+        return _generate_fused_plan(eval_order, out_count, specs,
+                                    semiring)
     order = tuple(eval_order)
     n_levels = len(order)
     if n_levels == 0:
@@ -414,6 +428,33 @@ def generate_bag_plan(eval_order, out_count, specs, semiring):
     exec(compile(source, "<generated-query>", "exec"), namespace)
     return GeneratedQuery(source, namespace["_generated"],
                           [spec.name for spec in specs])
+
+
+def _generate_fused_plan(eval_order, out_count, specs, semiring):
+    """Pair a :class:`~repro.engine.fused.FusedBagKernel` with its
+    per-tuple fallback plan behind the ``GeneratedQuery`` interface."""
+    from .fused import FusedBagKernel, FusedFallback, fusable
+
+    fallback = generate_bag_plan(eval_order, out_count, specs, semiring)
+    if not fusable(eval_order, out_count, specs, semiring):
+        return fallback
+    kernel = FusedBagKernel(eval_order, out_count, specs, semiring)
+    per_tuple = fallback.function
+
+    def _run(tries, config, restrict=None):
+        try:
+            return kernel.run(tries, config, restrict)
+        except FusedFallback:
+            return per_tuple(tries, config, restrict)
+
+    source = ("# fused block kernel: order=(%s) out=%d semiring=%s\n"
+              "# per-tuple fallback plan follows\n%s"
+              % (", ".join(eval_order), out_count, semiring.name,
+                 fallback.source))
+    generated = GeneratedQuery(source, _run, list(fallback.input_names))
+    generated.fused = True
+    generated.kernel = kernel
+    return generated
 
 
 def generate_count_plan(eval_order, input_specs):

@@ -66,6 +66,21 @@ class EngineConfig:
         (paper §3.3) cached across executions — repeated queries skip
         parse, GHD search, and codegen entirely.  The default honors
         the ``REPRO_EXECUTION_MODE`` environment variable.
+    fused_kernels:
+        Lower qualifying compiled bags (all inputs unary/binary) to
+        :class:`~repro.engine.fused.FusedBagKernel` block kernels that
+        evaluate a whole morsel's bindings per numpy sweep instead of a
+        Python loop per binding.  Only meaningful with
+        ``execution_mode="compiled"``; participates in the plan cache's
+        ``config_signature`` because it changes the generated plan.
+    shared_tries:
+        Place cache-built tries' bulk arrays (and integer dictionary
+        decode columns) into ``multiprocessing.shared_memory`` via a
+        per-database :class:`~repro.storage.arena.SharedTrieArena`, so
+        forked parallel workers map them zero-copy instead of paying
+        refcount-driven copy-on-write churn.  Changes scheduling cost,
+        never results or plans — like the ``parallel_*`` knobs it stays
+        out of ``config_signature``.
     parallel_workers:
         Forked worker processes for the generic join's outermost loop
         (the paper runs every benchmark on 48 threads).  ``1`` (default)
@@ -75,7 +90,12 @@ class EngineConfig:
     parallel_threshold:
         Minimum number of level-0 candidate values before forking is
         worth the setup cost; smaller bags run serially even when
-        ``parallel_workers > 1``.
+        ``parallel_workers > 1``.  Deliberately counted in raw
+        candidate values, *not* the degree-weighted costs morsel
+        construction uses: the threshold gates whether forking pays for
+        itself at all (a fixed per-fork overhead against per-candidate
+        work), while degree weights only balance candidates *across*
+        workers once forking happens.
     parallel_strategy:
         ``"steal"`` (default) drains cost-weighted morsels from a shared
         queue; ``"static"`` reproduces the one-chunk-per-worker
@@ -108,6 +128,8 @@ class EngineConfig:
     cross_rule_cse: bool = True
     uint_algorithm: Optional[str] = None
     execution_mode: str = field(default_factory=_default_execution_mode)
+    fused_kernels: bool = False
+    shared_tries: bool = False
     parallel_workers: int = 1
     parallel_threshold: int = 64
     parallel_strategy: str = "steal"
@@ -157,6 +179,23 @@ def enumerate_config_matrix(full=False):
                                    parallel_workers=4,
                                    parallel_threshold=0,
                                    parallel_strategy="steal")),
+            ("fused", cfg(execution_mode="compiled",
+                          fused_kernels=True)),
+            ("fused-steal", cfg(execution_mode="compiled",
+                                fused_kernels=True,
+                                parallel_workers=4,
+                                parallel_threshold=0,
+                                parallel_strategy="steal")),
+            ("shared-tries", cfg(parallel_workers=4,
+                                 parallel_threshold=0,
+                                 parallel_strategy="steal",
+                                 shared_tries=True)),
+            ("fused-shared", cfg(execution_mode="compiled",
+                                 fused_kernels=True,
+                                 shared_tries=True,
+                                 parallel_workers=4,
+                                 parallel_threshold=0,
+                                 parallel_strategy="steal")),
             ("no-prune", cfg(prune_attributes=False)),
             ("no-fold", cfg(fold_constants=False)),
             ("no-cse", cfg(cross_rule_cse=False,
@@ -170,7 +209,7 @@ def enumerate_config_matrix(full=False):
         ]
         return matrix
     matrix = []
-    for mode in ("interpreted", "compiled"):
+    for mode in ("interpreted", "compiled", "fused"):
         for par_label, par in (("serial", {}),
                                ("steal", dict(parallel_workers=4,
                                               parallel_threshold=0,
@@ -190,8 +229,16 @@ def enumerate_config_matrix(full=False):
                                "block"):
                     label = "%s-%s-%s-%s" % (mode, par_label, opt_label,
                                              layout)
-                    overrides = dict(execution_mode=mode,
-                                     layout_level=layout)
+                    if mode == "fused":
+                        # "fused" is compiled + block kernels + shared
+                        # tries — the full new-path stack in one axis.
+                        overrides = dict(execution_mode="compiled",
+                                         fused_kernels=True,
+                                         shared_tries=True,
+                                         layout_level=layout)
+                    else:
+                        overrides = dict(execution_mode=mode,
+                                         layout_level=layout)
                     overrides.update(par)
                     overrides.update(opt)
                     matrix.append((label, cfg(**overrides)))

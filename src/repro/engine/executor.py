@@ -73,6 +73,19 @@ class TrieCache:
         self.misses = 0
         self.level0_hits = 0
         self.level0_misses = 0
+        #: Optional SharedTrieArena every cache-built trie's bulk arrays
+        #: are placed into (:meth:`attach_arena`); pinned tries then
+        #: stay warm in shared memory across queries and forks.
+        self.arena = None
+
+    def attach_arena(self, arena):
+        """Route future trie builds through ``arena`` shared memory.
+
+        Already-cached tries keep their private arrays (sharing them
+        retroactively would race against live readers); only misses
+        from here on are placed into the arena.
+        """
+        self.arena = arena
 
     @staticmethod
     def _uid(relation):
@@ -91,6 +104,8 @@ class TrieCache:
             trie = Trie(relation, key_order=key_order,
                         optimizer=SetOptimizer(layout_level))
             trie._cache_owned = True
+            if self.arena is not None and not self.arena.closed:
+                trie.share_into(self.arena)
             self._tries[key] = trie
         else:
             self.hits += 1
@@ -393,6 +408,8 @@ class RuleExecutor:
                 self.cache.level0_hits - l0_hits0
             self.last_stats.level0_cache_misses = \
                 self.cache.level0_misses - l0_misses0
+            if self.cache.arena is not None:
+                self.last_stats.shm_bytes_mapped = self.cache.arena.nbytes
         root_result = retained[id(ghd.root)]
         if aggregate_mode:
             return self._finish_aggregate(logical, root_result)
@@ -674,16 +691,20 @@ class RuleExecutor:
             input_names = [atoms[e.index].name for e in node.edges] \
                 + ["pass:%s" % ",".join(sorted(c.chi_set & node.chi_set))
                    for c in node.children]
+            # The bag-source tier is keyed on this signature alone, so
+            # the fused flag must join it — fused and per-tuple plans
+            # for the same shape are distinct compiled artifacts.
             bag_sig = ("bag", eval_order, len(out_attrs), semiring.name,
-                       tuple(spec.signature() for spec in specs))
+                       tuple(spec.signature() for spec in specs),
+                       self.config.fused_kernels)
             generated = self.plans.get_bag_code(bag_sig)
             if generated is None:
                 stats.codegen_runs += 1
                 with maybe_span(self.config.tracer, "codegen", "compile",
                                 bag=",".join(node.chi)):
-                    generated = generate_bag_plan(eval_order,
-                                                  len(out_attrs), specs,
-                                                  semiring)
+                    generated = generate_bag_plan(
+                        eval_order, len(out_attrs), specs, semiring,
+                        fused=self.config.fused_kernels)
                 self.plans.put_bag_code(bag_sig, generated)
             else:
                 stats.bag_codegen_reuses += 1
@@ -761,6 +782,8 @@ class RuleExecutor:
         stats.trie_cache_misses += self.cache.misses - marks[1]
         stats.level0_cache_hits += self.cache.level0_hits - marks[2]
         stats.level0_cache_misses += self.cache.level0_misses - marks[3]
+        if self.cache.arena is not None:
+            stats.shm_bytes_mapped = self.cache.arena.nbytes
         root_result = retained[id(ghd.root)]
         if aggregate_mode:
             return self._finish_aggregate(logical, root_result)
@@ -843,6 +866,8 @@ class RuleExecutor:
                 result = fast
             else:
                 stats.compiled_bag_calls += 1
+                if cbag.generated.fused:
+                    stats.fused_blocks += 1
                 result = cbag.generated(tries, self.config)
         if aggregate_mode and scalar_factor != 1.0:
             if result.scalar is not None:

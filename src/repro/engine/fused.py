@@ -1,0 +1,396 @@
+"""Fused block execution: the generic join as numpy block ops.
+
+The per-tuple compiled path (:mod:`repro.engine.codegen`) still pays a
+Python-level loop iteration per binding — one ``intersect`` or pair
+kernel call per outer value.  This module eliminates that dispatch
+entirely for the bag shapes graph queries compile to (every input of
+arity 1 or 2): the whole morsel is evaluated as a short, fixed sequence
+of vectorized *block operations* over the tries' flat level arrays
+(:meth:`repro.storage.trie.Trie.flat`):
+
+1. **Frontier expansion.**  The bag's bound prefixes live in a column
+   matrix (one array per level, rows in lexicographic order).  A level
+   is expanded by one CSR gather over the generating input's flat child
+   arrays (``offsets``/``values``) — ``np.repeat`` + cumulative-sum
+   arithmetic, no per-row Python.
+2. **Batched membership probes.**  Every other participant filters the
+   expanded candidates with one ``searchsorted`` sweep: root levels
+   probe the sorted key array directly, child levels probe a 64-bit
+   packed ``(parent << 32) | child`` array, so a million bindings cost
+   a handful of numpy calls.
+3. **Block aggregate folds.**  The aggregated suffix never materializes
+   past the frontier: leaf contributions are folded per output prefix
+   with ``bincount``/``ufunc.reduceat`` segment reductions, and
+   unannotated SUM/COUNT keeps the compiled path's exact ``int``
+   accumulator (a bare element count).
+
+Annotation products multiply in the same input order as the per-tuple
+paths, so results agree bit-for-bit except for float *summation* order
+inside a fold, where grouping differs — the differential fuzzer's
+dyadic-rational value hygiene makes even those sums exact in practice.
+
+A kernel call that would expand past :data:`MAX_BLOCK_ROWS` raises
+:class:`FusedFallback`; the wrapper built by
+:func:`repro.engine.codegen.generate_bag_plan` then reruns the call
+through the per-tuple generated loop nest, so the fused path can never
+be wrong, only slower.  Workspace buffers (the index ramp) are reused
+across morsels within a kernel, so the steady-state morsel loop
+allocates only result-sized arrays.
+"""
+
+import numpy as np
+
+from ..errors import PlanError
+from .generic_join import BagResult, empty_bag_result
+
+#: Semirings the block folds implement.
+FUSED_SEMIRINGS = ("SUM", "COUNT", "MIN", "MAX", "EXISTS")
+
+#: Expansion budget per block: a level whose expanded frontier would
+#: exceed this many rows falls back to the per-tuple loop nest, keeping
+#: worst-case memory bounded (~8M rows ≈ a few hundred MB of state).
+MAX_BLOCK_ROWS = 1 << 23
+
+_EMPTY_SCALAR_DATA = np.empty((0, 0), dtype=np.uint32)
+
+
+class FusedFallback(Exception):
+    """A block exceeded the expansion budget; rerun per-tuple."""
+
+
+def fusable(eval_order, out_count, specs, semiring):
+    """True when the bag shape is coverable by the block evaluator:
+    every input unary or binary, a supported semiring fold."""
+    if not eval_order or semiring.name not in FUSED_SEMIRINGS:
+        return False
+    return all(1 <= len(spec.variables) <= 2 for spec in specs)
+
+
+class _Part:
+    """One input's participation at one level (resolved at plan time)."""
+
+    __slots__ = ("index", "pos", "is_last", "annotated", "var0_level")
+
+    def __init__(self, index, pos, is_last, annotated, var0_level):
+        self.index = index
+        self.pos = pos                  # position within the input's order
+        self.is_last = is_last          # binds the input's final variable
+        self.annotated = annotated
+        self.var0_level = var0_level    # bag level of the input's first var
+
+
+class _Workspace:
+    """Reusable scratch buffers (the morsel-loop allocation killer).
+
+    The index ramp backing ``np.arange`` views grows geometrically and
+    is shared by every block in a kernel, so repeated morsel calls stop
+    allocating ramp arrays entirely.
+    """
+
+    __slots__ = ("ramp",)
+
+    def __init__(self):
+        self.ramp = np.empty(0, dtype=np.int64)
+
+    def arange(self, n):
+        if self.ramp.size < n:
+            size = max(int(n), 1024, self.ramp.size * 2)
+            self.ramp = np.arange(size, dtype=np.int64)
+        return self.ramp[:n]
+
+
+def _probe(keys, vals):
+    """Batched sorted-membership probe.
+
+    Returns ``(rank, member)``: for member positions ``rank`` is the
+    value's index in ``keys`` (the trie-node rank, valid wherever
+    ``member`` holds).
+    """
+    if keys.size == 0:
+        zero = np.zeros(vals.size, dtype=np.intp)
+        return zero, np.zeros(vals.size, dtype=bool)
+    rank = np.searchsorted(keys, vals)
+    rank = np.minimum(rank, keys.size - 1)
+    return rank, keys[rank] == vals
+
+
+def _packed_probe(packed, pk):
+    """Membership of packed ``(parent << 32) | child`` pairs; the hit
+    position doubles as the row index for leaf-annotation gathers."""
+    if packed.size == 0:
+        zero = np.zeros(pk.size, dtype=np.intp)
+        return zero, np.zeros(pk.size, dtype=bool)
+    pos = np.searchsorted(packed, pk)
+    pos = np.minimum(pos, packed.size - 1)
+    return pos, packed[pos] == pk
+
+
+class FusedBagKernel:
+    """One bag lowered to a sequence of numpy block operations.
+
+    Instances are built by :func:`repro.engine.codegen.generate_bag_plan`
+    when ``fused=True`` and cached through the plan cache's bag-source
+    tier exactly like per-tuple generated functions.  Calling convention
+    matches :class:`~repro.engine.codegen.GeneratedQuery.__call__`:
+    ``kernel(tries, config, restrict=None)`` with tries in spec order
+    and ``restrict`` the parallel executor's morsel hook.
+    """
+
+    def __init__(self, eval_order, out_count, specs, semiring):
+        if not fusable(eval_order, out_count, specs, semiring):
+            raise PlanError("bag is not fusable")
+        self.order = tuple(eval_order)
+        self.out_count = out_count
+        self.specs = list(specs)
+        self.semiring = semiring
+        self.n_levels = len(self.order)
+        # Same exact-int rule as the per-tuple codegen: unannotated
+        # SUM/COUNT results are bare element counts.
+        self.int_fold = semiring.name in ("SUM", "COUNT") \
+            and not any(spec.annotated for spec in specs)
+        var_level = {attr: level for level, attr in enumerate(self.order)}
+        self.levels = []
+        for level, attr in enumerate(self.order):
+            parts = []
+            for index, spec in enumerate(specs):
+                if attr in spec.variables:
+                    pos = spec.variables.index(attr)
+                    parts.append(_Part(
+                        index, pos, pos == len(spec.variables) - 1,
+                        spec.annotated, var_level[spec.variables[0]]))
+            if not parts:
+                raise PlanError("attribute %r not covered" % (attr,))
+            self.levels.append(parts)
+        self._ws = _Workspace()
+
+    # -- driver ---------------------------------------------------------------
+
+    def run(self, tries, config, restrict=None):
+        """Evaluate the bag; raises :class:`FusedFallback` over budget."""
+        flats = [trie.flat() for trie in tries]
+        if any(flat.keys.size == 0 for flat in flats):
+            return self._empty()
+        counter = config.counter
+        oc, nl = self.out_count, self.n_levels
+        exists = self.semiring.name == "EXISTS"
+        cols = []           # bound value column per level, len F each
+        pw = None           # output-prefix annotation chain (float64[F])
+        sw = None           # aggregated-suffix annotation chain
+        ranks = {}          # spec index -> rank of its bound first var
+        frontier = 1
+        blocks = 0
+        for level in range(nl):
+            parts = self.levels[level]
+            leaf_fold = level == nl - 1 and oc < nl
+            expansion = self._expand(level, parts, flats, cols, ranks,
+                                     frontier, restrict)
+            parent, vals, new_ranks, factors, total = expansion
+            blocks += 1
+            counter.charge("fused_block", simd=-(-total // 4),
+                           elements=total)
+            if leaf_fold:
+                return self._fold_leaf(parent, factors, cols, pw, sw,
+                                       frontier)
+            if parent.size == 0:
+                return self._empty()
+            cols = [column[parent] for column in cols]
+            cols.append(vals)
+            if pw is not None:
+                pw = pw[parent]
+            if sw is not None:
+                sw = sw[parent]
+            ranks = {index: rank[parent]
+                     for index, rank in ranks.items()}
+            ranks.update(new_ranks)
+            # Annotation factors multiply in input-index order, exactly
+            # like the per-tuple paths' left-associated products.
+            for _, factor in sorted(factors, key=lambda item: item[0]):
+                if level < oc:
+                    pw = factor if pw is None else pw * factor
+                elif not exists:
+                    # EXISTS ignores suffix annotations (the fold is a
+                    # bare witness test), matching the interpreter.
+                    sw = factor if sw is None else sw * factor
+            frontier = parent.size
+        # Pure materializing bag: the frontier is the result.
+        metrics = getattr(config, "metrics", None)
+        if metrics is not None:
+            metrics.observe("fused.block_rows", frontier)
+        data = np.stack(cols, axis=1) if cols \
+            else np.empty((0, 0), dtype=np.uint32)
+        annotations = pw if pw is not None \
+            else np.ones(frontier, dtype=np.float64)
+        return BagResult(self.order[:oc], data, annotations=annotations)
+
+    # -- expansion ------------------------------------------------------------
+
+    def _expand(self, level, parts, flats, cols, ranks, frontier,
+                restrict):
+        """Expand the frontier through one level.
+
+        Returns ``(parent, vals, new_ranks, factors, total)`` — parent
+        row per surviving candidate, its bound value, ranks recorded
+        for inputs whose first variable binds here, leaf-annotation
+        factor arrays as ``(input_index, float64 array)``, and the
+        pre-filter expansion size (for op accounting).
+        """
+        ws = self._ws
+        child_parts = [part for part in parts if part.pos == 1]
+        if child_parts:
+            # CSR expansion through the cheapest child-level input.
+            gen = min(child_parts,
+                      key=lambda part: flats[part.index].values.size)
+            flat = flats[gen.index]
+            row = ranks[gen.index]
+            offsets = flat.offsets
+            counts = offsets[row + 1] - offsets[row]
+            total = int(counts.sum())
+            self._budget(total)
+            parent = np.repeat(ws.arange(frontier), counts)
+            run_starts = np.cumsum(counts) - counts
+            src = np.repeat(offsets[row] - run_starts, counts) \
+                + ws.arange(total)
+            vals = flat.values[src]
+            keep = None
+            probes = []     # (part, rank array) pending compression
+            for part in parts:
+                if part is gen:
+                    continue
+                other = flats[part.index]
+                if part.pos == 0:
+                    rank, member = _probe(other.keys, vals)
+                else:
+                    bound = cols[part.var0_level][parent]
+                    pk = (bound.astype(np.uint64) << 32) | vals
+                    rank, member = _packed_probe(other.packed, pk)
+                probes.append((part, rank))
+                keep = member if keep is None else keep & member
+            if keep is not None:
+                parent = parent[keep]
+                vals = vals[keep]
+                src = src[keep]
+                probes = [(part, rank[keep]) for part, rank in probes]
+            new_ranks = {}
+            factors = []
+            if gen.annotated and flat.ann is not None:
+                factors.append((gen.index, flat.ann[src]))
+            for part, rank in probes:
+                other = flats[part.index]
+                if part.is_last:
+                    if part.annotated and other.ann is not None:
+                        factors.append((part.index, other.ann[rank]))
+                else:
+                    new_ranks[part.index] = rank
+            return parent, vals, new_ranks, factors, total
+        # All participants offer row-independent root keys: the level's
+        # candidate set is one intersection, then a Cartesian expansion.
+        if level == 0 and restrict is not None:
+            base = restrict.to_array()
+        else:
+            base = min((flats[part.index].keys for part in parts),
+                       key=lambda keys: keys.size)
+        keep = np.ones(base.size, dtype=bool)
+        set_ranks = {}
+        for part in parts:
+            rank, member = _probe(flats[part.index].keys, base)
+            keep &= member
+            set_ranks[part.index] = rank
+        vset = base[keep]
+        width = vset.size
+        total = frontier * width
+        self._budget(total)
+        parent = np.repeat(ws.arange(frontier), width)
+        vals = np.tile(vset, frontier)
+        new_ranks = {}
+        factors = []
+        for part in parts:
+            rank = set_ranks[part.index][keep]
+            other = flats[part.index]
+            if part.is_last:
+                if part.annotated and other.ann is not None:
+                    factors.append(
+                        (part.index, np.tile(other.ann[rank], frontier)))
+            else:
+                new_ranks[part.index] = np.tile(rank, frontier)
+        return parent, vals, new_ranks, factors, total
+
+    def _budget(self, total):
+        if total > MAX_BLOCK_ROWS:
+            raise FusedFallback(total)
+
+    # -- aggregated-leaf folds ------------------------------------------------
+
+    def _fold_leaf(self, seg, factors, cols, pw, sw, frontier):
+        """Fold the deepest level per frontier row without expanding it.
+
+        ``seg`` is sorted (parents expand in order), so per-row and
+        per-group reductions are ``bincount``/``reduceat`` segment ops.
+        """
+        sem = self.semiring
+        oc = self.out_count
+        if seg.size == 0:
+            return self._empty()
+        name = sem.name
+        facs = [factor for _, factor
+                in sorted(factors, key=lambda item: item[0])]
+        if name == "EXISTS" or (sw is None and not facs):
+            rows, starts = np.unique(seg, return_index=True)
+            if name in ("SUM", "COUNT"):
+                counts = np.bincount(seg, minlength=frontier)
+                leafv = counts[rows].astype(np.float64)
+            else:   # MIN/MAX of a constant chain, or EXISTS witnesses
+                leafv = np.ones(rows.size, dtype=np.float64)
+        else:
+            elem = sw[seg] if sw is not None \
+                else np.ones(seg.size, dtype=np.float64)
+            for factor in facs:
+                elem = elem * factor
+            rows, starts = np.unique(seg, return_index=True)
+            if name in ("SUM", "COUNT"):
+                leafv = np.add.reduceat(elem, starts)
+            elif name == "MIN":
+                leafv = np.minimum.reduceat(elem, starts)
+            else:
+                leafv = np.maximum.reduceat(elem, starts)
+        if oc == 0:
+            if self.int_fold:
+                return BagResult((), _EMPTY_SCALAR_DATA,
+                                 scalar=int(seg.size))
+            if name == "EXISTS":
+                scalar = 1.0 if rows.size else 0.0
+            elif name in ("SUM", "COUNT"):
+                scalar = float(leafv.sum())
+            elif name == "MIN":
+                scalar = float(leafv.min())
+            else:
+                scalar = float(leafv.max())
+            return BagResult((), _EMPTY_SCALAR_DATA, scalar=scalar)
+        # Group surviving rows by their output prefix (lexicographically
+        # contiguous by construction) and reduce per group.
+        prefix = [cols[level][rows] for level in range(oc)]
+        new_group = np.zeros(rows.size, dtype=bool)
+        new_group[0] = True
+        for column in prefix:
+            new_group[1:] |= column[1:] != column[:-1]
+        gstarts = np.flatnonzero(new_group)
+        if name in ("SUM", "COUNT"):
+            gval = np.add.reduceat(leafv, gstarts)
+        elif name == "MIN":
+            gval = np.minimum.reduceat(leafv, gstarts)
+        elif name == "MAX":
+            gval = np.maximum.reduceat(leafv, gstarts)
+        else:   # EXISTS: one witness per group suffices
+            gval = np.ones(gstarts.size, dtype=np.float64)
+        if pw is not None:
+            annotations = pw[rows][gstarts] * gval
+        else:
+            annotations = gval
+        data = np.stack([column[gstarts] for column in prefix], axis=1)
+        return BagResult(self.order[:oc], data,
+                         annotations=annotations.astype(np.float64,
+                                                        copy=False))
+
+    def _empty(self):
+        if self.out_count == 0 and self.int_fold:
+            return BagResult((), _EMPTY_SCALAR_DATA, scalar=0)
+        return empty_bag_result(self.order, self.out_count, self.semiring)

@@ -16,10 +16,18 @@ the hubs; this module instead:
    worker steals work a loaded one would otherwise still be holding.
 
 Workers are forked processes (Python threads would serialize on the
-GIL).  The fork discipline is *build-once-before-fork*: the parent
-builds every trie through the :class:`~repro.engine.executor.TrieCache`
-before spawning, children read the structures copy-on-write and never
-construct tries themselves.
+GIL).  The fork discipline is *share-then-fork*: the parent builds
+every trie through the :class:`~repro.engine.executor.TrieCache`
+before spawning, and children never construct tries themselves.  With
+``EngineConfig.shared_tries`` the cache additionally places each
+trie's bulk arrays into a
+:class:`~repro.storage.arena.SharedTrieArena`, so children map the
+same physical ``/dev/shm`` pages zero-copy — refcount updates touch
+only the small ndarray view objects, never the payload pages.  Without
+an arena, children fall back to plain copy-on-write reads of the
+parent's heap (correct, but CPython refcounting progressively copies
+the touched pages).  See ``docs/performance.md`` for the full
+discipline.
 
 :func:`evaluate_bag_parallel` is a drop-in replacement for
 :func:`~repro.engine.generic_join.evaluate_bag` covering aggregate
@@ -176,23 +184,47 @@ def _level0_candidates(inputs, order, config, cache=None):
 # -- worker bodies ------------------------------------------------------------
 
 
+def _morsel_runner(spec):
+    """Build the per-morsel evaluation closure for one schedule.
+
+    All per-morsel dispatch — the compiled/interpreted branch, the spec
+    dict lookups, the config fetch — is resolved *once* here, so the
+    hot loop's per-morsel cost is one closure call plus the evaluation
+    itself.  (Fused kernels take this further: the closure call then
+    covers the whole morsel in a handful of numpy block ops.)
+    """
+    compiled = spec.get("compiled")
+    config = spec["config"]
+    if compiled is not None:
+        function, tries = compiled
+
+        def run(values):
+            return function(tries, config,
+                            restrict=UintSet.from_sorted(values))
+        return run
+    order = spec["order"]
+    out_count = spec["out_count"]
+    inputs = spec["inputs"]
+    semiring = spec["semiring"]
+
+    def run(values):
+        return BagEvaluator(
+            order, out_count, inputs, semiring, config,
+            restrict_level0=UintSet.from_sorted(values)).run()
+    return run
+
+
 def _evaluate_morsel(spec, values):
     """Evaluate the shared bag restricted to one morsel's values.
 
-    When the compiled pipeline supplies a generated function, the
-    morsel runs through it (its ``restrict`` argument is exactly this
-    hook); otherwise the interpreting evaluator handles the morsel.
+    The bound runner is cached on the spec, so repeated calls pay one
+    dict hit plus the closure call — and this function stays the
+    monkeypatchable seam the failure-injection tests rely on.
     """
-    compiled = spec.get("compiled")
-    if compiled is not None:
-        function, tries = compiled
-        return function(tries, spec["config"],
-                        restrict=UintSet(values))
-    evaluator = BagEvaluator(
-        spec["order"], spec["out_count"], spec["inputs"],
-        spec["semiring"], spec["config"],
-        restrict_level0=UintSet(values))
-    return evaluator.run()
+    run = spec.get("_runner")
+    if run is None:
+        run = spec["_runner"] = _morsel_runner(spec)
+    return run(values)
 
 
 def _pack(result, out_count):
@@ -211,12 +243,13 @@ def _worker_main(worker_id, tasks, results):
     """
     spec = _SHARED["spec"]
     counter = spec["config"].counter
+    morsels = spec["morsels"]
     try:
         while True:
             index = tasks.get()
             if index is None:
                 break
-            values = spec["morsels"][index]
+            values = morsels[index]
             ops_before = counter.total_ops
             start = time.perf_counter()
             result = _evaluate_morsel(spec, values)
@@ -337,6 +370,9 @@ def _run_inline(spec, schedule, stats):
     the per-morsel stats — while paying zero fork/queue overhead."""
     partials = {}
     counter = spec["config"].counter
+    # Hoisted out of the hot loop: when tracing is off the loop body
+    # touches no span machinery at all (asserted zero-allocation by the
+    # tracing micro-benchmark in tests/obs/test_trace.py).
     tracer = getattr(spec["config"], "tracer", None)
     if tracer is not None and not tracer.enabled:
         tracer = None
@@ -426,8 +462,13 @@ def evaluate_bag_parallel(eval_order, out_count, inputs, semiring, config,
         stats.mode = "fast-path"
         return fast
 
+    fused = compiled is not None \
+        and getattr(compiled[0], "fused", False)
+
     def run_serial():
         if compiled is not None:
+            if fused:
+                stats.fused_blocks += 1
             function, tries = compiled
             return function(tries, config)
         return probe.run()
@@ -465,6 +506,10 @@ def evaluate_bag_parallel(eval_order, out_count, inputs, semiring, config,
             "inputs": list(inputs), "semiring": semiring,
             "config": config, "compiled": compiled,
             "morsels": {m.index: m.values for m in schedule}}
+    if fused:
+        # One block-kernel invocation per morsel (forked workers charge
+        # into copy-on-write stats, so the parent accounts up front).
+        stats.fused_blocks += len(schedule)
     if n_workers > 1 and _can_fork():
         stats.mode = "forked"
         stats.workers = n_workers

@@ -28,13 +28,14 @@ MAX_ENTRIES = 256
 def config_signature(config):
     """The :class:`~repro.engine.config.EngineConfig` switches a cached
     plan depends on.  Anything that alters plan shape, kernel choice,
-    or result layout must appear here; the op counter and parallel
-    knobs (which change scheduling, not plans) must not."""
+    or result layout must appear here; the op counter and the
+    scheduling-only knobs (``parallel_*``, ``shared_tries`` — which
+    change where plans run, not what they compute) must not."""
     return (config.layout_level, config.adaptive_algorithms, config.simd,
             config.use_ghd, config.push_selections,
             config.eliminate_redundant_bags, config.skip_top_down,
             config.uint_algorithm, config.prune_attributes,
-            config.fold_constants)
+            config.fold_constants, config.fused_kernels)
 
 
 class CompiledBag:

@@ -92,6 +92,14 @@ class ExecStats:
     compiled_bag_calls: int = 0
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    #: Fused block-kernel invocations (one per serial bag call or per
+    #: morsel routed through a :class:`~repro.engine.fused`
+    #: FusedBagKernel); 0 means every bag ran per-tuple.
+    fused_blocks: int = 0
+    #: Payload bytes of trie/dictionary arrays served from the
+    #: database's shared-memory arena during this execution (0 when
+    #: ``shared_tries`` is off).
+    shm_bytes_mapped: int = 0
 
     # -- recording ----------------------------------------------------------
 
@@ -217,4 +225,10 @@ class ExecStats:
                 % (self.plan_cache_hits, self.plan_cache_misses,
                    self.parses, self.ghd_builds, self.codegen_runs,
                    self.bag_codegen_reuses, self.compiled_bag_calls))
+        if self.fused_blocks:
+            lines.append("  fused block kernels: %d invocation(s)"
+                         % self.fused_blocks)
+        if self.shm_bytes_mapped:
+            lines.append("  shared-memory tries: %d byte(s) mapped"
+                         % self.shm_bytes_mapped)
         return "\n".join(lines)

@@ -1,0 +1,186 @@
+"""Shared-memory arena for zero-copy trie sharing across forked workers.
+
+The morsel executor (:mod:`repro.engine.parallel`) forks workers that
+inherit the parent's tries.  Plain fork gives copy-on-write pages, but
+CPython refcount updates dirty every page an object graph touches, so
+large tries get physically copied anyway — once per worker, per query.
+A :class:`SharedTrieArena` fixes this at the buffer level: the bulk
+numpy arrays behind each trie (:meth:`repro.storage.trie.Trie.share_into`)
+are re-placed into ``multiprocessing.shared_memory`` segments.  Children
+inherit the mappings through fork and read them zero-copy; refcounting
+only touches the small ndarray view objects, never the payload pages.
+
+Lifecycle discipline:
+
+* Only the **creating process** may close-and-unlink the segments; the
+  owner pid is recorded and checked, so forked children that exit (or
+  crash) never tear shared segments out from under siblings.
+* Unlink runs via ``weakref.finalize`` (also registered ``atexit``), so
+  normal completion, exceptions, and KeyboardInterrupt all reclaim
+  ``/dev/shm`` entries.  ``SharedMemory.unlink`` additionally
+  unregisters the segment from the resource tracker.
+* Segment names carry a ``repro_arena_<pid>_`` prefix so tests can scan
+  ``/dev/shm`` for stragglers.
+"""
+
+import os
+import weakref
+
+import numpy as np
+
+try:
+    from multiprocessing import shared_memory as _shm
+except ImportError:                                  # pragma: no cover
+    _shm = None
+
+#: Minimum bytes per segment; the bump allocator sizes segments
+#: geometrically from here so arenas need O(log total) segments.
+MIN_SEGMENT_BYTES = 1 << 20
+
+_ALIGN = 64
+
+
+def shared_memory_available():
+    """True when the platform offers POSIX shared memory."""
+    return _shm is not None
+
+
+class SharedTrieArena:
+    """A bump allocator over ``multiprocessing.shared_memory`` segments.
+
+    :meth:`place` copies an array into shared memory once and returns a
+    read-only view backed by the segment; every forked worker then maps
+    the same physical pages.  The arena is append-only — freeing happens
+    wholesale via :meth:`close` (or automatically at interpreter exit in
+    the owning process).
+
+    Examples
+    --------
+    >>> arena = SharedTrieArena()
+    >>> shared = arena.place(np.arange(4, dtype=np.uint32))
+    >>> shared.tolist(), arena.nbytes >= shared.nbytes
+    ([0, 1, 2, 3], True)
+    >>> arena.close()
+    """
+
+    _seq = 0
+
+    def __init__(self):
+        if _shm is None:                             # pragma: no cover
+            raise RuntimeError("shared memory is not available "
+                               "on this platform")
+        self._owner_pid = os.getpid()
+        self._segments = []
+        self._cursor = 0        # offset into the last segment
+        self._placed = 0        # payload bytes handed out
+        self._closed = False
+        self._finalizer = weakref.finalize(
+            self, _release, self._segments, self._owner_pid)
+
+    # -- allocation ----------------------------------------------------------
+
+    def place(self, array):
+        """Copy ``array`` into the arena; return the shared-backed view.
+
+        The view is marked read-only: shared tries are immutable by
+        contract (workers map the same pages).
+        """
+        arr = np.ascontiguousarray(array)
+        nbytes = arr.nbytes
+        if nbytes == 0:
+            return arr
+        offset = self._reserve(nbytes)
+        segment = self._segments[-1]
+        view = np.frombuffer(segment.buf, dtype=arr.dtype,
+                             count=arr.size, offset=offset)
+        view = view.reshape(arr.shape)
+        view[...] = arr
+        view.flags.writeable = False
+        self._placed += nbytes
+        return view
+
+    def _reserve(self, nbytes):
+        if self._closed:
+            raise RuntimeError("arena is closed")
+        if os.getpid() != self._owner_pid:
+            raise RuntimeError("only the owning process may grow the arena")
+        aligned = -(-self._cursor // _ALIGN) * _ALIGN
+        if not self._segments \
+                or aligned + nbytes > self._segments[-1].size:
+            self._grow(nbytes)
+            aligned = 0
+        self._cursor = aligned + nbytes
+        return aligned
+
+    def _grow(self, nbytes):
+        want = max(nbytes, MIN_SEGMENT_BYTES,
+                   self._segments[-1].size * 2 if self._segments else 0)
+        SharedTrieArena._seq += 1
+        name = "repro_arena_%d_%d" % (self._owner_pid,
+                                      SharedTrieArena._seq)
+        self._segments.append(_shm.SharedMemory(name=name, create=True,
+                                                size=want))
+        self._cursor = 0
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def nbytes(self):
+        """Payload bytes placed into the arena (for ``shm_bytes_mapped``)."""
+        return self._placed
+
+    @property
+    def segment_names(self):
+        """Names of the live shared-memory segments (test hook)."""
+        return [segment.name for segment in self._segments]
+
+    @property
+    def closed(self):
+        return self._closed
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self):
+        """Release the segments (unlink only in the owning process).
+
+        Idempotent.  Arrays previously returned by :meth:`place` become
+        invalid once the owner closes — callers must drop or rebuild
+        the tries that were shared into this arena first.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        _release(self._segments, self._owner_pid)
+        self._segments = []
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def __repr__(self):
+        return "SharedTrieArena(%d segments, %d bytes placed%s)" % (
+            len(self._segments), self._placed,
+            ", closed" if self._closed else "")
+
+
+def _release(segments, owner_pid):
+    """Close every segment; unlink from ``/dev/shm`` when owner."""
+    owner = os.getpid() == owner_pid
+    for segment in segments:
+        try:
+            segment.close()
+        except BufferError:
+            # Handed-out numpy views still alias the mapping; the pages
+            # go back at process teardown.  Disarm the destructor so it
+            # does not retry (and spam "Exception ignored") at GC time.
+            segment.close = lambda: None
+        except OSError:                              # pragma: no cover
+            pass
+        if owner:
+            try:
+                segment.unlink()
+            except FileNotFoundError:                # pragma: no cover
+                pass

@@ -30,6 +30,11 @@ class Dictionary:
     def __init__(self):
         self._value_to_id = {}
         self._id_to_value = []
+        # Optional shared-memory decode column (share_into): an int64
+        # array with _id_array[id] == value, valid only while every
+        # stored value is a plain int.  Forked workers decode from the
+        # shared pages instead of duplicating the Python list.
+        self._id_array = None
 
     def __len__(self):
         return len(self._id_to_value)
@@ -47,6 +52,7 @@ class Dictionary:
             raise SchemaError("dictionary exceeded the 32-bit key space")
         self._value_to_id[value] = new_id
         self._id_to_value.append(value)
+        self._id_array = None
         return new_id
 
     def encode_many(self, values):
@@ -64,12 +70,33 @@ class Dictionary:
         key = int(key)
         if not 0 <= key < len(self._id_to_value):
             raise KeyError(key)
+        if self._id_array is not None:
+            return int(self._id_array[key])
         return self._id_to_value[key]
 
     def decode_many(self, keys):
         """Decode an iterable of ids to a list of original values."""
+        if self._id_array is not None:
+            table = self._id_array
+            return [int(table[int(k)]) for k in keys]
         table = self._id_to_value
         return [table[int(k)] for k in keys]
+
+    def share_into(self, arena):
+        """Place the decode column into ``arena`` shared memory.
+
+        Only applies when every stored value is a plain ``int`` (the
+        graph-loader case — node ids); mixed-type dictionaries keep
+        their private Python list and this is a no-op.  Returns the
+        number of payload bytes shared.
+        """
+        if not self._id_to_value:
+            return 0
+        if not all(type(value) is int for value in self._id_to_value):
+            return 0
+        column = np.asarray(self._id_to_value, dtype=np.int64)
+        self._id_array = arena.place(column)
+        return int(column.nbytes)
 
     def remap(self, permutation):
         """Apply a node-ordering permutation in place.
@@ -89,6 +116,7 @@ class Dictionary:
             new_table[int(perm[old_id])] = value
         self._id_to_value = new_table
         self._value_to_id = {v: i for i, v in enumerate(new_table)}
+        self._id_array = None
         return perm
 
 

@@ -15,6 +15,55 @@ from ..sets.optimizer import SetOptimizer
 from .relation import Relation
 
 
+class FlatTrieView:
+    """Columnar (CSR-style) view of a unary or binary trie.
+
+    The fused block executor (:mod:`repro.engine.fused`) never walks
+    trie nodes — it sweeps flat arrays.  This view exposes them:
+
+    ``keys``
+        Sorted distinct level-0 values (the root set).
+    ``offsets`` / ``values``
+        CSR child arrays for binary tries: the children of ``keys[i]``
+        are ``values[offsets[i]:offsets[i + 1]]``.  ``None`` for unary.
+    ``packed``
+        ``(parent << 32) | child`` as sorted ``uint64``, one entry per
+        stored pair, enabling batched membership probes of bound pairs
+        with a single ``searchsorted``.  ``None`` for unary.
+    ``ann``
+        Leaf annotations aligned with ``keys`` (unary) or with
+        ``values``/``packed`` rows (binary); ``None`` if unannotated.
+
+    All arrays alias :attr:`Trie.sorted_data` buffers where possible,
+    so the view costs one ``unique`` + one pack per trie and is cached
+    by :meth:`Trie.flat`.
+    """
+
+    __slots__ = ("arity", "keys", "offsets", "values", "packed", "ann")
+
+    def __init__(self, trie):
+        if trie.arity not in (1, 2):
+            raise SchemaError("flat views cover arity 1-2 tries only, "
+                              "got arity %d" % trie.arity)
+        self.arity = trie.arity
+        data = trie.sorted_data
+        self.ann = trie.sorted_annotations
+        if trie.arity == 1:
+            self.keys = np.ascontiguousarray(data[:, 0])
+            self.offsets = None
+            self.values = None
+            self.packed = None
+            return
+        col0 = np.ascontiguousarray(data[:, 0])
+        col1 = np.ascontiguousarray(data[:, 1])
+        keys, starts = np.unique(col0, return_index=True)
+        self.keys = keys
+        self.offsets = np.append(starts, col0.size).astype(np.int64)
+        self.values = col1
+        self.packed = (col0.astype(np.uint64) << np.uint64(32)) \
+            | col1.astype(np.uint64)
+
+
 class TrieNode:
     """One trie node: a set of values plus per-value children/annotations.
 
@@ -85,6 +134,7 @@ class Trie:
                            and relation.annotations.size else None)
             self.sorted_data = np.empty((0, 0), dtype=np.uint32)
             self.sorted_annotations = None
+            self._flat = None
             return
         self.scalar = None
         deduped = relation.deduplicated()
@@ -101,6 +151,7 @@ class Trie:
         # (lexicographic) order, with annotations aligned.
         self.sorted_data = data
         self.sorted_annotations = annotations
+        self._flat = None
         self.root = self._build(data, annotations, 0)
 
     def _build(self, data, annotations, depth):
@@ -121,6 +172,50 @@ class Trie:
             for i in range(values.size)
         ]
         return TrieNode(set_layout, children, None)
+
+    def flat(self):
+        """Cached :class:`FlatTrieView` for fused block execution."""
+        if self._flat is None:
+            self._flat = FlatTrieView(self)
+        return self._flat
+
+    # -- sharing -----------------------------------------------------------
+
+    def share_into(self, arena):
+        """Move the trie's bulk arrays into ``arena`` shared memory.
+
+        Rebinds :attr:`sorted_data`, :attr:`sorted_annotations`, the flat
+        view's arrays, and the root set's backing array (when it is a
+        plain ``uint`` layout) to views over the arena's segments, so
+        forked workers inherit them as zero-copy mappings instead of
+        re-paying copy-on-write churn per process.  Node-level structures
+        beyond the root keep their private copies — the hot paths (fused
+        blocks, vectorized fast paths, level-0 candidate intersection)
+        only touch the rebound arrays.  Returns ``self`` for chaining.
+        """
+        if self.arity == 0 or self.sorted_data.size == 0:
+            return self
+        self.sorted_data = arena.place(self.sorted_data)
+        if self.sorted_annotations is not None:
+            self.sorted_annotations = arena.place(self.sorted_annotations)
+        shared_keys = None
+        if self.arity in (1, 2):
+            flat = self.flat()
+            flat.keys = arena.place(flat.keys)
+            if flat.ann is not None:
+                flat.ann = self.sorted_annotations
+            if flat.arity == 2:
+                flat.offsets = arena.place(flat.offsets)
+                flat.values = arena.place(flat.values)
+                flat.packed = arena.place(flat.packed)
+            shared_keys = flat.keys
+        root_values = getattr(self.root.set, "_values", None)
+        if root_values is not None and self.root.set.kind == "uint":
+            self.root.set._values = shared_keys \
+                if shared_keys is not None \
+                and shared_keys.size == root_values.size \
+                else arena.place(root_values)
+        return self
 
     # -- traversal ---------------------------------------------------------
 

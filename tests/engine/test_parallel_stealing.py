@@ -262,6 +262,57 @@ class TestStrategies:
         assert db.last_stats.mode == "serial"
 
 
+class TestThresholdUnits:
+    """``Config.parallel_threshold`` counts *raw level-0 candidates* —
+    not degree-weighted morsel costs.  The serial gate is
+    ``candidates.size < max(threshold, 2)``, so a bag whose candidate
+    count equals the threshold still goes parallel and one candidate
+    short of it stays serial.  This regression test pins both the units
+    and the boundary so a future switch to cost-weighted units has to
+    change it deliberately (see the ``parallel_threshold`` docstring in
+    ``repro/engine/config.py``)."""
+
+    @staticmethod
+    def _candidate_count(monkeypatch):
+        """Level-0 candidate count for TRIANGLES on UNIFORM, read back
+        from the morsel stats of an always-parallel probe run."""
+        probe = make_db(UNIFORM, parallel_workers=2,
+                        parallel_threshold=0)
+        probe.query(TRIANGLES)
+        return sum(m.size for m in probe.last_stats.morsels)
+
+    def test_threshold_is_raw_candidate_count_boundary(self,
+                                                       monkeypatch):
+        # Inline mode keeps the scheduling decision observable without
+        # fork noise: parallel runs report "inline", gated runs
+        # "serial".
+        monkeypatch.setattr(parallel, "_available_cpus", lambda: 1)
+        candidates = self._candidate_count(monkeypatch)
+        assert candidates > 2
+        serial = make_db(UNIFORM).query(TRIANGLES).scalar
+
+        at = make_db(UNIFORM, parallel_workers=2,
+                     parallel_threshold=candidates)
+        assert at.query(TRIANGLES).scalar == serial
+        assert at.last_stats.mode == "inline", \
+            "candidates == threshold must still run parallel"
+
+        above = make_db(UNIFORM, parallel_workers=2,
+                        parallel_threshold=candidates + 1)
+        assert above.query(TRIANGLES).scalar == serial
+        assert above.last_stats.mode == "serial", \
+            "candidates < threshold must stay serial"
+
+    def test_threshold_floor_of_two(self, monkeypatch):
+        """threshold <= 1 still refuses to parallelize a 1-candidate
+        bag (``max(threshold, 2)`` floor)."""
+        monkeypatch.setattr(parallel, "_available_cpus", lambda: 1)
+        db = Database(parallel_workers=2, parallel_threshold=0)
+        db.add_relation("E", [(0, 1)])
+        db.query("O(;w:long) :- E(x,y); w=<<COUNT(*)>>.")
+        assert db.last_stats.mode == "serial"
+
+
 class TestCpuClamp:
     """The steal scheduler never forks more workers than the host has
     CPUs — morsel granularity is independent of worker count, so extra

@@ -1,0 +1,249 @@
+"""Lifecycle and parity tests for the shared-memory trie arena.
+
+``SharedTrieArena`` segments must never outlive their owner: normal
+completion, worker crashes, and KeyboardInterrupt all have to unlink
+every ``repro_arena_`` entry from ``/dev/shm``, and forked children
+must never tear segments out from under the owning process.  The
+autouse fixture scans ``/dev/shm`` around every test, so any straggler
+fails the test that produced it.
+"""
+
+import gc
+import os
+
+import numpy as np
+import pytest
+
+from repro import Database, ExecutionError
+from repro.engine import parallel
+from repro.storage.arena import (MIN_SEGMENT_BYTES, SharedTrieArena,
+                                 shared_memory_available)
+from repro.storage.dictionary import Dictionary
+from repro.storage.trie import trie_from_arrays
+from repro.graphs import chung_lu_graph
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="platform has no POSIX shared memory")
+
+TRIANGLES = ("T(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); "
+             "w=<<COUNT(*)>>.")
+POWER_LAW = [tuple(e) for e in chung_lu_graph(200, 1500, exponent=1.7,
+                                              seed=5)]
+
+SHM_DIR = "/dev/shm"
+
+
+def arena_entries():
+    """Live ``repro_arena_`` segment names visible in ``/dev/shm``."""
+    if not os.path.isdir(SHM_DIR):
+        return set()
+    return {name for name in os.listdir(SHM_DIR)
+            if name.startswith("repro_arena_")}
+
+
+@pytest.fixture(autouse=True)
+def no_arena_stragglers():
+    """Every test must leave ``/dev/shm`` exactly as it found it.
+
+    Compared as a before/after delta (not absolute emptiness) so a
+    concurrently-alive database elsewhere in the test session cannot
+    cause false positives.
+    """
+    before = arena_entries()
+    yield
+    gc.collect()
+    leaked = arena_entries() - before
+    assert not leaked, \
+        "leaked shared-memory segments: %r" % sorted(leaked)
+
+
+def shared_db(**overrides):
+    options = dict(parallel_workers=2, parallel_threshold=4,
+                   shared_tries=True)
+    options.update(overrides)
+    db = Database(**options)
+    db.load_graph("Edge", POWER_LAW, prune=True)
+    return db
+
+
+class TestPlacement:
+    def test_roundtrip_readonly_aligned(self):
+        with SharedTrieArena() as arena:
+            first = np.arange(1000, dtype=np.uint32)
+            second = np.arange(7, dtype=np.uint64) * 3
+            a = arena.place(first)
+            b = arena.place(second)
+            assert np.array_equal(a, first)
+            assert np.array_equal(b, second)
+            assert not a.flags.writeable
+            assert a.ctypes.data % 64 == 0
+            assert b.ctypes.data % 64 == 0
+            assert arena.nbytes == first.nbytes + second.nbytes
+            assert arena.segment_names
+
+    def test_empty_array_needs_no_segment(self):
+        with SharedTrieArena() as arena:
+            out = arena.place(np.empty(0, dtype=np.uint32))
+            assert out.size == 0
+            assert arena.segment_names == []
+            assert arena.nbytes == 0
+
+    def test_segments_grow_geometrically(self):
+        big = np.zeros(MIN_SEGMENT_BYTES // 4 + 16, dtype=np.uint32)
+        with SharedTrieArena() as arena:
+            arena.place(np.arange(16, dtype=np.uint32))
+            arena.place(big)          # overflows the first segment
+            names = arena.segment_names
+            assert len(names) == 2
+            assert len(set(names)) == 2
+            for name in names:
+                assert name.startswith("repro_arena_%d_" % os.getpid())
+
+    def test_place_after_close_raises(self):
+        arena = SharedTrieArena()
+        arena.place(np.arange(4, dtype=np.uint32))
+        arena.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            arena.place(np.arange(4, dtype=np.uint32))
+
+
+class TestLifecycle:
+    def test_close_unlinks_and_is_idempotent(self):
+        arena = SharedTrieArena()
+        arena.place(np.arange(256, dtype=np.uint32))
+        names = set(arena.segment_names)
+        assert names <= arena_entries()
+        arena.close()
+        assert not names & arena_entries()
+        arena.close()  # idempotent
+
+    def test_garbage_collection_unlinks(self):
+        arena = SharedTrieArena()
+        arena.place(np.arange(256, dtype=np.uint32))
+        names = set(arena.segment_names)
+        del arena
+        gc.collect()
+        assert not names & arena_entries()
+
+    def test_live_views_survive_close(self):
+        """Closing with handed-out views still unlinks the ``/dev/shm``
+        entry; the views stay readable (the pages live until the last
+        mapping drops at process teardown)."""
+        arena = SharedTrieArena()
+        view = arena.place(np.arange(512, dtype=np.uint32))
+        names = set(arena.segment_names)
+        arena.close()
+        assert not names & arena_entries()
+        assert view[100] == 100
+
+    def test_keyboard_interrupt_unlinks_via_context_manager(self):
+        with pytest.raises(KeyboardInterrupt):
+            with shared_db() as db:
+                db.query(TRIANGLES)
+                names = set(db.arena.segment_names)
+                assert names <= arena_entries()
+                raise KeyboardInterrupt
+        assert not names & arena_entries()
+
+    def test_forked_child_cannot_grow_or_unlink(self):
+        """A forked worker reads the arena zero-copy but may neither
+        grow it nor (on exit) unlink the owner's segments."""
+        if not parallel._can_fork():
+            pytest.skip("platform cannot fork")
+        arena = SharedTrieArena()
+        view = arena.place(np.arange(1024, dtype=np.uint32))
+        names = set(arena.segment_names)
+        pid = os.fork()
+        if pid == 0:
+            # Child process: never let control return to pytest.
+            try:
+                assert view[512] == 512          # zero-copy mapping
+                try:
+                    arena.place(np.arange(8, dtype=np.uint32))
+                except RuntimeError:
+                    arena.close()   # non-owner close must not unlink
+                    os._exit(0)
+                os._exit(1)
+            except BaseException:
+                os._exit(2)
+        _, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == 0
+        # The child exited (arena closed there) — the owner's segments
+        # must still be linked.
+        assert names <= arena_entries()
+        arena.close()
+
+    def test_worker_failure_keeps_arena_usable(self, monkeypatch):
+        """An injected morsel crash mid-parallel-query must not leak or
+        invalidate the arena: the next query still answers correctly
+        from shared tries, and ``close()`` reclaims everything."""
+        db = shared_db(parallel_threshold=0)
+        expected = db.query(TRIANGLES).scalar
+
+        def boom(spec, values):
+            raise RuntimeError("injected morsel failure")
+
+        monkeypatch.setattr(parallel, "_available_cpus", lambda: 4)
+        monkeypatch.setattr(parallel, "_evaluate_morsel", boom)
+        with pytest.raises(ExecutionError, match="injected"):
+            db.query(TRIANGLES)
+        monkeypatch.undo()
+        assert not db.arena.closed
+        assert db.query(TRIANGLES).scalar == expected
+        db.close()
+
+    def test_database_close_rebuilds_private_tries(self):
+        db = shared_db()
+        expected = db.query(TRIANGLES).scalar
+        assert db.last_stats.shm_bytes_mapped > 0
+        db.close()
+        assert db.arena.closed
+        # Post-close queries rebuild private tries and still agree.
+        assert db.query(TRIANGLES).scalar == expected
+        assert db.last_stats.shm_bytes_mapped == 0
+
+
+class TestSharing:
+    def test_trie_share_into_preserves_content(self):
+        data = np.array([[1, 2], [1, 5], [3, 2], [3, 7], [8, 1]],
+                        dtype=np.uint32)
+        ann = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        private = trie_from_arrays("R", data, ann)
+        shared = trie_from_arrays("R", data, ann)
+        with SharedTrieArena() as arena:
+            shared.share_into(arena)
+            assert arena.nbytes > 0
+            assert np.array_equal(shared.sorted_data,
+                                  private.sorted_data)
+            assert np.array_equal(shared.sorted_annotations,
+                                  private.sorted_annotations)
+            assert not shared.sorted_data.flags.writeable
+            flat_a, flat_b = shared.flat(), private.flat()
+            assert np.array_equal(flat_a.keys, flat_b.keys)
+            assert np.array_equal(flat_a.offsets, flat_b.offsets)
+            assert np.array_equal(flat_a.values, flat_b.values)
+            assert np.array_equal(flat_a.packed, flat_b.packed)
+            assert sorted(shared.tuples()) == sorted(private.tuples())
+            assert shared.contains((3, 7)) and not shared.contains((3, 9))
+
+    def test_high_arity_trie_shares_bulk_arrays_only(self):
+        """Arity-3 tries have no flat view; sharing still rebinds the
+        sorted tuple array without raising."""
+        data = np.array([[1, 2, 3], [1, 2, 4], [5, 6, 7]],
+                        dtype=np.uint32)
+        trie = trie_from_arrays("R3", data)
+        with SharedTrieArena() as arena:
+            trie.share_into(arena)
+            assert not trie.sorted_data.flags.writeable
+            assert sorted(trie.tuples()) == [(1, 2, 3), (1, 2, 4),
+                                             (5, 6, 7)]
+
+    def test_dictionary_share_into_roundtrip(self):
+        dictionary = Dictionary()
+        values = [10, 40, 20, 99]
+        keys = [dictionary.encode(v) for v in values]
+        with SharedTrieArena() as arena:
+            placed = dictionary.share_into(arena)
+            assert placed > 0
+            assert [dictionary.decode(k) for k in keys] == values

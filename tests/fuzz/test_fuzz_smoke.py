@@ -107,9 +107,12 @@ def test_config_matrix_labels_are_unique():
     labels = [label for label, _ in covering]
     assert len(labels) == len(set(labels))
     assert "interp" in labels and "compiled" in labels
+    assert "fused" in labels and "shared-tries" in labels
+    assert "fused-shared" in labels
     full = enumerate_config_matrix(full=True)
-    assert len(full) == 48
-    assert len({label for label, _ in full}) == 48
+    # 3 modes (interpreted/compiled/fused) x 3 parallel x 2 opt x 4 layouts
+    assert len(full) == 72
+    assert len({label for label, _ in full}) == 72
 
 
 def test_run_case_reports_a_planted_oracle_disagreement(monkeypatch):

@@ -86,10 +86,61 @@ class TestRender:
         assert not missing, missing
 
     def test_main_requires_argument(self, capsys):
-        assert report.main(["report.py"]) == 2
+        with pytest.raises(SystemExit):
+            report.main([])
 
     def test_main_renders_file(self, tmp_path, sample_data, capsys):
         path = tmp_path / "results.json"
         path.write_text(json.dumps(sample_data))
-        assert report.main(["report.py", str(path)]) == 0
+        assert report.main([str(path)]) == 0
         assert "table05" in capsys.readouterr().out
+
+
+class TestDiff:
+    """The --diff mode compares machine-relative speedup ratios."""
+
+    @staticmethod
+    def dump(tmp_path, filename, rows):
+        data = {"benchmarks": [
+            {"name": name, "group": group, "stats": {"mean": 0.01},
+             "extra_info": {"speedup": speedup}}
+            for name, group, speedup in rows]}
+        path = tmp_path / filename
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_no_regression_passes(self, tmp_path, capsys):
+        base = self.dump(tmp_path, "base.json",
+                         [("fused", "codegen:triangle", 20.0)])
+        current = self.dump(tmp_path, "cur.json",
+                            [("fused", "codegen:triangle", 18.0)])
+        assert report.main(["--diff", base, current]) == 0
+        assert "perf diff" in capsys.readouterr().out
+
+    def test_regression_beyond_threshold_fails(self, tmp_path, capsys):
+        base = self.dump(tmp_path, "base.json",
+                         [("fused", "codegen:triangle", 20.0)])
+        current = self.dump(tmp_path, "cur.json",
+                            [("fused", "codegen:triangle", 10.0)])
+        assert report.main(["--diff", base, current]) == 1
+        out = capsys.readouterr()
+        assert "REGRESSION" in out.out
+        assert "FAIL" in out.err
+
+    def test_threshold_is_configurable(self, tmp_path):
+        base = self.dump(tmp_path, "base.json",
+                         [("fused", "codegen:triangle", 20.0)])
+        current = self.dump(tmp_path, "cur.json",
+                            [("fused", "codegen:triangle", 10.0)])
+        assert report.main(["--diff", base, current,
+                            "--threshold", "2.5"]) == 0
+
+    def test_new_row_without_baseline_does_not_fail(self, tmp_path,
+                                                    capsys):
+        base = self.dump(tmp_path, "base.json",
+                         [("serial", "parallel:scaling", 1.0)])
+        current = self.dump(tmp_path, "cur.json",
+                            [("serial", "parallel:scaling", 1.0),
+                             ("fused-4w", "parallel:scaling", 15.0)])
+        assert report.main(["--diff", base, current]) == 0
+        assert "only in current" in capsys.readouterr().out
