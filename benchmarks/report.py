@@ -25,10 +25,28 @@ comparable with a CI run on another: absolute times shift together,
 the ratio between rows should not.  Exits nonzero when any row's
 speedup degraded by more than ``--threshold`` (default 1.25 = a >25%
 regression) — the CI ``perf-smoke`` job fails on that signal.
+
+Trajectory mode::
+
+    python benchmarks/report.py --diff-latest \
+        benchmarks/baselines current.json
+    python benchmarks/report.py current.json \
+        --append-trajectory benchmarks/baselines
+
+The trajectory is the sequence ``BENCH_1.json``, ``BENCH_2.json``, ...
+under the baselines directory — one entry per recorded run, so perf
+history stays diffable in git rather than a single overwritten
+baseline.  ``--diff-latest`` compares against the highest-numbered
+entry (falling back to the legacy ``bench_results.json`` when no
+trajectory exists yet) and ``--append-trajectory`` records the current
+results as the next entry.
 """
 
 import argparse
 import json
+import os
+import re
+import shutil
 import sys
 from collections import defaultdict
 
@@ -57,6 +75,16 @@ EXPECTATIONS = {
         "beats no-cse on the two-rule shared-triangle program because "
         "the second rule's bag is a memo hit (cse.bag_hits in "
         "metrics).  Results are identical across all variants."),
+    "adaptive": (
+        "Adaptive self-tuning (repro.tune): the tuned rows run with a "
+        "live machine calibration installed, so on the skewed "
+        "common-neighbour workload the galloping kernel engages at "
+        "this substrate's real crossover instead of the paper's 32:1 "
+        "constant — tuned should beat default by >= 1.3x at full "
+        "scale, and the fused-tuned row prices the calibrated block "
+        "budget plus the skew-aware probe sweep.  All four rows return "
+        "bit-identical results; extra_info carries the calibrated "
+        "crossover and the workload's skew ratio."),
     "parallel": (
         "Paper §5.1.2: dynamic load balancing on power-law graphs — "
         "4-worker work stealing beats the static np.array_split "
@@ -293,6 +321,39 @@ def render_diff(base, current, threshold):
     return lines, regressions
 
 
+def trajectory_entries(directory):
+    """Sorted ``[(index, path)]`` of ``BENCH_<n>.json`` files."""
+    entries = []
+    if os.path.isdir(directory):
+        for name in os.listdir(directory):
+            match = re.match(r"BENCH_(\d+)\.json$", name)
+            if match:
+                entries.append((int(match.group(1)),
+                                os.path.join(directory, name)))
+    return sorted(entries)
+
+
+def latest_baseline(directory):
+    """Path of the highest-numbered trajectory entry, falling back to
+    the legacy single-file ``bench_results.json``, else ``None``."""
+    entries = trajectory_entries(directory)
+    if entries:
+        return entries[-1][1]
+    legacy = os.path.join(directory, "bench_results.json")
+    return legacy if os.path.exists(legacy) else None
+
+
+def append_trajectory(directory, results_path):
+    """Record ``results_path`` as the next ``BENCH_<n>.json`` entry."""
+    entries = trajectory_entries(directory)
+    index = entries[-1][0] + 1 if entries else 1
+    if not os.path.isdir(directory):
+        os.makedirs(directory)
+    destination = os.path.join(directory, "BENCH_%d.json" % index)
+    shutil.copyfile(results_path, destination)
+    return destination
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="render or diff benchmark JSON dumps")
@@ -302,13 +363,31 @@ def main(argv=None):
     parser.add_argument("--diff", nargs=2, metavar=("BASE", "CURRENT"),
                         help="compare two smoke-benchmark dumps by "
                              "speedup ratio instead of rendering")
+    parser.add_argument("--diff-latest", nargs=2,
+                        metavar=("BASEDIR", "CURRENT"),
+                        help="like --diff, but the base is the latest "
+                             "BENCH_<n>.json trajectory entry in "
+                             "BASEDIR (fallback: bench_results.json)")
+    parser.add_argument("--append-trajectory", metavar="DIR",
+                        help="record the results file as the next "
+                             "BENCH_<n>.json entry under DIR")
     parser.add_argument("--threshold", type=float, default=1.25,
                         help="speedup-degradation ratio that fails "
                              "the diff (default 1.25 = >25%% slower)")
     args = parser.parse_args(argv)
-    if args.diff:
-        lines, regressions = render_diff(load(args.diff[0]),
-                                         load(args.diff[1]),
+    if args.diff or args.diff_latest:
+        if args.diff:
+            base_path, current_path = args.diff
+        else:
+            base_dir, current_path = args.diff_latest
+            base_path = latest_baseline(base_dir)
+            if base_path is None:
+                print("no trajectory entries or bench_results.json "
+                      "under %s; nothing to diff against" % base_dir)
+                return 0
+            print("diffing against %s" % base_path)
+        lines, regressions = render_diff(load(base_path),
+                                         load(current_path),
                                          args.threshold)
         print("\n".join(lines))
         if regressions:
@@ -317,7 +396,13 @@ def main(argv=None):
             return 1
         return 0
     if not args.results:
-        parser.error("provide a results file or --diff BASE CURRENT")
+        parser.error("provide a results file, --diff BASE CURRENT, "
+                     "or --diff-latest BASEDIR CURRENT")
+    if args.append_trajectory:
+        destination = append_trajectory(args.append_trajectory,
+                                        args.results)
+        print("recorded %s" % destination)
+        return 0
     print(render(load(args.results)))
     return 0
 

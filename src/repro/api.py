@@ -143,6 +143,15 @@ class Database:
             path = None if trace_env.lower() in ("1", "true", "on") \
                 else trace_env
             self.enable_tracing(path=path)
+        tuning_env = os.environ.get("REPRO_TUNING_PROFILE")
+        if tuning_env and self.config.tuning is None:
+            # A saved calibration profile; unreadable or stale files
+            # load as None, leaving the engine on paper defaults.
+            from .tune.profile import load_profile
+            profile = load_profile(tuning_env)
+            if profile is not None:
+                self.config.tuning = profile
+                self.config.adaptive = True
 
     # -- loading --------------------------------------------------------------
 
@@ -422,22 +431,96 @@ class Database:
     # -- persistence --------------------------------------------------------
 
     def save(self, path):
-        """Persist every stored relation to a ``.npz`` file."""
+        """Persist every stored relation to a ``.npz`` file.
+
+        A calibrated tuning profile on the config rides along in the
+        manifest, so :meth:`load` restarts warm (already tuned).
+        """
         from .storage.persistence import save_catalog
-        save_catalog(path, self.catalog)
+        save_catalog(path, self.catalog, tuning=self.config.tuning)
 
     @classmethod
     def load(cls, path, **kwargs):
         """Reconstruct a database saved with :meth:`save`.
 
-        Engine configuration is *not* persisted; pass the usual
-        constructor keywords to configure the loaded instance.
+        Engine configuration is *not* persisted (pass the usual
+        constructor keywords), with one exception: a tuning profile
+        saved alongside the relations is restored onto the config —
+        it only engages when ``adaptive=True``.  A stale or
+        missing profile is silently ignored (paper defaults apply).
         """
-        from .storage.persistence import load_catalog
+        from .storage.persistence import load_catalog, load_tuning
         db = cls(**kwargs)
         for name, relation in load_catalog(path).items():
             db._install(name, relation)
+        if db.config.tuning is None:
+            db.config.tuning = load_tuning(path)
         return db
+
+    # -- adaptive tuning ----------------------------------------------------
+
+    def calibrate(self, seed=None, quick=True, save=None, timer=None,
+                  use_dataset=True):
+        """Calibrate the engine's dispatch constants on this machine.
+
+        Runs the :mod:`repro.tune` microbenchmarks (galloping
+        crossover, layout density threshold, parallel fork threshold,
+        fused block budget, fused probe crossover), installs the
+        resulting :class:`~repro.tune.profile.TuningProfile` on the
+        config, and switches ``adaptive`` on so every dispatch site
+        reads the calibrated constants.
+
+        Parameters
+        ----------
+        seed:
+            Seed for the synthetic microbenchmark inputs (defaults to
+            the database seed).
+        quick:
+            Fewer repetitions per timed point (default; pass
+            ``False`` for the full fit).
+        save:
+            Optional path to also write the profile as JSON
+            (loadable via ``REPRO_TUNING_PROFILE`` or ``--tuning-profile``).
+        timer:
+            Injectable clock for deterministic tests.
+        use_dataset:
+            Also sample loaded relations' root sets and re-fit the
+            galloping crossover on the dataset's real skew.
+        """
+        from .tune.calibrate import calibrate as run_calibration
+        dataset_sets = None
+        if use_dataset and self.catalog:
+            dataset_sets = [
+                np.unique(relation.data[:, 0]).astype(np.uint32)
+                for relation in self.catalog.values()
+                if relation.arity and relation.cardinality]
+            dataset_sets = dataset_sets or None
+        profile = run_calibration(
+            seed=self.seed if seed is None else seed, timer=timer,
+            quick=quick, dataset_sets=dataset_sets)
+        self.config.tuning = profile
+        self.config.adaptive = True
+        if save is not None:
+            profile.save(save)
+        return profile
+
+    @property
+    def tuning(self):
+        """The installed tuning profile, or ``None`` (paper defaults)."""
+        return self.config.tuning
+
+    def set_cardinality_hint(self, name, cardinality):
+        """Override the planner's cardinality estimate for relation
+        ``name`` (GHD costing and the adaptive mispredict baseline).
+        With ``adaptive=True`` a hint that proves badly wrong at run
+        time triggers re-planning from observed cardinalities."""
+        self._executor.card_hints[name] = int(cardinality)
+
+    def clear_cardinality_hints(self):
+        """Drop all cardinality hints and accumulated re-planning
+        feedback; the planner reverts to catalog cardinalities."""
+        self._executor.card_hints.clear()
+        self._executor.card_feedback.clear()
 
     @property
     def arena(self):
@@ -570,10 +653,20 @@ class Database:
             result = self.query(text)
         finally:
             self.config.tracer = previous
+        tuning_state = None
+        if self.config.adaptive:
+            profile = self.config.tuning
+            tuning_state = {
+                "profile": ("on (tuning profile: source=%s, version=%d)"
+                            % (profile.source, profile.version)
+                            if profile is not None else None),
+                "replans": self._executor.replans,
+                "mispredict_ratio": self._executor.last_mispredict_ratio,
+            }
         return render_explain_analyze(
             self._executor.last_plan, self._executor.last_stats, own,
             self.config, result=result.relation,
-            logical=self._executor.last_logical)
+            logical=self._executor.last_logical, tuning=tuning_state)
 
     def _head_dictionaries(self, rule):
         """Column dictionaries for the head, looked up from the body

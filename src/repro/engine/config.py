@@ -10,6 +10,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..sets.cost import OpCounter
+from ..tune.profile import TuningProfile
 
 
 def _default_execution_mode():
@@ -114,6 +115,27 @@ class EngineConfig:
         :class:`repro.obs.metrics.MetricsRegistry` absorbing counters
         and histograms, or ``None`` (default).  Same gating and
         signature exemption as ``tracer``.
+    adaptive:
+        Adaptive self-tuning execution (:mod:`repro.tune`).  When on,
+        (a) dispatch sites read calibrated constants from ``tuning``
+        instead of the hard-coded defaults, and (b) the executor
+        compares predicted vs actual per-bag lane ops after every query
+        and re-plans cached entries whose actuals blow past the
+        prediction by more than ``replan_factor`` (feeding observed
+        cardinalities back into GHD choice).  Off (default) the engine
+        is bit-identical to the untuned paths.
+    tuning:
+        The :class:`repro.tune.TuningProfile` supplying calibrated
+        constants; ``None`` (even with ``adaptive=True``) keeps every
+        constant at its default — re-planning still runs.  Participates
+        in ``config_signature`` via ``TuningProfile.signature()``
+        because tuned constants change generated plans and layouts.
+    replan_factor:
+        Mispredict tolerance: a cached plan is evicted and re-planned
+        when a bag's actual lane ops exceed ``replan_factor x`` the cost
+        model's prediction.  The prediction is an upper bound, so only
+        the actual>predicted direction signals a bad plan (the other
+        direction is ordinary model pessimism).
     """
 
     layout_level: str = "set"
@@ -137,11 +159,54 @@ class EngineConfig:
     counter: OpCounter = field(default_factory=OpCounter)
     tracer: Optional[object] = None
     metrics: Optional[object] = None
+    adaptive: bool = False
+    tuning: Optional[TuningProfile] = None
+    replan_factor: float = 8.0
 
     def ablated(self, **changes):
         """Copy of this config with some switches flipped."""
         from dataclasses import replace
         return replace(self, counter=OpCounter(), **changes)
+
+    # -- adaptive accessors -------------------------------------------------
+    #
+    # Dispatch sites call these instead of reading module constants, and
+    # every one returns ``None`` (= "use the hard-coded default") unless
+    # adaptive tuning is on AND a profile is attached AND the profile
+    # carries a value.  That triple gate is what makes "profile absent or
+    # stale ⇒ bit-identical to defaults" hold by construction.
+
+    def _tuned(self, name):
+        if not self.adaptive or self.tuning is None:
+            return None
+        return getattr(self.tuning, name, None)
+
+    def galloping_crossover(self):
+        """Tuned galloping crossover ratio, or ``None`` for the live
+        ``repro.sets.cost.GALLOPING_CROSSOVER`` default."""
+        return self._tuned("galloping_crossover")
+
+    def density_threshold(self):
+        """Tuned uint-vs-bitset inverse-density threshold, or ``None``
+        for the ``SIMD_REGISTER_BITS`` default."""
+        return self._tuned("density_threshold")
+
+    def fused_block_rows(self):
+        """Tuned fused-kernel expansion budget, or ``None`` for
+        ``repro.engine.fused.MAX_BLOCK_ROWS``."""
+        value = self._tuned("fused_block_rows")
+        return None if value is None else int(value)
+
+    def fused_probe_crossover(self):
+        """Tuned skew ratio enabling the fused probe sweep, or ``None``
+        to keep the sweep disabled."""
+        return self._tuned("fused_probe_crossover")
+
+    def effective_parallel_threshold(self):
+        """The parallel gate actually in force: the tuned threshold when
+        adaptive, else the configured ``parallel_threshold``."""
+        value = self._tuned("parallel_threshold")
+        return self.parallel_threshold if value is None else int(value)
 
 
 def enumerate_config_matrix(full=False):
@@ -164,6 +229,18 @@ def enumerate_config_matrix(full=False):
         merged = dict(base)
         merged.update(overrides)
         return EngineConfig().ablated(**merged)
+
+    def fuzz_profile():
+        # Aggressively non-default constants: an early galloping switch,
+        # a much denser bitset bar, a tiny fused budget (forcing
+        # FusedFallback re-routes), and a hair-trigger probe sweep —
+        # tuned plans must still produce identical results.
+        return TuningProfile(galloping_crossover=4.0,
+                             density_threshold=64.0,
+                             parallel_threshold=1,
+                             fused_block_rows=1 << 16,
+                             fused_probe_crossover=2.0,
+                             source="fuzz-matrix")
 
     if not full:
         matrix = [
@@ -206,6 +283,15 @@ def enumerate_config_matrix(full=False):
                               adaptive_algorithms=False)),
             ("bitset-only", cfg(layout_level="bitset_only")),
             ("block", cfg(layout_level="block")),
+            ("adaptive", cfg(adaptive=True, tuning=fuzz_profile())),
+            ("adaptive-replan", cfg(execution_mode="compiled",
+                                    adaptive=True,
+                                    tuning=fuzz_profile(),
+                                    replan_factor=1e-6)),
+            ("adaptive-fused", cfg(execution_mode="compiled",
+                                   fused_kernels=True,
+                                   adaptive=True,
+                                   tuning=fuzz_profile())),
         ]
         return matrix
     matrix = []

@@ -95,14 +95,20 @@ class TrieCache:
             relation._trie_uid = uid
         return uid
 
-    def get(self, relation, key_order, layout_level):
-        """Fetch (building on miss) the trie for a relation/order/layout."""
-        key = (self._uid(relation), tuple(key_order), layout_level)
+    def get(self, relation, key_order, layout_level,
+            density_threshold=None):
+        """Fetch (building on miss) the trie for a relation/order/layout.
+
+        ``density_threshold`` is the tuned uint/bitset crossover (part
+        of the key: tuned and default layouts are distinct tries)."""
+        key = (self._uid(relation), tuple(key_order), layout_level,
+               density_threshold)
         trie = self._tries.get(key)
         if trie is None:
             self.misses += 1
             trie = Trie(relation, key_order=key_order,
-                        optimizer=SetOptimizer(layout_level))
+                        optimizer=SetOptimizer(layout_level,
+                                               density_threshold))
             trie._cache_owned = True
             if self.arena is not None and not self.arena.closed:
                 trie.share_into(self.arena)
@@ -122,10 +128,11 @@ class TrieCache:
         correctness, but keeping the switches in the key makes op
         accounting reproducible per configuration.
         """
-        from ..sets.intersect import intersect_many
+        from ..sets.intersect import _config_crossover, intersect_many
+        crossover = _config_crossover(config)
         key = (tuple(sorted(id(s) for s in sets)),
                config.uint_algorithm, config.adaptive_algorithms,
-               config.simd)
+               config.simd, crossover)
         entry = self._level0.get(key)
         if entry is not None:
             kept_sets, values = entry
@@ -139,7 +146,7 @@ class TrieCache:
                 sets, counter=config.counter,
                 algorithm=config.uint_algorithm,
                 adaptive=config.adaptive_algorithms,
-                simd=config.simd).to_array()
+                simd=config.simd, crossover=crossover).to_array()
         self._level0[key] = (tuple(sets), values)
         return values
 
@@ -222,9 +229,23 @@ class RuleExecutor:
         #: ``Database.query`` for the duration of a program.
         self.program_memo = None
         self._parallel_node = None  # id() of the bag chosen for forking
+        #: Adaptive re-planning state (active when ``config.adaptive``).
+        #: ``card_hints`` are caller-supplied cardinality overrides
+        #: (``Database.set_cardinality_hint``); ``card_feedback`` is
+        #: what mispredicted executions observed.  Both feed GHD choice
+        #: as ``{atom name: cardinality}`` — feedback wins.
+        self.card_hints = {}
+        self.card_feedback = {}
+        self.replans = 0
+        self.last_mispredict_ratio = 0.0
 
     def _options(self):
-        return OptimizerOptions.from_config(self.config)
+        options = OptimizerOptions.from_config(self.config)
+        if self.card_hints or self.card_feedback:
+            merged = dict(self.card_hints)
+            merged.update(self.card_feedback)
+            options.card_overrides = merged
+        return options
 
     # -- public ---------------------------------------------------------------
 
@@ -247,8 +268,14 @@ class RuleExecutor:
         self._validate(logical)
         agg = logical.aggregate
         if agg is not None and agg.op == "COUNT" and agg.arg != "*":
-            return self._execute_count_distinct(logical, agg)
-        return self._execute_plan(logical)
+            result = self._execute_count_distinct(logical, agg)
+        else:
+            result = self._execute_plan(logical)
+        # Interpreted plans are rebuilt per run, so a mispredict feeds
+        # observed cardinalities straight into the next planning pass
+        # (there is no cache entry to evict).
+        self._adaptive_check()
+        return result
 
     @staticmethod
     def _validate(logical):
@@ -429,7 +456,81 @@ class RuleExecutor:
             result = evaluate()
         bag_plan.actual_seconds = time.perf_counter() - start
         bag_plan.actual_ops = counter.total_ops - ops_before
+        if self.config.adaptive:
+            bag_plan.predicted_ops = self._predict_bag_ops(bag_plan)
         return result
+
+    def _predict_bag_ops(self, bag_plan):
+        """Op-model prediction for one bag *as the planner saw it*.
+
+        Input profiles hold the true runtime cardinalities; when the
+        planner worked from hints (or prior feedback) we substitute
+        those estimates back in, so the prediction diverges from
+        ``actual_ops`` exactly when the planner's cardinalities were
+        wrong — that divergence is the re-planning trigger.
+        """
+        profiles = bag_plan.input_profiles
+        if not profiles or not bag_plan.eval_order:
+            return None
+        estimates = dict(self.card_hints)
+        estimates.update(self.card_feedback)
+        if estimates:
+            adjusted = []
+            for profile in profiles:
+                est = estimates.get(profile["name"])
+                if est is None:
+                    adjusted.append(profile)
+                    continue
+                est = max(1, int(est))
+                card = max(1, int(profile["cardinality"]))
+                root = max(1, int(profile["root_card"]))
+                # Scale the root fan-out proportionally with the
+                # cardinality estimate; the root set can never exceed
+                # the total tuple count.
+                scaled_root = min(est, max(1, int(round(root * est / card))))
+                profile = dict(profile)
+                profile["cardinality"] = est
+                profile["root_card"] = scaled_root
+                adjusted.append(profile)
+            profiles = adjusted
+        from ..obs.explain import predict_bag_ops
+        return predict_bag_ops(bag_plan.eval_order, profiles,
+                               simd=self.config.simd,
+                               crossover=self.config.galloping_crossover())
+
+    def _adaptive_check(self, key=None):
+        """Mispredict detection (tentpole part 2): compare the op-model
+        prediction against the charged ops of each bag of the last
+        plan.  When a bag overshoots the prediction by more than
+        ``replan_factor``, harvest the observed base-relation
+        cardinalities as planner feedback and surgically evict the
+        compiled rule (when ``key`` names one) so the next execution
+        re-plans with ground truth.  Returns whether an entry was
+        evicted."""
+        if not self.config.adaptive or self.last_plan is None:
+            return False
+        worst = 0.0
+        for bag in self.last_plan.bags:
+            if not bag.predicted_ops or not bag.actual_ops:
+                continue
+            worst = max(worst, bag.actual_ops / bag.predicted_ops)
+        self.last_mispredict_ratio = worst
+        metrics = self.config.metrics
+        if metrics is not None:
+            metrics.set_gauge("tuning.mispredict_ratio", worst)
+        if worst <= self.config.replan_factor:
+            return False
+        for bag in self.last_plan.bags:
+            for profile in bag.input_profiles or ():
+                name = profile.get("name") or ""
+                if name.startswith("pass:"):
+                    continue  # pass-up inputs are not planner estimates
+                self.card_feedback[name] = int(profile["cardinality"])
+        evicted = key is not None and self.plans.evict_rule(key)
+        self.replans += 1
+        if metrics is not None:
+            metrics.inc("tuning.replans")
+        return evicted
 
     def _evaluate_bag(self, node, atoms, out_attrs, global_order, semiring,
                       aggregate_mode, retained, duplicates,
@@ -442,7 +543,8 @@ class RuleExecutor:
             key_order = tuple(atom.variables.index(a)
                               for a in ordered_vars)
             trie = self.cache.get(atom.relation, key_order,
-                                  self.config.layout_level)
+                                  self.config.layout_level,
+                                  self.config.density_threshold())
             is_duplicate = (id(node), edge.index) in duplicates
             inputs.append(BagInput(
                 trie, ordered_vars,
@@ -474,7 +576,8 @@ class RuleExecutor:
             key_order = tuple(relation_columns(relation).index(a)
                               for a in ordered_vars)
             trie = Trie(relation, key_order=key_order,
-                        optimizer=SetOptimizer(self.config.layout_level))
+                        optimizer=SetOptimizer(self.config.layout_level,
+                                               self.config.density_threshold()))
             inputs.append(BagInput(trie, ordered_vars,
                                    annotated=annotated,
                                    name=relation.name))
@@ -561,7 +664,15 @@ class RuleExecutor:
             self.plans.put_rule(key, compiled)
         else:
             stats.plan_cache_hits += 1
-        return self.run_compiled(compiled, stats)
+        result = self.run_compiled(compiled, stats)
+        # Mispredict check runs after every compiled execution; on
+        # divergence it evicts exactly this rule's cache entry, so the
+        # next call re-plans with the harvested cardinality feedback.
+        # (Statically-empty rules never ran a plan — ``last_plan`` would
+        # be a previous query's.)
+        if compiled.kind != "empty":
+            self._adaptive_check(key)
+        return result
 
     def compile_rule(self, logical, stats):
         """Lower one optimized non-recursive rule to a
@@ -644,7 +755,8 @@ class RuleExecutor:
                 key_order = tuple(atom.variables.index(a)
                                   for a in ordered_vars)
                 trie = self.cache.get(atom.relation, key_order,
-                                      self.config.layout_level)
+                                      self.config.layout_level,
+                                      self.config.density_threshold())
                 annotated = atom.annotated \
                     and (id(node), edge.index) not in duplicates
                 kinds = tuple(
@@ -831,7 +943,8 @@ class RuleExecutor:
                 if annotated != spec_annotated:
                     spec_ok = False
             trie = Trie(relation, key_order=key_order,
-                        optimizer=SetOptimizer(self.config.layout_level))
+                        optimizer=SetOptimizer(self.config.layout_level,
+                                               self.config.density_threshold()))
             inputs.append(BagInput(trie, ordered_vars,
                                    annotated=annotated,
                                    name=relation.name))

@@ -162,6 +162,13 @@ class FusedBagKernel:
                 raise PlanError("attribute %r not covered" % (attr,))
             self.levels.append(parts)
         self._ws = _Workspace()
+        #: Effective limits, refreshed per run() from the config's
+        #: adaptive accessors (``None`` = hard-coded defaults).
+        self._max_rows = MAX_BLOCK_ROWS
+        self._probe_xover = None
+        #: Cumulative skew-sweep engagements (observability/tests).
+        self.sweep_blocks = 0
+        self._last_was_sweep = False
 
     # -- driver ---------------------------------------------------------------
 
@@ -171,6 +178,13 @@ class FusedBagKernel:
         if any(flat.keys.size == 0 for flat in flats):
             return self._empty()
         counter = config.counter
+        # Adaptive limits (duck-typed: plain configs lack the accessors).
+        accessor = getattr(config, "fused_block_rows", None)
+        tuned_rows = accessor() if callable(accessor) else None
+        self._max_rows = MAX_BLOCK_ROWS if tuned_rows is None \
+            else tuned_rows
+        accessor = getattr(config, "fused_probe_crossover", None)
+        self._probe_xover = accessor() if callable(accessor) else None
         oc, nl = self.out_count, self.n_levels
         exists = self.semiring.name == "EXISTS"
         cols = []           # bound value column per level, len F each
@@ -186,8 +200,9 @@ class FusedBagKernel:
                                      frontier, restrict)
             parent, vals, new_ranks, factors, total = expansion
             blocks += 1
-            counter.charge("fused_block", simd=-(-total // 4),
-                           elements=total)
+            counter.charge(
+                "fused_sweep" if self._last_was_sweep else "fused_block",
+                simd=-(-total // 4), elements=total)
             if leaf_fold:
                 return self._fold_leaf(parent, factors, cols, pw, sw,
                                        frontier)
@@ -235,6 +250,7 @@ class FusedBagKernel:
         pre-filter expansion size (for op accounting).
         """
         ws = self._ws
+        self._last_was_sweep = False
         child_parts = [part for part in parts if part.pos == 1]
         if child_parts:
             # CSR expansion through the cheapest child-level input.
@@ -245,6 +261,19 @@ class FusedBagKernel:
             offsets = flat.offsets
             counts = offsets[row + 1] - offsets[row]
             total = int(counts.sum())
+            root_parts = [part for part in parts if part.pos == 0]
+            if root_parts and self._probe_xover is not None:
+                # Skew-aware sweep (calibrated): when CSR expansion
+                # through even the cheapest generator dwarfs tiling the
+                # level's root-key candidates, probe instead of expand —
+                # the block analog of galloping's min-property switch.
+                width0 = min(flats[part.index].keys.size
+                             for part in root_parts)
+                sweep_total = frontier * width0
+                if sweep_total <= self._max_rows \
+                        and total > self._probe_xover * sweep_total:
+                    return self._sweep_expand(parts, root_parts, flats,
+                                              cols, frontier)
             self._budget(total)
             parent = np.repeat(ws.arange(frontier), counts)
             run_starts = np.cumsum(counts) - counts
@@ -314,8 +343,72 @@ class FusedBagKernel:
                 new_ranks[part.index] = np.tile(rank, frontier)
         return parent, vals, new_ranks, factors, total
 
+    def _sweep_expand(self, parts, root_parts, flats, cols, frontier):
+        """Skew-aware alternative to CSR expansion: tile the sorted
+        intersection of the level's root-key sets across the frontier
+        and filter with packed probes against every child-level input.
+
+        Work is ``frontier × |root candidates|`` regardless of the
+        generator's fanout, so extreme-skew frontiers (a few hub
+        prefixes with huge adjacency) cost the probe sweep instead of
+        materializing millions of children.  The surviving set equals
+        the CSR path's (same memberships, both emitted in sorted order
+        per parent), so results are bit-identical.
+        """
+        ws = self._ws
+        self._last_was_sweep = True
+        self.sweep_blocks += 1
+        base = min((flats[part.index].keys for part in root_parts),
+                   key=lambda keys: keys.size)
+        keep0 = np.ones(base.size, dtype=bool)
+        root_ranks = {}
+        for part in root_parts:
+            rank, member = _probe(flats[part.index].keys, base)
+            keep0 &= member
+            root_ranks[part.index] = rank
+        vset = base[keep0]
+        width = vset.size
+        total = frontier * width
+        self._budget(total)
+        parent = np.repeat(ws.arange(frontier), width)
+        vals = np.tile(vset, frontier)
+        keep = None
+        probes = []
+        for part in parts:
+            if part.pos != 1:
+                continue
+            other = flats[part.index]
+            bound = cols[part.var0_level][parent]
+            pk = (bound.astype(np.uint64) << 32) | vals
+            pos, member = _packed_probe(other.packed, pk)
+            probes.append((part, pos))
+            keep = member if keep is None else keep & member
+        if keep is not None:
+            parent = parent[keep]
+            vals = vals[keep]
+            probes = [(part, pos[keep]) for part, pos in probes]
+        new_ranks = {}
+        factors = []
+        for part, pos in probes:
+            # pos==1 participants of a fusable bag are binary, hence
+            # is_last: they contribute annotation factors, never ranks.
+            other = flats[part.index]
+            if part.annotated and other.ann is not None:
+                factors.append((part.index, other.ann[pos]))
+        for part in root_parts:
+            rank = np.tile(root_ranks[part.index][keep0], frontier)
+            if keep is not None:
+                rank = rank[keep]
+            other = flats[part.index]
+            if part.is_last:
+                if part.annotated and other.ann is not None:
+                    factors.append((part.index, other.ann[rank]))
+            else:
+                new_ranks[part.index] = rank
+        return parent, vals, new_ranks, factors, total
+
     def _budget(self, total):
-        if total > MAX_BLOCK_ROWS:
+        if total > self._max_rows:
             raise FusedFallback(total)
 
     # -- aggregated-leaf folds ------------------------------------------------

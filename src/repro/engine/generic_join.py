@@ -18,7 +18,7 @@ annotated folds gather annotation vectors with one ``searchsorted``.
 import numpy as np
 
 from ..errors import ExecutionError
-from ..sets.intersect import intersect_many
+from ..sets.intersect import _config_crossover, intersect_many
 from .semiring import EXISTS, Semiring
 
 
@@ -344,7 +344,8 @@ class BagEvaluator:
             sets, counter=self.config.counter,
             algorithm=self.config.uint_algorithm,
             adaptive=self.config.adaptive_algorithms,
-            simd=self.config.simd)
+            simd=self.config.simd,
+            crossover=_config_crossover(self.config))
         if tracer is not None:
             tracer.record(
                 "intersect:L%d" % level, "intersect", start, tracer.now(),

@@ -450,8 +450,13 @@ def evaluate_bag_parallel(eval_order, out_count, inputs, semiring, config,
     """
     workers = config.parallel_workers if workers is None else workers
     strategy = config.parallel_strategy if strategy is None else strategy
-    threshold = config.parallel_threshold if threshold is None \
-        else threshold
+    if threshold is None:
+        # Calibrated fork-cost threshold when a tuning profile is
+        # active; plain config value otherwise (duck-typed so bare
+        # config stand-ins in tests keep working).
+        effective = getattr(config, "effective_parallel_threshold", None)
+        threshold = effective() if callable(effective) \
+            else config.parallel_threshold
     morsels_per_worker = config.parallel_morsels_per_worker \
         if morsels_per_worker is None else morsels_per_worker
     if stats is None:

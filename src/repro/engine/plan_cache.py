@@ -31,11 +31,21 @@ def config_signature(config):
     or result layout must appear here; the op counter and the
     scheduling-only knobs (``parallel_*``, ``shared_tries`` — which
     change where plans run, not what they compute) must not."""
+    adaptive = getattr(config, "adaptive", False)
+    tuning = getattr(config, "tuning", None)
+    # Tuned constants change layout choices and generated dispatch, so a
+    # tuned config must never share plans with the default config (the
+    # fuzzer runs both in one process).  Re-planning alone (adaptive
+    # with no profile) changes constants not at all, but the adaptive
+    # flag still participates so evictions never bleed across configs.
+    tuning_sig = (tuning.signature()
+                  if adaptive and tuning is not None else None)
     return (config.layout_level, config.adaptive_algorithms, config.simd,
             config.use_ghd, config.push_selections,
             config.eliminate_redundant_bags, config.skip_top_down,
             config.uint_algorithm, config.prune_attributes,
-            config.fold_constants, config.fused_kernels)
+            config.fold_constants, config.fused_kernels,
+            adaptive, tuning_sig)
 
 
 class CompiledBag:
@@ -155,6 +165,13 @@ class PlanCache:
     def put_rule(self, key, compiled):
         self._evict(self._rules)
         self._rules[key] = compiled
+
+    def evict_rule(self, key):
+        """Surgically drop one compiled rule (mispredict-driven
+        re-planning): the next execution re-plans from scratch with
+        whatever cardinality feedback the executor has accumulated.
+        Returns whether an entry was present."""
+        return self._rules.pop(key, None) is not None
 
     # -- bag-source tier ----------------------------------------------------
 

@@ -28,8 +28,11 @@ from .gen import generate_case
 from .oracle import OracleError, evaluate_case
 
 #: Config labels that additionally execute a warm (plan-cache hit)
-#: re-run of the same program on the same database.
-WARM_LABELS = ("interp", "compiled")
+#: re-run of the same program on the same database.  The
+#: ``adaptive-replan`` config (replan_factor ~ 0) evicts its plan after
+#: every run, so its warm re-run differentially checks that a
+#: mispredict-triggered re-plan never changes results.
+WARM_LABELS = ("interp", "compiled", "adaptive-replan")
 
 
 @dataclass

@@ -104,6 +104,10 @@ class OptimizerOptions:
     prune_attributes: bool = True
     tracer: Optional[object] = None
     metrics: Optional[object] = None
+    #: ``{atom name: cardinality}`` overrides for GHD costing — user
+    #: hints and the adaptive executor's mispredict feedback.  The
+    #: catalog's cardinalities are used for atoms not listed.
+    card_overrides: Optional[dict] = None
 
     @classmethod
     def from_config(cls, config):
@@ -260,7 +264,9 @@ class GHDChoicePass:
         with maybe_span(options.tracer, "ghd_search", "compile",
                         atoms=len(atoms)):
             hypergraph = Hypergraph(atoms)
-            sizes = {i: atoms[i].relation.cardinality
+            overrides = options.card_overrides or {}
+            sizes = {i: int(overrides.get(atoms[i].name,
+                                          atoms[i].relation.cardinality))
                      for i in range(len(atoms))}
             selected_vars = set()
             selection_edges = set()

@@ -87,7 +87,7 @@ def _level_cards(attr, profiles):
     return cards
 
 
-def predict_bag_ops(eval_order, profiles, simd=True):
+def predict_bag_ops(eval_order, profiles, simd=True, crossover=None):
     """Predicted simulated lane ops for one bag's generic join.
 
     Walks the evaluation order like the join's loop nest: at each level
@@ -107,7 +107,7 @@ def predict_bag_ops(eval_order, profiles, simd=True):
             continue
         if len(cards) >= 2:
             total += prefixes * _cost.predict_intersection_ops(
-                cards, simd=simd)
+                cards, simd=simd, crossover=crossover)
         prefixes *= max(1, min(cards))
     return int(total)
 
@@ -164,6 +164,11 @@ def _render_bag(lines, index, bag, stats, simd):
     else:
         lines.append("      cost-model error: n/a (no lane ops charged "
                      "— vectorized fast path)")
+    if bag.predicted_ops:
+        lines.append(
+            "      planner estimate: %d lane ops, mispredict %.2fx "
+            "(actual/estimate)"
+            % (bag.predicted_ops, actual_ops / float(bag.predicted_ops)))
     if bag.parallelized and stats is not None and stats.morsels:
         lines.append(
             "      parallel: mode=%s, %d morsel(s), %d steal(s), "
@@ -173,13 +178,15 @@ def _render_bag(lines, index, bag, stats, simd):
 
 
 def render_explain_analyze(plan, stats, tracer, config, result=None,
-                           logical=None):
+                           logical=None, tuning=None):
     """Render the annotated plan; every input may be ``None``-ish.
 
     ``logical``, when given, is the optimized
     :class:`~repro.lir.ir.LogicalRule` of the last-executed rule; its
     pass trace is rendered as the pass-by-pass logical plan between the
-    rule text and the physical plan.
+    rule text and the physical plan.  ``tuning``, when given, is the
+    adaptive-execution state dict (``profile``, ``replans``,
+    ``mispredict_ratio``) rendered as a footer.
     """
     lines = ["EXPLAIN ANALYZE"]
     if plan is None:
@@ -214,6 +221,14 @@ def render_explain_analyze(plan, stats, tracer, config, result=None,
                 "%d generated bag call(s)"
                 % (stats.parses, stats.ghd_builds, stats.codegen_runs,
                    stats.bag_codegen_reuses, stats.compiled_bag_calls))
+    if tuning is not None:
+        profile = tuning.get("profile")
+        lines.append("adaptive: %s"
+                     % (profile if profile else "on (no tuning profile — "
+                        "paper-default constants)"))
+        lines.append("  tuning.replans: %d   tuning.mispredict_ratio: %.2fx"
+                     % (tuning.get("replans", 0),
+                        tuning.get("mispredict_ratio", 0.0)))
     if result is not None:
         cardinality = getattr(result, "cardinality", None)
         if cardinality is not None:

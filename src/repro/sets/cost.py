@@ -127,20 +127,24 @@ def _log2_ceil(n):
     return max(1, math.ceil(math.log2(max(int(n), 2))))
 
 
-def predict_pair_ops(card_a, card_b, simd=True):
+def predict_pair_ops(card_a, card_b, simd=True, crossover=None):
     """Predicted total lane ops for one two-set intersection.
 
     Mirrors the adaptive uint dispatch: past the
-    :data:`GALLOPING_CROSSOVER` cardinality ratio the galloping family
-    runs (``O(small log large)``); below it the shuffling/merge family
-    runs (``O(small + large)``).  The shuffling output term is bounded
-    by the smaller input, making this an upper-bound prediction.
+    :data:`GALLOPING_CROSSOVER` cardinality ratio (or the tuned
+    ``crossover`` override when a :class:`repro.tune.TuningProfile` is
+    active) the galloping family runs (``O(small log large)``); below it
+    the shuffling/merge family runs (``O(small + large)``).  The
+    shuffling output term is bounded by the smaller input, making this
+    an upper-bound prediction.
     """
     small = max(0, min(int(card_a), int(card_b)))
     large = max(0, max(int(card_a), int(card_b)))
     if small == 0:
         return 0
-    galloping = large > GALLOPING_CROSSOVER * small
+    if crossover is None:
+        crossover = GALLOPING_CROSSOVER
+    galloping = large > crossover * small
     if not simd:
         if galloping:
             return small * _log2_ceil(large)
@@ -152,7 +156,7 @@ def predict_pair_ops(card_a, card_b, simd=True):
             + small)
 
 
-def predict_intersection_ops(cards, simd=True):
+def predict_intersection_ops(cards, simd=True, crossover=None):
     """Predicted lane ops for a multi-way intersection.
 
     Models ``intersect_many``'s smallest-first left fold: each step
@@ -165,6 +169,7 @@ def predict_intersection_ops(cards, simd=True):
     total = 0
     running = cards[0]
     for card in cards[1:]:
-        total += predict_pair_ops(running, card, simd=simd)
+        total += predict_pair_ops(running, card, simd=simd,
+                                  crossover=crossover)
         running = min(running, card)
     return total

@@ -27,15 +27,37 @@ import numpy as np
 from .base import SetLayout
 from .bitset import BLOCK_BITS, BitSet, WORDS_PER_BLOCK
 from .bitpacked import BitPackedSet
+from . import cost as _cost
 from .cost import (GALLOPING_CROSSOVER, SIMD_REGISTER_BITS,
                    SIMD_UINT16_LANES, SIMD_UINT32_LANES, get_counter)
 from .uint import UintSet
 from .variant import VariantSet
 
-#: Cardinality ratio beyond which the hybrid dispatcher switches from
-#: SIMDShuffling to SIMDGalloping (paper Section 4.2 / Algorithm 2).
-#: Defined in :mod:`repro.sets.cost` so the predictive model
-#: (``predict_pair_ops``) and this dispatch share one constant.
+
+def _live_crossover():
+    """The current galloping crossover, read from :mod:`repro.sets.cost`
+    at *call* time so overrides (tests monkeypatching
+    ``cost.GALLOPING_CROSSOVER``, tuned profiles installing a calibrated
+    value) take effect without re-importing this module.  An import-time
+    ``GALLOPING_THRESHOLD = GALLOPING_CROSSOVER`` snapshot silently froze
+    the dispatch at 32 even when the model side moved."""
+    return _cost.GALLOPING_CROSSOVER
+
+
+def _config_crossover(config):
+    """Effective crossover for a config object, or ``None`` for the
+    module default.  Duck-typed: engine configs expose a
+    ``galloping_crossover()`` accessor returning the tuned value when
+    adaptive tuning is active."""
+    accessor = getattr(config, "galloping_crossover", None)
+    return accessor() if callable(accessor) else None
+
+
+#: The paper's default 32:1 ratio, kept as a public alias for reporting
+#: and tests.  Dispatch does **not** read this name — it calls
+#: :func:`_live_crossover` (or takes an explicit ``crossover=``), so
+#: overriding ``cost.GALLOPING_CROSSOVER`` or installing a tuned profile
+#: changes kernel choice immediately.
 GALLOPING_THRESHOLD = GALLOPING_CROSSOVER
 
 #: Algorithm names accepted by the ``algorithm`` parameter.
@@ -239,21 +261,24 @@ _UINT_KERNELS = {
 }
 
 
-def choose_uint_algorithm(size_a, size_b, adaptive=True):
-    """The paper's Algorithm 2: SIMDGalloping past the 32:1 ratio, else
+def choose_uint_algorithm(size_a, size_b, adaptive=True, crossover=None):
+    """The paper's Algorithm 2: SIMDGalloping past the crossover ratio
+    (32:1 by default, calibrated when a tuning profile is active), else
     SIMDShuffling.  With ``adaptive=False`` (the "-A" half of the "-RA"
     ablation) always returns shuffling."""
     if not adaptive:
         return "shuffling"
+    if crossover is None:
+        crossover = _live_crossover()
     small = max(1, min(size_a, size_b))
     large = max(size_a, size_b)
-    if large / small > GALLOPING_THRESHOLD:
+    if large / small > crossover:
         return "simd_galloping"
     return "shuffling"
 
 
 def intersect_uint_arrays(a, b, counter=None, algorithm=None, adaptive=True,
-                          simd=True):
+                          simd=True, crossover=None):
     """Intersect two sorted ``uint32`` arrays, dispatching per the config.
 
     Parameters
@@ -267,6 +292,9 @@ def intersect_uint_arrays(a, b, counter=None, algorithm=None, adaptive=True,
     simd:
         ``False`` routes to the scalar merge loop regardless of
         ``algorithm`` (the "-S" ablation).
+    crossover:
+        Optional tuned galloping crossover ratio; ``None`` reads the
+        live ``cost.GALLOPING_CROSSOVER``.
     """
     if a.size == 0 or b.size == 0:
         return np.empty(0, dtype=np.uint32)
@@ -274,11 +302,13 @@ def intersect_uint_arrays(a, b, counter=None, algorithm=None, adaptive=True,
         # Scalar engines still honor the min property through galloping
         # (Leapfrog Triejoin does) when adaptivity is on.
         if adaptive and choose_uint_algorithm(
-                a.size, b.size, adaptive) == "simd_galloping":
+                a.size, b.size, adaptive,
+                crossover=crossover) == "simd_galloping":
             return uint_scalar_galloping(a, b, counter)
         return uint_scalar_merge(a, b, counter)
     if algorithm is None:
-        algorithm = choose_uint_algorithm(a.size, b.size, adaptive)
+        algorithm = choose_uint_algorithm(a.size, b.size, adaptive,
+                                          crossover=crossover)
     return _UINT_KERNELS[algorithm](a, b, counter)
 
 
@@ -439,7 +469,7 @@ def _decode_charge(layout, counter):
 
 
 def _intersect_pair_arrays(x, y, counter, simd, algorithm=None,
-                           adaptive=True):
+                           adaptive=True, crossover=None):
     """Intersect two layout objects, returning a sorted uint32 *array*."""
     kx, ky = x.kind, y.kind
     # Compressed layouts decode to uint first (paper Appendix C.2.2).
@@ -455,7 +485,7 @@ def _intersect_pair_arrays(x, y, counter, simd, algorithm=None,
     if kx == "uint" and ky == "uint":
         return intersect_uint_arrays(x.values, y.values, counter,
                                      algorithm=algorithm, adaptive=adaptive,
-                                     simd=simd)
+                                     simd=simd, crossover=crossover)
     if kx == "bitset" and ky == "bitset":
         return intersect_bitsets(x, y, counter, simd=simd).to_array()
     if kx == "uint" and ky == "bitset":
@@ -471,10 +501,12 @@ def _intersect_pair_arrays(x, y, counter, simd, algorithm=None,
     ax = x.to_array() if kx != "uint" else x.values
     ay = y.to_array() if ky != "uint" else y.values
     return intersect_uint_arrays(ax, ay, counter, algorithm=algorithm,
-                                 adaptive=adaptive, simd=simd)
+                                 adaptive=adaptive, simd=simd,
+                                 crossover=crossover)
 
 
-def intersect(x, y, counter=None, algorithm=None, adaptive=True, simd=True):
+def intersect(x, y, counter=None, algorithm=None, adaptive=True, simd=True,
+              crossover=None):
     """Intersect two :class:`~repro.sets.base.SetLayout` objects.
 
     Returns a :class:`BitSet` when both inputs are bitsets (the result is
@@ -491,18 +523,21 @@ def intersect(x, y, counter=None, algorithm=None, adaptive=True, simd=True):
         "-RA" ablation).
     simd:
         Use vectorized kernels; ``False`` is the "-S" ablation.
+    crossover:
+        Optional tuned galloping crossover ratio; ``None`` reads the
+        live ``cost.GALLOPING_CROSSOVER``.
     """
     if not isinstance(x, SetLayout) or not isinstance(y, SetLayout):
         raise TypeError("intersect expects SetLayout operands")
     if x.kind == "bitset" and y.kind == "bitset" and simd:
         return intersect_bitsets(x, y, counter, simd=simd)
     out = _intersect_pair_arrays(x, y, counter, simd, algorithm=algorithm,
-                                 adaptive=adaptive)
+                                 adaptive=adaptive, crossover=crossover)
     return UintSet.from_sorted(out)
 
 
 def intersect_many(sets, counter=None, algorithm=None, adaptive=True,
-                   simd=True):
+                   simd=True, crossover=None):
     """Fold :func:`intersect` over ``sets``, smallest-first.
 
     Ordering by ascending cardinality keeps every intermediate result no
@@ -522,7 +557,7 @@ def intersect_many(sets, counter=None, algorithm=None, adaptive=True,
     acc = sets[0]
     for other in sets[1:]:
         acc = intersect(acc, other, counter, algorithm=algorithm,
-                        adaptive=adaptive, simd=simd)
+                        adaptive=adaptive, simd=simd, crossover=crossover)
         if acc.cardinality == 0:
             return _EMPTY_UINT
     return acc
@@ -546,7 +581,8 @@ def _pair_uint_uint(x, y, config):
     return UintSet.from_sorted(intersect_uint_arrays(
         x.values, y.values, config.counter,
         algorithm=config.uint_algorithm,
-        adaptive=config.adaptive_algorithms, simd=config.simd))
+        adaptive=config.adaptive_algorithms, simd=config.simd,
+        crossover=_config_crossover(config)))
 
 
 def _pair_bitset_bitset(x, y, config):
@@ -581,7 +617,8 @@ def _pair_mixed_uint(x, y, config):
     ay = y.to_array() if y.kind != "uint" else y.values
     return UintSet.from_sorted(intersect_uint_arrays(
         ax, ay, config.counter, algorithm=config.uint_algorithm,
-        adaptive=config.adaptive_algorithms, simd=config.simd))
+        adaptive=config.adaptive_algorithms, simd=config.simd,
+        crossover=_config_crossover(config)))
 
 
 #: ``(kind_a, kind_b) -> pair kernel``.  Compressed layouts (variant /

@@ -25,21 +25,25 @@ from .uint import UintSet
 LEVELS = ("relation", "set", "block", "uint_only", "bitset_only")
 
 
-def choose_set_layout(values):
+def choose_set_layout(values, density_threshold=None):
     """The paper's Algorithm 3, deciding uint vs bitset for one set.
 
     ``values`` may be a sorted array or any iterable; returns the kind
-    string (``"uint"`` or ``"bitset"``).
+    string (``"uint"`` or ``"bitset"``).  ``density_threshold``
+    overrides the ``SIMD_REGISTER_BITS`` inverse-density bar when a
+    tuning profile has calibrated the real uint/bitset crossover.
     """
     arr = np.asarray(values)
     if arr.size == 0:
         return "uint"
+    if density_threshold is None:
+        density_threshold = SIMD_REGISTER_BITS
     span = int(arr.max()) - int(arr.min()) + 1
     inverse_density = span / arr.size
-    return "bitset" if inverse_density < SIMD_REGISTER_BITS else "uint"
+    return "bitset" if inverse_density < density_threshold else "uint"
 
 
-def build_set(values, level="set"):
+def build_set(values, level="set", density_threshold=None):
     """Materialize ``values`` under the given optimizer granularity.
 
     Parameters
@@ -50,13 +54,16 @@ def build_set(values, level="set"):
         * ``"bitset_only"`` — every set is a bitset (homogeneous dense).
         * ``"set"`` — per-set Algorithm 3 decision (the engine default).
         * ``"block"`` — the composite block layout.
+    density_threshold:
+        Tuned inverse-density crossover for the ``"set"`` decision;
+        ``None`` keeps the paper's ``SIMD_REGISTER_BITS`` bar.
     """
     if level in ("relation", "uint_only"):
         return UintSet(values)
     if level == "bitset_only":
         return BitSet(values)
     if level == "set":
-        if choose_set_layout(values) == "bitset":
+        if choose_set_layout(values, density_threshold) == "bitset":
             return BitSet(values)
         return UintSet(values)
     if level == "block":
@@ -84,17 +91,18 @@ class SetOptimizer:
     benchmarks can report both without re-walking the trie.
     """
 
-    def __init__(self, level="set"):
+    def __init__(self, level="set", density_threshold=None):
         if level not in LEVELS:
             raise ValueError("unknown optimizer level %r" % (level,))
         self.level = level
+        self.density_threshold = density_threshold
         self.decision_seconds = 0.0
         self.histogram = {}
 
     def build(self, values):
         """Choose a layout for ``values`` and materialize it."""
         start = time.perf_counter()
-        layout = build_set(values, self.level)
+        layout = build_set(values, self.level, self.density_threshold)
         self.decision_seconds += time.perf_counter() - start
         self.histogram[layout.kind] = self.histogram.get(layout.kind, 0) + 1
         return layout

@@ -20,10 +20,19 @@ from .relation import Relation
 FORMAT_VERSION = 1
 
 
-def save_catalog(path, catalog):
-    """Write ``{name: Relation}`` to ``path`` (``.npz``)."""
+def save_catalog(path, catalog, tuning=None):
+    """Write ``{name: Relation}`` to ``path`` (``.npz``).
+
+    ``tuning``, when given, is a
+    :class:`~repro.tune.profile.TuningProfile` stored inside the
+    manifest so a reloaded database starts with the calibrated
+    constants (warm restarts start tuned).  Old readers ignore the
+    extra manifest key; ``FORMAT_VERSION`` is unchanged.
+    """
     arrays = {}
     manifest = {"version": FORMAT_VERSION, "relations": {}}
+    if tuning is not None:
+        manifest["tuning"] = tuning.to_dict()
     dictionary_ids = {}
     dictionary_count = 0
     for name, relation in catalog.items():
@@ -86,3 +95,23 @@ def load_catalog(path):
             catalog[name] = Relation(name, data, annotations,
                                      column_dictionaries)
     return catalog
+
+
+def load_tuning(path):
+    """Tuning profile stored in a saved database, or ``None``.
+
+    Tolerant by design: a file without the manifest key, written by an
+    older version, or carrying a stale/garbled profile (profile-version
+    mismatch) yields ``None`` — the engine then runs with the paper's
+    default constants, bit-identical to an untuned session.
+    """
+    from ..tune.profile import TuningProfile
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            manifest = json.loads(str(archive["manifest"]))
+    except (OSError, ValueError, KeyError):
+        return None
+    record = manifest.get("tuning")
+    if not isinstance(record, dict):
+        return None
+    return TuningProfile.from_dict(record)

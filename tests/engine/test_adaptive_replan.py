@@ -1,0 +1,127 @@
+"""Mispredict-driven re-planning (the adaptive tentpole's feedback loop).
+
+A deliberately wrong cardinality hint makes the planner's per-bag op
+prediction collapse; under ``adaptive=True`` the executor detects the
+divergence (actual lane ops beyond ``replan_factor`` x predicted),
+evicts the cached plan, harvests the *observed* cardinalities as
+feedback, and the next execution re-plans from reality.  Results must
+be bit-identical before and after — re-planning changes cost, never
+answers.
+"""
+
+import pytest
+
+from repro import Database
+from repro.graphs import chung_lu_graph
+
+TRIANGLES = ("T(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); "
+             "w=<<COUNT(*)>>.")
+EDGES = [tuple(e) for e in chung_lu_graph(200, 1500, exponent=1.7,
+                                          seed=5)]
+
+
+def make_db(**overrides):
+    db = Database(**overrides)
+    db.load_graph("Edge", EDGES, prune=True)
+    return db
+
+
+class TestReplanTrigger:
+    def test_wrong_hint_triggers_exactly_one_replan(self):
+        db = make_db(adaptive=True)
+        db.set_cardinality_hint("Edge", 4)  # wildly wrong
+        first = db.query(TRIANGLES).scalar
+        assert db._executor.replans == 1
+        assert db._executor.last_mispredict_ratio \
+            > db.config.replan_factor
+        # Observed cardinality harvested as feedback for the re-plan.
+        assert db._executor.card_feedback.get("Edge") == \
+            db.relation("Edge").cardinality
+        # The re-planned run settles: same answer, no further replans.
+        second = db.query(TRIANGLES).scalar
+        assert second == first
+        assert db._executor.replans == 1
+
+    def test_replan_evicts_the_cached_plan(self):
+        db = make_db(adaptive=True, execution_mode="compiled")
+        db.set_cardinality_hint("Edge", 4)
+        first = db.query(TRIANGLES).scalar
+        assert db._executor.replans == 1
+        # The mispredicted rule was surgically evicted from the cache.
+        assert db._executor.plans.sizes()["rules"] == 0
+        second = db.query(TRIANGLES).scalar
+        # The re-plan (with feedback) predicted accurately and stuck.
+        assert second == first
+        assert db._executor.replans == 1
+        assert db._executor.plans.sizes()["rules"] == 1
+
+    def test_accurate_hint_never_replans(self):
+        db = make_db(adaptive=True)
+        db.set_cardinality_hint("Edge",
+                                db.relation("Edge").cardinality)
+        db.query(TRIANGLES)
+        assert db._executor.replans == 0
+
+    def test_no_hint_no_replan(self):
+        db = make_db(adaptive=True)
+        db.query(TRIANGLES)
+        db.query(TRIANGLES)
+        assert db._executor.replans == 0
+
+    def test_adaptive_off_ignores_mispredicts(self):
+        db = make_db()
+        db.set_cardinality_hint("Edge", 4)
+        db.query(TRIANGLES)
+        assert db._executor.replans == 0
+        assert db._executor.last_mispredict_ratio == 0.0
+
+    def test_clear_hints_drops_feedback(self):
+        db = make_db(adaptive=True)
+        db.set_cardinality_hint("Edge", 4)
+        db.query(TRIANGLES)
+        assert db._executor.card_feedback
+        db.clear_cardinality_hints()
+        assert not db._executor.card_hints
+        assert not db._executor.card_feedback
+
+
+class TestObservability:
+    def test_metrics_count_replans(self):
+        db = make_db(adaptive=True)
+        db.enable_metrics()
+        db.set_cardinality_hint("Edge", 4)
+        db.query(TRIANGLES)
+        registry = db.metrics
+        assert registry.counter("tuning.replans").value >= 1
+        assert registry.gauge("tuning.mispredict_ratio").value \
+            > db.config.replan_factor
+
+    def test_explain_analyze_renders_adaptive_footer(self):
+        db = make_db(adaptive=True)
+        db.set_cardinality_hint("Edge", 4)
+        db.query(TRIANGLES)
+        text = db.explain_analyze(TRIANGLES)
+        assert "adaptive:" in text
+        assert "tuning.replans:" in text
+        assert "tuning.mispredict_ratio:" in text
+        assert "planner estimate:" in text
+
+    def test_explain_analyze_silent_without_adaptive(self):
+        db = make_db()
+        text = db.explain_analyze(TRIANGLES)
+        assert "tuning.replans" not in text
+
+
+class TestBitIdentical:
+    @pytest.mark.parametrize("mode", ["interpreted", "compiled"])
+    def test_replanned_results_match_default_engine(self, mode):
+        query = "Q(x,z) :- Edge(x,y),Edge(y,z)."
+        plain = make_db(execution_mode=mode)
+        expected = sorted(plain.query(query).tuples())
+        adaptive = make_db(adaptive=True, execution_mode=mode,
+                           replan_factor=1e-6)  # replan on every bag
+        first = sorted(adaptive.query(query).tuples())
+        second = sorted(adaptive.query(query).tuples())
+        assert first == expected
+        assert second == expected
+        assert adaptive._executor.replans >= 1

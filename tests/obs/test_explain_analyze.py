@@ -61,8 +61,9 @@ class TestPredictionProvenance:
     def test_prediction_comes_from_sets_cost_module(self, monkeypatch):
         """The predicted ops must flow through
         repro.sets.cost.predict_intersection_ops, not an ad-hoc copy."""
-        monkeypatch.setattr(repro.sets.cost, "predict_intersection_ops",
-                            lambda cards, simd=True: 424242)
+        monkeypatch.setattr(
+            repro.sets.cost, "predict_intersection_ops",
+            lambda cards, simd=True, crossover=None: 424242)
         db = database()
         report = db.explain_analyze(TRIANGLE_COUNT)
         (line,) = [l for l in report.splitlines() if "predicted:" in l]

@@ -86,6 +86,34 @@ class TestHybridDispatcher:
         intersect_uint_arrays(small, large, counter=counter)
         assert "simd_galloping" in counter.by_algorithm
 
+    def test_crossover_override_changes_dispatch(self):
+        # 100 vs 800 is an 8:1 ratio: shuffling under the paper's 32:1,
+        # galloping under a tuned crossover of 4.
+        assert choose_uint_algorithm(100, 800) == "shuffling"
+        assert choose_uint_algorithm(100, 800,
+                                     crossover=4.0) == "simd_galloping"
+        assert choose_uint_algorithm(100, 800,
+                                     crossover=512.0) == "shuffling"
+
+    def test_dispatch_reads_live_cost_constant(self, monkeypatch):
+        # Regression: GALLOPING_THRESHOLD used to be an import-time
+        # snapshot of cost.GALLOPING_CROSSOVER, so overriding the cost
+        # constant (as a calibration or an experiment might) silently
+        # did nothing.  Dispatch must read the live value.
+        from repro.sets import cost
+        assert choose_uint_algorithm(100, 800) == "shuffling"
+        monkeypatch.setattr(cost, "GALLOPING_CROSSOVER", 4)
+        assert choose_uint_algorithm(100, 800) == "simd_galloping"
+
+    def test_threshold_alias_stays_documented_value(self):
+        # The re-exported alias is documentation of the paper constant;
+        # live dispatch goes through cost.GALLOPING_CROSSOVER.
+        import importlib
+        intersect_module = importlib.import_module(
+            "repro.sets.intersect")  # the package re-exports a same-
+        # named function, which plain ``import ... as`` would bind
+        assert intersect_module.GALLOPING_THRESHOLD == 32
+
 
 class TestLayoutPairs:
     @pytest.mark.parametrize("layout_a,layout_b",

@@ -117,7 +117,7 @@ class TestLayoutAdvantage:
         db.load_graph("Edge", [tuple(e) for e in edges], prune=True)
         db.query(TRIANGLE_COUNT)
         histograms = {}
-        for (_, order, _), trie in db._trie_cache._tries.items():
+        for trie in db._trie_cache._tries.values():
             for kind, count in trie.layout_histogram().items():
                 histograms[kind] = histograms.get(kind, 0) + count
         assert histograms.get("bitset", 0) > 0

@@ -144,3 +144,77 @@ class TestDiff:
                              ("fused-4w", "parallel:scaling", 15.0)])
         assert report.main(["--diff", base, current]) == 0
         assert "only in current" in capsys.readouterr().out
+
+
+class TestTrajectory:
+    """BENCH_<n>.json perf-history sequence under baselines/."""
+
+    dump = staticmethod(TestDiff.dump)
+
+    def test_append_numbers_sequentially(self, tmp_path):
+        results = self.dump(tmp_path, "cur.json",
+                            [("fused", "codegen:triangle", 2.0)])
+        trajectory = tmp_path / "baselines"
+        first = report.append_trajectory(str(trajectory), results)
+        second = report.append_trajectory(str(trajectory), results)
+        assert first.endswith("BENCH_1.json")
+        assert second.endswith("BENCH_2.json")
+        assert report.trajectory_entries(str(trajectory)) == [
+            (1, first), (2, second)]
+
+    def test_latest_baseline_picks_highest_index(self, tmp_path):
+        results = self.dump(tmp_path, "cur.json",
+                            [("fused", "codegen:triangle", 2.0)])
+        trajectory = tmp_path / "baselines"
+        report.append_trajectory(str(trajectory), results)
+        latest = report.append_trajectory(str(trajectory), results)
+        assert report.latest_baseline(str(trajectory)) == latest
+
+    def test_latest_baseline_falls_back_to_legacy_file(self, tmp_path):
+        legacy_dir = tmp_path / "baselines"
+        legacy_dir.mkdir()
+        legacy = legacy_dir / "bench_results.json"
+        legacy.write_text("{}")
+        assert report.latest_baseline(str(legacy_dir)) == str(legacy)
+
+    def test_latest_baseline_none_when_empty(self, tmp_path):
+        assert report.latest_baseline(str(tmp_path / "missing")) is None
+
+    def test_main_diff_latest(self, tmp_path, capsys):
+        base = self.dump(tmp_path, "base.json",
+                         [("fused", "codegen:triangle", 20.0)])
+        trajectory = tmp_path / "baselines"
+        report.append_trajectory(str(trajectory), base)
+        current = self.dump(tmp_path, "cur.json",
+                            [("fused", "codegen:triangle", 18.0)])
+        assert report.main(["--diff-latest", str(trajectory),
+                            current]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_1.json" in out
+        assert "perf diff" in out
+
+    def test_main_diff_latest_regression_fails(self, tmp_path):
+        base = self.dump(tmp_path, "base.json",
+                         [("fused", "codegen:triangle", 20.0)])
+        trajectory = tmp_path / "baselines"
+        report.append_trajectory(str(trajectory), base)
+        current = self.dump(tmp_path, "cur.json",
+                            [("fused", "codegen:triangle", 10.0)])
+        assert report.main(["--diff-latest", str(trajectory),
+                            current]) == 1
+
+    def test_main_diff_latest_empty_dir_passes(self, tmp_path, capsys):
+        current = self.dump(tmp_path, "cur.json",
+                            [("fused", "codegen:triangle", 10.0)])
+        assert report.main(["--diff-latest",
+                            str(tmp_path / "missing"), current]) == 0
+        assert "nothing to diff" in capsys.readouterr().out
+
+    def test_main_append_trajectory(self, tmp_path, capsys):
+        current = self.dump(tmp_path, "cur.json",
+                            [("fused", "codegen:triangle", 10.0)])
+        trajectory = tmp_path / "baselines"
+        assert report.main([current, "--append-trajectory",
+                            str(trajectory)]) == 0
+        assert "BENCH_1.json" in capsys.readouterr().out
+        assert (trajectory / "BENCH_1.json").exists()
