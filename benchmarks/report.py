@@ -85,6 +85,18 @@ EXPECTATIONS = {
         "budget plus the skew-aware probe sweep.  All four rows return "
         "bit-identical results; extra_info carries the calibrated "
         "crossover and the workload's skew ratio."),
+    "telemetry": (
+        "Continuous telemetry (repro.obs.telemetry): running the full "
+        "pipeline — write-ahead in-flight journal, rotating JSONL "
+        "query log, flight ring, labeled lifetime series — must cost "
+        "at most 2% of wall time on the codegen smoke workload, and "
+        "telemetry off stays one `is None` test on the hot path.  The "
+        "wall rows (off / telemetry / telemetry+disk) should be "
+        "indistinguishable at this scale; the acceptance number is "
+        "the wrapper-overhead row, whose speedup column is "
+        "budget/measured (>= 1.0 means within the 2% budget, and the "
+        "perf-diff gate trips long before instrumentation cost "
+        "reaches the budget)."),
     "parallel": (
         "Paper §5.1.2: dynamic load balancing on power-law graphs — "
         "4-worker work stealing beats the static np.array_split "

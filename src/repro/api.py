@@ -136,6 +136,12 @@ class Database:
         self._metrics = MetricsRegistry(enabled=False)
         self._tracer = None
         self._trace_path = None
+        self._telemetry = None
+        # telemetry hot-path memos: plan-cache hits reuse the same
+        # LogicalRule object, and the config signature rarely changes,
+        # so both digests are computed once per identity
+        self._cache_key_memo = (None, None)
+        self._signature_memo = {}
         trace_env = os.environ.get("REPRO_TRACE")
         if trace_env:
             # REPRO_TRACE=1 enables in-memory tracing; any other value
@@ -143,6 +149,14 @@ class Database:
             path = None if trace_env.lower() in ("1", "true", "on") \
                 else trace_env
             self.enable_tracing(path=path)
+        telemetry_env = os.environ.get("REPRO_TELEMETRY")
+        if telemetry_env:
+            # REPRO_TELEMETRY=1 keeps the hub memory-only; any other
+            # value is the telemetry directory (query log + dumps).
+            directory = None if telemetry_env.lower() in ("1", "true",
+                                                          "on") \
+                else telemetry_env
+            self.enable_telemetry(directory=directory)
         tuning_env = os.environ.get("REPRO_TUNING_PROFILE")
         if tuning_env and self.config.tuning is None:
             # A saved calibration profile; unreadable or stale files
@@ -266,10 +280,21 @@ class Database:
         parse → GHD → codegen entirely (verifiable through the counters
         on :attr:`last_stats`).
 
-        When tracing (:meth:`enable_tracing` / ``REPRO_TRACE``) or
-        metrics (:meth:`enable_metrics`) are on, the run is recorded;
-        both are off by default and cost nothing when off.
+        When tracing (:meth:`enable_tracing` / ``REPRO_TRACE``),
+        metrics (:meth:`enable_metrics`), or telemetry
+        (:meth:`enable_telemetry` / ``REPRO_TELEMETRY``) are on, the
+        run is recorded; all are off by default and cost nothing when
+        off — the telemetry check is a single ``is None`` test here,
+        never inside the execution loops.
         """
+        telemetry = self.config.telemetry
+        if telemetry is None:
+            return self._query_plain(text)
+        return self._query_telemetry(telemetry, text)
+
+    def _query_plain(self, text):
+        """One query through the engine plus the per-query observers
+        (tracer/metrics); the pre-telemetry ``query`` body."""
         tracer = self.config.tracer
         metrics = self.config.metrics
         marks = self.config.counter.snapshot() \
@@ -287,6 +312,101 @@ class Database:
         if tracer is not None and tracer.enabled and self._trace_path:
             from .obs.export import write_chrome_trace
             write_chrome_trace(tracer, self._trace_path)
+        return result
+
+    def _query_telemetry(self, hub, text):
+        """Telemetry-wrapped execution: write-ahead journal, structured
+        query record, lifetime aggregation, slow-query promotion.
+
+        The in-flight record is journaled *before* execution (a process
+        killed mid-query leaves it for :func:`repro.obs.flight.
+        post_mortem`); on completion the record gains timings, cache
+        tiers, and counters from the executor and is folded into the
+        hub.  A query whose identity was flagged slow runs under a
+        private tracer (the ``explain_analyze`` pattern) and its trace
+        is archived next to the query log.
+        """
+        from .obs.telemetry import (QUERY_LOG_VERSION, key_digest,
+                                    text_digest)
+        sha = text_digest(text)
+        signature = config_signature(self.config)
+        signature_digest = self._signature_memo.get(signature)
+        if signature_digest is None:
+            signature_digest = self._signature_memo[signature] = \
+                key_digest(signature)
+        record = {
+            "schema_version": QUERY_LOG_VERSION,
+            "query_id": hub.next_query_id(),
+            "ts": time.time(),
+            "pid": os.getpid(),
+            "status": "inflight",
+            "text_sha": sha,
+            "text": text if len(text) <= 2048 else text[:2048],
+            "execution_mode": self.config.execution_mode,
+            "config_signature": signature_digest,
+        }
+        promoted = hub.should_trace(sha)
+        own_tracer = None
+        previous_tracer = self.config.tracer
+        if promoted:
+            record["promoted"] = True
+            if previous_tracer is None:
+                own_tracer = Tracer(capture_intersections=False)
+                self.config.tracer = own_tracer
+        hub.begin_query(record)
+        start = time.perf_counter()
+        try:
+            result = self._query_plain(text)
+        except Exception as error:
+            record["elapsed_seconds"] = time.perf_counter() - start
+            hub.fail_query(record, error)
+            raise
+        finally:
+            if own_tracer is not None:
+                self.config.tracer = previous_tracer
+        record["elapsed_seconds"] = time.perf_counter() - start
+        record["status"] = "ok"
+        record["rows"] = int(result.count)
+        logical = self._executor.last_logical
+        if logical is not None:
+            memo_logical, memo_digest = self._cache_key_memo
+            if logical is not memo_logical:
+                memo_digest = key_digest(logical.cache_key())
+                self._cache_key_memo = (logical, memo_digest)
+            record["cache_key"] = memo_digest
+        stats = self._executor.last_stats
+        if stats is not None:
+            hits = stats.plan_cache_hits
+            misses = stats.plan_cache_misses
+            if hits and not misses:
+                record["plan_cache"] = "hit"
+            elif misses and not hits:
+                record["plan_cache"] = "miss"
+            elif hits and misses:
+                record["plan_cache"] = "partial"
+            else:
+                record["plan_cache"] = "n/a"
+            record["plan_cache_hits"] = hits
+            record["plan_cache_misses"] = misses
+            record["fused_blocks"] = stats.fused_blocks
+            if stats.morsels:
+                record["morsels"] = stats.n_morsels
+                record["steals"] = stats.steals
+                record["workers"] = stats.workers
+        else:
+            record["plan_cache"] = "n/a"
+        if self.config.adaptive:
+            record["replans"] = self._executor.replans
+            record["mispredict_ratio"] = \
+                float(self._executor.last_mispredict_ratio)
+        tracer = own_tracer if own_tracer is not None else previous_tracer
+        if tracer is not None and tracer.enabled and len(tracer):
+            record["phases"] = tracer.phase_seconds()
+        if own_tracer is not None:
+            path = hub.archive_trace(own_tracer, record)
+            if path is not None:
+                record["trace_path"] = path
+        hub.record_query(record)
         return result
 
     def _program_memo(self):
@@ -626,8 +746,70 @@ class Database:
     @property
     def metrics(self):
         """The metrics registry (disabled until
-        :meth:`enable_metrics`)."""
+        :meth:`enable_metrics` or :meth:`enable_telemetry`)."""
         return self._metrics
+
+    def enable_telemetry(self, directory=None, slow_query_seconds=None,
+                         **hub_options):
+        """Turn on continuous telemetry for this database.
+
+        Installs a :class:`~repro.obs.telemetry.TelemetryHub`: every
+        query appends one structured record to ``<directory>/
+        queries.jsonl`` (rotating), feeds the flight recorder's rings
+        and write-ahead in-flight journal, and aggregates into labeled
+        process-lifetime series in the database's metrics registry
+        (shared with :meth:`enable_metrics`, so one OpenMetrics
+        exposition carries both).  ``directory=None`` keeps everything
+        in memory — rings and series work, nothing hits disk.
+
+        ``slow_query_seconds`` (default: the config's
+        ``slow_query_seconds``) arms slow-query promotion: a query
+        exceeding the budget re-runs fully traced on its next execution
+        and the trace is archived under ``directory``.
+
+        A post-mortem dump and a final OpenMetrics file are written at
+        interpreter exit (and immediately when a query raises).
+        Returns the live hub.
+        """
+        if self._telemetry is None or self._telemetry.closed:
+            from .obs.telemetry import TelemetryHub
+            if slow_query_seconds is None:
+                slow_query_seconds = self.config.slow_query_seconds
+            self._metrics.enabled = True
+            self._telemetry = TelemetryHub(
+                directory=directory, registry=self._metrics,
+                slow_query_seconds=slow_query_seconds, **hub_options)
+            import atexit
+            atexit.register(self._telemetry.close)
+        self.config.telemetry = self._telemetry
+        return self._telemetry
+
+    def disable_telemetry(self):
+        """Stop recording telemetry and flush (post-mortem dump +
+        OpenMetrics file for directory-backed hubs).  The hub and its
+        accumulated state remain readable via :attr:`telemetry`."""
+        hub = self._telemetry
+        self.config.telemetry = None
+        if hub is not None:
+            hub.close(dump_reason="disable")
+
+    @property
+    def telemetry(self):
+        """The telemetry hub, or ``None`` if never enabled."""
+        return self._telemetry
+
+    def write_metrics(self, path):
+        """Export the metrics registry as OpenMetrics text (the format
+        Prometheus scrapes; see :mod:`repro.obs.openmetrics`)."""
+        from .obs.openmetrics import write_openmetrics
+        return write_openmetrics(self._metrics, path)
+
+    def serve_metrics(self, host="127.0.0.1", port=0):
+        """Serve ``GET /metrics`` (OpenMetrics) for this database on a
+        daemon thread; returns the HTTP server (``server_address``
+        carries the bound port, ``shutdown()`` stops it)."""
+        from .obs.openmetrics import serve_metrics
+        return serve_metrics(self._metrics, host=host, port=port)
 
     def _record_query_metrics(self, metrics, marks, elapsed):
         metrics.inc("queries")

@@ -12,6 +12,9 @@ Commands
 ``bench``
     Quick triangle-count timing across engine configurations on one
     dataset — a taste of the paper's ablation tables.
+``top``
+    Live monitor over a telemetry query log (``--telemetry DIR``):
+    QPS, latency quantiles, plan-cache tiers, worker lanes.
 ``fuzz``
     Differential query fuzzer (forwards to ``python -m repro.fuzz``):
     random datalog programs cross-checked over every execution path.
@@ -131,6 +134,9 @@ def cmd_query(args):
         db.enable_tracing(path=args.trace)
     if args.metrics:
         db.enable_metrics()
+    if args.telemetry:
+        db.enable_telemetry(directory=args.telemetry,
+                            slow_query_seconds=args.slow_query)
     if args.explain_logical:
         print(db.explain_logical(args.query))
         return 0
@@ -166,7 +172,32 @@ def cmd_query(args):
         print(db.metrics.describe(), file=sys.stderr)
     if args.trace:
         print("trace written to %s" % args.trace, file=sys.stderr)
+    if args.telemetry:
+        db.disable_telemetry()  # flush query log, dump, metrics.prom
+        print("telemetry written to %s" % args.telemetry,
+              file=sys.stderr)
     return 0
+
+
+def cmd_top(args):
+    """``repro top``: live monitor over a telemetry query log."""
+    import os
+    from .obs.telemetry import read_query_log, render_top
+    log_path = args.log
+    if os.path.isdir(log_path):
+        log_path = os.path.join(log_path, "queries.jsonl")
+    while True:
+        records = read_query_log(log_path, limit=args.limit)
+        frame = render_top(records, window=args.window)
+        if args.once:
+            print(frame)
+            return 0
+        # Clear-screen redraw, plain enough for any terminal.
+        print("\x1b[2J\x1b[H" + frame, flush=True)
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def cmd_explain(args):
@@ -269,6 +300,15 @@ def build_parser():
                             "query lifecycle (chrome://tracing)")
     query.add_argument("--metrics", action="store_true",
                        help="print the metrics registry to stderr")
+    query.add_argument("--telemetry", metavar="DIR",
+                       help="continuous telemetry directory: rotating "
+                            "JSONL query log, flight-recorder dumps, "
+                            "and an OpenMetrics snapshot (see 'repro "
+                            "top')")
+    query.add_argument("--slow-query", type=float, metavar="SECONDS",
+                       help="slow-query promotion budget: a query "
+                            "slower than this re-runs traced and the "
+                            "trace is archived (needs --telemetry)")
     query.add_argument("--explain-analyze", action="store_true",
                        help="print the GHD plan annotated with actual "
                             "timings and cost-model error instead of "
@@ -287,6 +327,23 @@ def build_parser():
     datasets = sub.add_parser("datasets",
                               help="list built-in synthetic datasets")
     datasets.set_defaults(func=cmd_datasets)
+
+    top = sub.add_parser("top",
+                         help="live monitor over a telemetry query log "
+                              "(qps, latency quantiles, cache tiers, "
+                              "lanes)")
+    top.add_argument("log", help="telemetry directory or queries.jsonl "
+                                 "path")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="refresh period in seconds (default: 2)")
+    top.add_argument("--window", type=float, default=60.0,
+                     help="trailing stats window in seconds "
+                          "(default: 60)")
+    top.add_argument("--limit", type=int, default=10000,
+                     help="max log records to load per refresh")
+    top.add_argument("--once", action="store_true",
+                     help="render one frame and exit (no clear-screen)")
+    top.set_defaults(func=cmd_top)
 
     bench = sub.add_parser("bench",
                            help="quick ablation timing on one dataset")

@@ -115,6 +115,19 @@ class EngineConfig:
         :class:`repro.obs.metrics.MetricsRegistry` absorbing counters
         and histograms, or ``None`` (default).  Same gating and
         signature exemption as ``tracer``.
+    telemetry:
+        :class:`repro.obs.telemetry.TelemetryHub` receiving one query
+        record per execution, or ``None`` (default).  ``Database.query``
+        checks it once per query (never inside the execution loops) and
+        takes its untouched fast path when unset, so telemetry off is
+        free.  Like ``tracer``/``metrics`` it is excluded from
+        ``config_signature`` — observation never changes plans or
+        results.
+    slow_query_seconds:
+        Latency budget for slow-query promotion: a telemetry-recorded
+        query exceeding it is re-executed fully traced on its next run
+        and the trace archived.  ``None`` disables promotion.  Also
+        signature-exempt.
     adaptive:
         Adaptive self-tuning execution (:mod:`repro.tune`).  When on,
         (a) dispatch sites read calibrated constants from ``tuning``
@@ -159,6 +172,8 @@ class EngineConfig:
     counter: OpCounter = field(default_factory=OpCounter)
     tracer: Optional[object] = None
     metrics: Optional[object] = None
+    telemetry: Optional[object] = None
+    slow_query_seconds: Optional[float] = None
     adaptive: bool = False
     tuning: Optional[TuningProfile] = None
     replan_factor: float = 8.0

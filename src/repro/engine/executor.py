@@ -658,12 +658,19 @@ class RuleExecutor:
             compiled = self.plans.get_rule(key, self.catalog)
             if span is not None:
                 span.args["hit"] = compiled is not None
+        tier = "miss" if compiled is None else "hit"
         if compiled is None:
             stats.plan_cache_misses += 1
             compiled = self.compile_rule(logical, stats)
             self.plans.put_rule(key, compiled)
         else:
             stats.plan_cache_hits += 1
+        metrics = self.config.metrics
+        if metrics is not None:
+            # Labeled series (one per tier) rather than two metric
+            # names: the telemetry exposition renders them as one
+            # family, and dashboards can ratio them directly.
+            metrics.inc("plan_cache.lookups", labels={"tier": tier})
         result = self.run_compiled(compiled, stats)
         # Mispredict check runs after every compiled execution; on
         # divergence it evicts exactly this rule's cache entry, so the

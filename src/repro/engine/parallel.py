@@ -240,10 +240,24 @@ def _worker_main(worker_id, tasks, results):
     Per-morsel wall time and lane-op deltas (from this process's
     copy-on-write :class:`~repro.sets.cost.OpCounter`) ride back with
     every result so the parent can attribute work per worker.
+
+    When metrics are enabled, the worker's copy-on-write registry is
+    reset at startup (child-local — the parent's instruments are
+    untouched) so everything it accumulates is *this worker's* delta;
+    the final state ships back with the ``done`` message and the
+    parent merges it, labeled by lane, into the live registry.  Without
+    this, hot-path observations made inside forked children
+    (``intersection.size`` and friends) would be silently lost to
+    copy-on-write.
     """
     spec = _SHARED["spec"]
     counter = spec["config"].counter
     morsels = spec["morsels"]
+    metrics = getattr(spec["config"], "metrics", None)
+    if metrics is not None and not getattr(metrics, "enabled", False):
+        metrics = None
+    if metrics is not None:
+        metrics.reset()  # child copy starts from zero → state is a delta
     try:
         while True:
             index = tasks.get()
@@ -263,7 +277,8 @@ def _worker_main(worker_id, tasks, results):
     except Exception:
         results.put(("error", worker_id, traceback.format_exc()))
     finally:
-        results.put(("done", worker_id))
+        state = metrics.to_state() if metrics is not None else None
+        results.put(("done", worker_id, state))
 
 
 # -- drivers ------------------------------------------------------------------
@@ -291,6 +306,9 @@ def _run_forked(spec, schedule, workers, strategy, stats):
     tracer = getattr(spec["config"], "tracer", None)
     if tracer is not None and not tracer.enabled:
         tracer = None
+    metrics = getattr(spec["config"], "metrics", None)
+    if metrics is not None and not getattr(metrics, "enabled", False):
+        metrics = None
     _SHARED["spec"] = spec
     try:
         if strategy == "static":
@@ -325,6 +343,13 @@ def _run_forked(spec, schedule, workers, strategy, stats):
             kind = message[0]
             if kind == "done":
                 done += 1
+                # Worker-side metric observations (a delta — the child
+                # reset its copy-on-write registry at startup) merge
+                # into the parent's live registry, attributed by lane.
+                state = message[2] if len(message) > 2 else None
+                if state is not None and metrics is not None:
+                    metrics.merge_state(
+                        state, labels={"lane": "worker-%d" % message[1]})
             elif kind == "error":
                 failures.append(message[2])
             else:

@@ -36,9 +36,15 @@ def lane_tids(lanes):
     return {lane: tid for tid, lane in enumerate(ordered)}
 
 
-def to_chrome(tracer, pid=1):
-    """Render a tracer's spans as a Chrome trace-event payload (dict)."""
-    tids = lane_tids(span.lane for span in tracer.spans)
+def events_from_spans(spans, t0=0.0, pid=1):
+    """Chrome trace events (metadata + ``"X"`` spans) from span records.
+
+    Shared by :func:`to_chrome` and the telemetry layer's slow-query
+    trace archiving; ``spans`` is any iterable of
+    :class:`~repro.obs.trace.SpanRecord`.
+    """
+    spans = sorted(spans, key=lambda span: span.start)
+    tids = lane_tids(span.lane for span in spans)
     if not tids:
         tids = {MAIN_LANE: 0}
     events = [{
@@ -50,13 +56,12 @@ def to_chrome(tracer, pid=1):
             "name": "thread_name", "ph": "M", "ts": 0, "pid": pid,
             "tid": tid, "args": {"name": lane},
         })
-    spans = sorted(tracer.spans, key=lambda span: span.start)
     for span in spans:
         event = {
             "name": span.name,
             "cat": span.cat,
             "ph": "X",
-            "ts": max(0.0, (span.start - tracer.t0) * 1e6),
+            "ts": max(0.0, (span.start - t0) * 1e6),
             "dur": max(0.0, (span.end - span.start) * 1e6),
             "pid": pid,
             "tid": tids[span.lane],
@@ -64,7 +69,16 @@ def to_chrome(tracer, pid=1):
         if span.args:
             event["args"] = dict(span.args)
         events.append(event)
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    return events
+
+
+def to_chrome(tracer, pid=1):
+    """Render a tracer's spans as a Chrome trace-event payload (dict)."""
+    return {
+        "traceEvents": events_from_spans(tracer.spans, tracer.t0,
+                                         pid=pid),
+        "displayTimeUnit": "ms",
+    }
 
 
 def write_chrome_trace(tracer, path, pid=1):

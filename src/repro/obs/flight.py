@@ -1,0 +1,287 @@
+"""Flight recorder: a crash-surviving ring buffer of recent queries.
+
+A long-lived engine needs to answer "what was it doing when it died?"
+— after a crash, an OOM kill, or a stuck query — without having had
+full tracing on.  The :class:`FlightRecorder` keeps two bounded ring
+buffers (recent query records and recent spans), a write-ahead
+*in-flight journal*, and a post-mortem dump:
+
+* :meth:`FlightRecorder.begin` is called before a query executes and
+  journals the in-flight record to ``<dir>/inflight.json``.  A process
+  killed mid-query — even with ``SIGKILL``, which runs no handlers —
+  leaves that journal behind, and :func:`post_mortem` folds it into a
+  valid dump after the fact.  The journal is written through one
+  persistent file descriptor (a single ``pwrite`` at offset 0 followed
+  by ``ftruncate``) so the per-query cost is two syscalls rather than
+  an open/rename pair; readers take only the *first line*, which stays
+  a complete JSON record even if the process dies between the write
+  and the truncate (small single writes are not torn at syscall
+  granularity — a kill lands between syscalls, not inside one).
+* :meth:`FlightRecorder.complete` moves the record into the ring and
+  clears the journal (truncate to empty; empty means "nothing in
+  flight").
+* :meth:`FlightRecorder.dump` writes ``<dir>/postmortem.json`` with the
+  ring contents, the in-flight record (if any), recent spans, and the
+  reason (``atexit``, ``exception``, or caller-supplied).  The
+  telemetry hub registers an atexit dump and dumps immediately on a
+  query exception.
+
+Everything is stdlib-only and bounded: the rings are ``deque`` with a
+``maxlen``, the journal is one small JSON file rewritten per query.
+
+Offline workflow (also ``python -m repro.obs.flight <dir>``)::
+
+    from repro.obs.flight import post_mortem, validate_post_mortem
+    payload = post_mortem("telemetry_dir")      # merges journal + dump
+    assert not validate_post_mortem(payload)
+"""
+
+import json
+import os
+import sys
+import time
+from collections import deque
+
+#: Journal file name of the currently executing query (write-ahead).
+INFLIGHT_FILE = "inflight.json"
+
+#: Post-mortem dump file name.
+POSTMORTEM_FILE = "postmortem.json"
+
+#: Schema version stamped into dumps.
+FLIGHT_VERSION = 1
+
+
+def _atomic_write(path, payload):
+    """Write JSON atomically (tmp + rename) so a crash mid-write never
+    leaves a torn dump behind.  Used for the (rare) post-mortem dump;
+    the per-query journal goes through the cheaper persistent-fd path."""
+    tmp = "%s.tmp.%d" % (path, os.getpid())
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp, path)
+
+
+def read_inflight(directory):
+    """The surviving in-flight record under ``directory``, or ``None``.
+
+    Parses only the journal's first line (see the module docstring for
+    why that is always a complete record); an empty or missing journal
+    means no query was in flight.
+    """
+    try:
+        with open(os.path.join(directory, INFLIGHT_FILE), "rb") as handle:
+            line = handle.readline().strip()
+    except OSError:
+        return None
+    if not line:
+        return None
+    try:
+        return json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+
+
+class FlightRecorder:
+    """Bounded in-memory flight data, optionally journaled to disk.
+
+    Parameters
+    ----------
+    directory:
+        Where the in-flight journal and post-mortem dumps live; ``None``
+        keeps the recorder memory-only (rings still work, nothing
+        survives the process).
+    capacity:
+        Ring size for completed query records.
+    span_capacity:
+        Ring size for recent spans (fed by traced queries).
+    """
+
+    def __init__(self, directory=None, capacity=64, span_capacity=256):
+        self.directory = directory
+        self.records = deque(maxlen=capacity)
+        self.spans = deque(maxlen=span_capacity)
+        self.inflight = None
+        self.last_error = None
+        self._journal_fd = None
+        if directory is not None:
+            if not os.path.isdir(directory):
+                os.makedirs(directory)
+            self._journal_fd = os.open(
+                os.path.join(directory, INFLIGHT_FILE),
+                os.O_RDWR | os.O_CREAT, 0o644)
+
+    # -- query lifecycle ----------------------------------------------------
+
+    def begin(self, record):
+        """Journal ``record`` as the in-flight query (write-ahead).
+
+        One ``pwrite`` at offset 0 — no truncate.  The journal is
+        cleared (truncated to empty) on :meth:`complete`, so a stale
+        tail can only exist after consecutive ``begin`` calls, and
+        first-line-wins reading ignores it.
+        """
+        self.inflight = record
+        if self._journal_fd is not None:
+            data = (json.dumps(record) + "\n").encode("utf-8")
+            os.pwrite(self._journal_fd, data, 0)
+
+    def complete(self, record):
+        """Move the in-flight query into the ring; clear the journal."""
+        self.inflight = None
+        self.records.append(record)
+        if self._journal_fd is not None:
+            os.ftruncate(self._journal_fd, 0)
+
+    def fail(self, record, error):
+        """Complete an in-flight query that raised; remembers the error
+        so the next dump carries it."""
+        record = dict(record)
+        record["status"] = "error"
+        record["error"] = "%s: %s" % (type(error).__name__, error)
+        self.last_error = record["error"]
+        self.complete(record)
+        return record
+
+    def note_spans(self, spans, t0=0.0, limit=None):
+        """Fold recent tracer spans into the span ring (newest last).
+
+        ``spans`` are :class:`repro.obs.trace.SpanRecord` objects;
+        timestamps are re-based on ``t0`` so dumps are relative to the
+        tracer epoch, like the Chrome export.
+        """
+        batch = spans if limit is None else spans[-limit:]
+        for span in batch:
+            self.spans.append(span.to_dict(t0))
+
+    # -- dumping ------------------------------------------------------------
+
+    def payload(self, reason="manual"):
+        """The post-mortem dump as a plain dict."""
+        return {
+            "version": FLIGHT_VERSION,
+            "reason": reason,
+            "dumped_at": time.time(),
+            "pid": os.getpid(),
+            "inflight": self.inflight,
+            "last_error": self.last_error,
+            "records": list(self.records),
+            "spans": list(self.spans),
+        }
+
+    def dump(self, reason="manual", path=None):
+        """Write the post-mortem dump; returns its path (or ``None``
+        when the recorder is memory-only and no ``path`` was given)."""
+        if path is None:
+            if self.directory is None:
+                return None
+            path = os.path.join(self.directory, POSTMORTEM_FILE)
+        _atomic_write(path, self.payload(reason))
+        return path
+
+    def close(self):
+        """Release the journal file descriptor (idempotent)."""
+        if self._journal_fd is not None:
+            os.close(self._journal_fd)
+            self._journal_fd = None
+
+
+# ---------------------------------------------------------------------------
+# offline post-mortem assembly + validation
+# ---------------------------------------------------------------------------
+
+
+def post_mortem(directory):
+    """Assemble a post-mortem view from a telemetry directory.
+
+    Prefers the recorder's own ``postmortem.json`` (written at exit or
+    on an exception) and folds in a surviving in-flight journal — the
+    ``SIGKILL`` case, where no handler ran but the write-ahead journal
+    still names the query that was executing.  Returns ``None`` when
+    the directory holds neither.
+    """
+    dump_path = os.path.join(directory, POSTMORTEM_FILE)
+    payload = None
+    if os.path.exists(dump_path):
+        with open(dump_path) as handle:
+            payload = json.load(handle)
+    inflight = read_inflight(directory)
+    if payload is None and inflight is None:
+        return None
+    if payload is None:
+        payload = {
+            "version": FLIGHT_VERSION,
+            "reason": "killed",      # journal survived, no dump ran
+            "dumped_at": None,
+            "pid": inflight.get("pid"),
+            "inflight": inflight,
+            "last_error": None,
+            "records": [],
+            "spans": [],
+        }
+    elif inflight is not None and payload.get("inflight") is None:
+        # A dump exists (e.g. from a previous clean exit) but a newer
+        # journal was stranded: the journal is the fresher signal.
+        payload["inflight"] = inflight
+        payload["reason"] = "killed"
+    return payload
+
+
+def validate_post_mortem(payload):
+    """Return a list of problems with a post-mortem payload (empty =
+    valid).  Checked by the kill-mid-query test and the CI smoke job."""
+    problems = []
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    if payload.get("version") != FLIGHT_VERSION:
+        problems.append("bad version %r" % (payload.get("version"),))
+    for key in ("reason", "records", "spans"):
+        if key not in payload:
+            problems.append("missing key %r" % key)
+    if not isinstance(payload.get("records"), list):
+        problems.append("records is not a list")
+    if not isinstance(payload.get("spans"), list):
+        problems.append("spans is not a list")
+    inflight = payload.get("inflight")
+    if inflight is not None:
+        from .telemetry import validate_query_record
+        problems.extend("inflight: %s" % p
+                        for p in validate_query_record(
+                            inflight, inflight=True))
+    for position, record in enumerate(payload.get("records") or []):
+        from .telemetry import validate_query_record
+        problems.extend("record %d: %s" % (position, p)
+                        for p in validate_query_record(record))
+    return problems
+
+
+def main(argv=None):
+    """Render a directory's post-mortem:
+    ``python -m repro.obs.flight <telemetry-dir>``."""
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    payload = post_mortem(argv[0])
+    if payload is None:
+        print("no flight data under %s" % argv[0], file=sys.stderr)
+        return 1
+    problems = validate_post_mortem(payload)
+    for problem in problems:
+        print("INVALID: %s" % problem, file=sys.stderr)
+    inflight = payload.get("inflight")
+    print("flight recorder dump (reason=%s, pid=%s)"
+          % (payload.get("reason"), payload.get("pid")))
+    if inflight is not None:
+        print("  in-flight: %s (%s)" % (inflight.get("query_id"),
+                                        inflight.get("text", "")[:60]))
+    print("  %d completed record(s), %d span(s)"
+          % (len(payload.get("records") or ()),
+             len(payload.get("spans") or ())))
+    if payload.get("last_error"):
+        print("  last error: %s" % payload["last_error"])
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,21 @@ Absorbs and supersedes the scattered per-query counters in
   disabled cost is one ``is not None`` check — and observe
   intersection sizes directly.
 
+Every instrument optionally carries a **labels** dimension
+(``registry.inc("queries", labels={"mode": "compiled"})``): one logical
+metric fans out into one series per distinct label set, the way the
+telemetry hub (:mod:`repro.obs.telemetry`) and the OpenMetrics
+exposition (:mod:`repro.obs.openmetrics`) expect, without mangling
+label values into metric names.  Unlabeled calls are unchanged and
+keep their plain-name series.
+
+Registries serialize to a plain-data form (:meth:`MetricsRegistry.
+to_state`) that merges losslessly into another registry
+(:meth:`MetricsRegistry.merge_state`) — how forked morsel workers ship
+their observations back to the parent (``repro.engine.parallel``) and
+how the telemetry hub folds per-query snapshots into process-lifetime
+series.
+
 Everything is process-local and allocation-light; no external
 dependencies.
 """
@@ -28,13 +43,32 @@ SIZE_BUCKETS = tuple(4 ** i for i in range(16))
 TIME_BUCKETS = tuple(1e-6 * (10 ** (i / 2.0)) for i in range(17))
 
 
+def labels_key(labels):
+    """Canonical tuple form of a labels mapping (sorted ``(k, v)``
+    pairs with string values); ``None``/empty becomes ``()``."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def series_key(name, labels=()):
+    """Display key of one series: the bare name, or
+    ``name{k=v,...}`` for labeled series.  Used only for dict keys in
+    snapshots and ``describe()`` — structured labels stay available on
+    the instrument itself (``instrument.labels``)."""
+    if not labels:
+        return name
+    return "%s{%s}" % (name, ",".join("%s=%s" % pair for pair in labels))
+
+
 class Counter:
     """Monotonically increasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name):
+    def __init__(self, name, labels=()):
         self.name = name
+        self.labels = tuple(labels)
         self.value = 0
 
     def inc(self, amount=1):
@@ -44,10 +78,11 @@ class Counter:
 class Gauge:
     """Last-set value (e.g. cache sizes, worker counts)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name):
+    def __init__(self, name, labels=()):
         self.name = name
+        self.labels = tuple(labels)
         self.value = 0
 
     def set(self, value):
@@ -61,11 +96,12 @@ class Histogram:
     bound land in an implicit overflow bucket.
     """
 
-    __slots__ = ("name", "buckets", "counts", "count", "total",
+    __slots__ = ("name", "labels", "buckets", "counts", "count", "total",
                  "minimum", "maximum")
 
-    def __init__(self, name, buckets=SIZE_BUCKETS):
+    def __init__(self, name, buckets=SIZE_BUCKETS, labels=()):
         self.name = name
+        self.labels = tuple(labels)
         self.buckets = tuple(buckets)
         self.counts = [0] * (len(self.buckets) + 1)
         self.count = 0
@@ -91,7 +127,72 @@ class Histogram:
     def mean(self):
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q):
+        """Interpolated quantile (0 < q < 1) from the bucket counts.
+
+        Linear interpolation inside the winning bucket, the way
+        Prometheus' ``histogram_quantile`` estimates from cumulative
+        ``le`` buckets — exact min/max clamp the ends, so p0/p100
+        degenerate gracefully.  Returns ``None`` on an empty histogram.
+        """
+        if not self.count:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= rank:
+                lower = self.buckets[i - 1] if i > 0 else \
+                    min(self.minimum, self.buckets[0] if self.buckets
+                        else self.minimum)
+                upper = self.buckets[i] if i < len(self.buckets) \
+                    else self.maximum
+                lower = max(lower, self.minimum) if i == 0 else lower
+                upper = min(upper, self.maximum)
+                if upper <= lower:
+                    return float(upper)
+                fraction = (rank - cumulative) / bucket_count
+                return float(lower + (upper - lower) * fraction)
+            cumulative += bucket_count
+        return float(self.maximum)
+
+    def merge(self, counts, total, count, minimum, maximum, buckets=None):
+        """Fold another histogram's raw state in.
+
+        With matching bucket bounds counts add elementwise; mismatched
+        bounds re-bucket each foreign bucket's count at its upper bound
+        (the overflow bucket lands at the foreign maximum).
+        """
+        if not count:
+            return
+        if buckets is None or tuple(buckets) == self.buckets:
+            for i, c in enumerate(counts):
+                self.counts[i] += c
+        else:
+            bounds = tuple(buckets) + (maximum,)
+            for bound, c in zip(bounds, counts):
+                if not c:
+                    continue
+                index = 0
+                for own in self.buckets:
+                    if bound <= own:
+                        break
+                    index += 1
+                self.counts[index] += c
+        self.count += count
+        self.total += total
+        if minimum < self.minimum:
+            self.minimum = minimum
+        if maximum > self.maximum:
+            self.maximum = maximum
+
     def snapshot(self):
+        """Plain-dict view.  The bucket list always has the *full*,
+        stable shape — one entry per configured bound plus the overflow
+        bucket — so snapshots of the same histogram diff cleanly and
+        exposition formats get every cumulative bucket (empty buckets
+        included)."""
         return {
             "count": self.count,
             "sum": self.total,
@@ -102,7 +203,6 @@ class Histogram:
                 ("<=%g" % bound if i < len(self.buckets) else "inf"):
                     self.counts[i]
                 for i, bound in enumerate(self.buckets + (math.inf,))
-                if self.counts[i]
             },
         }
 
@@ -114,6 +214,11 @@ class MetricsRegistry:
     attached without cost; the engine additionally keeps
     ``config.metrics`` as ``None`` when disabled so hot paths pay only
     an ``is not None`` check.
+
+    Instruments live in plain dicts keyed by :func:`series_key` — the
+    bare metric name for unlabeled series, ``name{k=v}`` for labeled
+    ones — and each instrument keeps its structured ``name`` and
+    ``labels`` so downstream consumers never parse keys.
     """
 
     def __init__(self, enabled=True):
@@ -124,40 +229,45 @@ class MetricsRegistry:
 
     # -- instrument access --------------------------------------------------
 
-    def counter(self, name):
-        counter = self.counters.get(name)
+    def counter(self, name, labels=None):
+        key = series_key(name, labels_key(labels))
+        counter = self.counters.get(key)
         if counter is None:
-            counter = self.counters[name] = Counter(name)
+            counter = self.counters[key] = Counter(name,
+                                                   labels_key(labels))
         return counter
 
-    def gauge(self, name):
-        gauge = self.gauges.get(name)
+    def gauge(self, name, labels=None):
+        key = series_key(name, labels_key(labels))
+        gauge = self.gauges.get(key)
         if gauge is None:
-            gauge = self.gauges[name] = Gauge(name)
+            gauge = self.gauges[key] = Gauge(name, labels_key(labels))
         return gauge
 
-    def histogram(self, name, buckets=SIZE_BUCKETS):
-        histogram = self.histograms.get(name)
+    def histogram(self, name, buckets=SIZE_BUCKETS, labels=None):
+        key = series_key(name, labels_key(labels))
+        histogram = self.histograms.get(key)
         if histogram is None:
-            histogram = self.histograms[name] = Histogram(name, buckets)
+            histogram = self.histograms[key] = Histogram(
+                name, buckets, labels_key(labels))
         return histogram
 
     # -- recording ----------------------------------------------------------
 
-    def inc(self, name, amount=1):
+    def inc(self, name, amount=1, labels=None):
         if not self.enabled:
             return
-        self.counter(name).inc(amount)
+        self.counter(name, labels).inc(amount)
 
-    def set_gauge(self, name, value):
+    def set_gauge(self, name, value, labels=None):
         if not self.enabled:
             return
-        self.gauge(name).set(value)
+        self.gauge(name, labels).set(value)
 
-    def observe(self, name, value, buckets=SIZE_BUCKETS):
+    def observe(self, name, value, buckets=SIZE_BUCKETS, labels=None):
         if not self.enabled:
             return
-        self.histogram(name, buckets).observe(value)
+        self.histogram(name, buckets, labels).observe(value)
 
     def record_exec_stats(self, stats):
         """Fold one query's :class:`repro.engine.stats.ExecStats` in."""
@@ -200,17 +310,84 @@ class MetricsRegistry:
             if calls:
                 self.inc("intersect.calls.%s" % algorithm, calls)
 
+    # -- state transport ----------------------------------------------------
+
+    def to_state(self):
+        """Lossless plain-data form of every instrument.
+
+        Pickle/JSON-safe (lists, dicts, numbers, strings only): forked
+        workers ship it over a result queue, the telemetry hub folds
+        per-query states into lifetime series.  Merge with
+        :meth:`merge_state`.
+        """
+        return {
+            "counters": [
+                {"name": c.name, "labels": list(c.labels),
+                 "value": c.value}
+                for c in self.counters.values()],
+            "gauges": [
+                {"name": g.name, "labels": list(g.labels),
+                 "value": g.value}
+                for g in self.gauges.values()],
+            "histograms": [
+                {"name": h.name, "labels": list(h.labels),
+                 "buckets": list(h.buckets), "counts": list(h.counts),
+                 "count": h.count, "sum": h.total,
+                 "min": h.minimum if h.count else None,
+                 "max": h.maximum if h.count else None}
+                for h in self.histograms.values()],
+        }
+
+    def merge_state(self, state, labels=None):
+        """Fold a :meth:`to_state` payload in (respects ``enabled``).
+
+        ``labels``, when given, are added to every merged series (the
+        hub labels per-query states by e.g. execution mode); a label
+        already present on the incoming series wins.
+        """
+        if not self.enabled or not state:
+            return
+        extra = labels_key(labels)
+
+        def merged_labels(own):
+            own = tuple(tuple(pair) for pair in own)
+            if not extra:
+                return dict(own)
+            out = dict(extra)
+            out.update(dict(own))
+            return out
+        for item in state.get("counters", ()):
+            if item["value"]:
+                self.inc(item["name"], item["value"],
+                         labels=merged_labels(item.get("labels", ())))
+        for item in state.get("gauges", ()):
+            self.set_gauge(item["name"], item["value"],
+                           labels=merged_labels(item.get("labels", ())))
+        for item in state.get("histograms", ()):
+            if not item["count"]:
+                continue
+            histogram = self.histogram(
+                item["name"], buckets=tuple(item["buckets"]),
+                labels=merged_labels(item.get("labels", ())))
+            histogram.merge(item["counts"], item["sum"], item["count"],
+                            item["min"], item["max"],
+                            buckets=item["buckets"])
+
     # -- inspection ---------------------------------------------------------
 
     def snapshot(self):
-        """Plain-dict view of every instrument (JSON-serializable)."""
+        """Plain-dict view of every instrument (JSON-serializable).
+
+        Keys are :func:`series_key` strings; labeled series appear as
+        ``name{k=v}`` entries next to their unlabeled siblings.
+        """
         return {
-            "counters": {name: c.value
-                         for name, c in sorted(self.counters.items())},
-            "gauges": {name: g.value
-                       for name, g in sorted(self.gauges.items())},
-            "histograms": {name: h.snapshot()
-                           for name, h in sorted(self.histograms.items())},
+            "counters": {key: c.value
+                         for key, c in sorted(self.counters.items())},
+            "gauges": {key: g.value
+                       for key, g in sorted(self.gauges.items())},
+            "histograms": {key: h.snapshot()
+                           for key, h in sorted(self.histograms.items())},
         }
 
     def reset(self):
@@ -222,16 +399,16 @@ class MetricsRegistry:
     def describe(self):
         """Human-readable dump, one instrument per line."""
         lines = ["metrics:"]
-        for name, counter in sorted(self.counters.items()):
-            lines.append("  %-32s %d" % (name, counter.value))
-        for name, gauge in sorted(self.gauges.items()):
-            lines.append("  %-32s %g (gauge)" % (name, gauge.value))
-        for name, histogram in sorted(self.histograms.items()):
+        for key, counter in sorted(self.counters.items()):
+            lines.append("  %-32s %d" % (key, counter.value))
+        for key, gauge in sorted(self.gauges.items()):
+            lines.append("  %-32s %g (gauge)" % (key, gauge.value))
+        for key, histogram in sorted(self.histograms.items()):
             if not histogram.count:
                 continue
             lines.append(
                 "  %-32s count=%d mean=%.3g min=%.3g max=%.3g" % (
-                    name, histogram.count, histogram.mean,
+                    key, histogram.count, histogram.mean,
                     histogram.minimum, histogram.maximum))
         if len(lines) == 1:
             lines.append("  (empty)")

@@ -1,0 +1,446 @@
+"""OpenMetrics text exposition of a :class:`MetricsRegistry`.
+
+Renders the registry in the OpenMetrics text format (the Prometheus
+exposition format plus the stricter rules: ``_total`` sample suffix on
+counters, cumulative ``le`` histogram buckets ending in ``+Inf``,
+``# TYPE``/``# HELP`` metadata, and a final ``# EOF``), so a standard
+scraper can consume a long-lived engine's telemetry:
+
+* :func:`render_openmetrics` / :func:`write_openmetrics` — text out;
+* :func:`validate_openmetrics` — a strict in-tree (promtool-style)
+  parser used by tests and the CI telemetry smoke job, so the format
+  stays honest without an external toolchain;
+* :func:`serve_metrics` — a tiny stdlib HTTP scrape endpoint
+  (``GET /metrics``) for live processes; ``port=0`` picks a free port.
+
+Histogram families also export interpolated p50/p95/p99 as a separate
+``<name>_quantile`` gauge family (label ``quantile``) — scrapers that
+can't run ``histogram_quantile`` still get latency quantiles directly.
+
+Metric names are sanitized into the ``repro_`` namespace
+(``telemetry.query_seconds`` → ``repro_telemetry_query_seconds``);
+structured labels come straight off the instruments, never parsed out
+of series keys.
+"""
+
+import math
+import re
+import sys
+import threading
+
+#: Exported quantiles for every histogram family.
+QUANTILES = (0.5, 0.95, 0.99)
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)(?: (?P<timestamp>\S+))?$")
+_LABEL_PAIR = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; " \
+    "charset=utf-8"
+
+
+def metric_name(name, prefix="repro"):
+    """Sanitize an internal metric name (``cache.plan.hits``) into the
+    exposition namespace (``repro_cache_plan_hits``)."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if prefix:
+        cleaned = "%s_%s" % (prefix, cleaned)
+    return cleaned
+
+
+def _escape(value):
+    return str(value).replace("\\", "\\\\").replace('"', '\\"') \
+        .replace("\n", "\\n")
+
+
+def _labels_text(labels, extra=()):
+    pairs = list(labels) + list(extra)
+    if not pairs:
+        return ""
+    return "{%s}" % ",".join('%s="%s"' % (re.sub(r"[^a-zA-Z0-9_]", "_",
+                                                 str(key)),
+                                          _escape(value))
+                             for key, value in pairs)
+
+
+def _format_value(value):
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value != value:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _families(instruments):
+    """Group instruments by metric name, preserving first-seen order."""
+    families = {}
+    for instrument in instruments.values():
+        families.setdefault(instrument.name, []).append(instrument)
+    return families
+
+
+def render_openmetrics(registry, prefix="repro", help_text=None):
+    """The registry as OpenMetrics text (ends with ``# EOF``).
+
+    ``help_text`` optionally maps internal metric names to ``# HELP``
+    strings; unknown names get a generated one.
+    """
+    help_text = help_text or {}
+    lines = []
+
+    def meta(name, exposed, kind):
+        lines.append("# TYPE %s %s" % (exposed, kind))
+        lines.append("# HELP %s %s"
+                     % (exposed, _escape(help_text.get(
+                         name, "repro engine metric %s" % name))))
+
+    for name, counters in sorted(_families(registry.counters).items()):
+        exposed = metric_name(name, prefix)
+        meta(name, exposed, "counter")
+        for counter in counters:
+            lines.append("%s_total%s %s"
+                         % (exposed, _labels_text(counter.labels),
+                            _format_value(counter.value)))
+    for name, gauges in sorted(_families(registry.gauges).items()):
+        exposed = metric_name(name, prefix)
+        meta(name, exposed, "gauge")
+        for gauge in gauges:
+            lines.append("%s%s %s"
+                         % (exposed, _labels_text(gauge.labels),
+                            _format_value(gauge.value)))
+    histogram_families = sorted(_families(registry.histograms).items())
+    for name, histograms in histogram_families:
+        exposed = metric_name(name, prefix)
+        meta(name, exposed, "histogram")
+        for histogram in histograms:
+            cumulative = 0
+            for i, bound in enumerate(histogram.buckets + (math.inf,)):
+                cumulative += histogram.counts[i]
+                lines.append("%s_bucket%s %s"
+                             % (exposed,
+                                _labels_text(
+                                    histogram.labels,
+                                    (("le", _format_value(
+                                        float(bound))),)),
+                                _format_value(cumulative)))
+            lines.append("%s_sum%s %s"
+                         % (exposed, _labels_text(histogram.labels),
+                            _format_value(histogram.total)))
+            lines.append("%s_count%s %s"
+                         % (exposed, _labels_text(histogram.labels),
+                            _format_value(histogram.count)))
+    # Interpolated quantiles as a separate gauge family per histogram —
+    # emitted after the histograms so each family's samples stay
+    # contiguous, as the format requires.
+    for name, histograms in histogram_families:
+        populated = [h for h in histograms if h.count]
+        if not populated:
+            continue
+        exposed = metric_name(name, prefix) + "_quantile"
+        lines.append("# TYPE %s gauge" % exposed)
+        lines.append("# HELP %s interpolated quantiles of %s"
+                     % (exposed, metric_name(name, prefix)))
+        for histogram in populated:
+            for q in QUANTILES:
+                value = histogram.quantile(q)
+                lines.append("%s%s %s"
+                             % (exposed,
+                                _labels_text(histogram.labels,
+                                             (("quantile", "%g" % q),)),
+                                _format_value(value)))
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(registry, path, prefix="repro", help_text=None):
+    """Render to a file; returns ``path``."""
+    text = render_openmetrics(registry, prefix=prefix,
+                              help_text=help_text)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return path
+
+
+# ---------------------------------------------------------------------------
+# strict validation (promtool-style, in-tree)
+# ---------------------------------------------------------------------------
+
+
+def _parse_sample_value(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return float("nan")
+    return float(text)
+
+
+def validate_openmetrics(text):
+    """Return a list of format violations (empty = valid).
+
+    Stricter than a generic Prometheus scrape, matching what
+    ``promtool check metrics`` and the OpenMetrics spec enforce:
+
+    * every sample's family must be declared with ``# TYPE`` first;
+    * families must be contiguous (no interleaving) and not repeated;
+    * counter samples must use the ``_total`` suffix;
+    * histogram families need cumulative (monotone) ``le`` buckets, a
+      ``+Inf`` bucket, and ``_count`` equal to the ``+Inf`` bucket,
+      with ``_sum``/``_count`` present per label set;
+    * no duplicate series, valid names/labels/values throughout;
+    * the exposition ends with exactly one ``# EOF``.
+    """
+    problems = []
+    types = {}
+    current_family = None
+    closed_families = set()
+    seen_series = set()
+    # family -> labels-without-le -> list of (le, value), plus sums/counts
+    histogram_state = {}
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        problems.append("exposition does not end with # EOF")
+    eof_seen = False
+
+    def family_of(sample_name):
+        for family, kind in types.items():
+            if kind == "counter" and sample_name == family + "_total":
+                return family
+            if kind == "histogram" and sample_name in (
+                    family + "_bucket", family + "_sum",
+                    family + "_count"):
+                return family
+            if sample_name == family:
+                return family
+        return None
+
+    def enter_family(family, line_number):
+        nonlocal current_family
+        if family == current_family:
+            return
+        if family in closed_families:
+            problems.append(
+                "line %d: family %r interleaved (samples must be "
+                "contiguous)" % (line_number, family))
+        if current_family is not None:
+            closed_families.add(current_family)
+        current_family = family
+
+    for line_number, line in enumerate(lines, 1):
+        if line == "":
+            problems.append("line %d: blank line" % line_number)
+            continue
+        if line == "# EOF":
+            if eof_seen:
+                problems.append("line %d: repeated # EOF" % line_number)
+            eof_seen = True
+            if line_number != len(lines):
+                problems.append("line %d: content after # EOF"
+                                % line_number)
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                problems.append("line %d: malformed TYPE" % line_number)
+                continue
+            _, _, family, kind = parts
+            if not _NAME_OK.match(family):
+                problems.append("line %d: bad metric name %r"
+                                % (line_number, family))
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "untyped", "info", "stateset"):
+                problems.append("line %d: unknown type %r"
+                                % (line_number, kind))
+            if family in types:
+                problems.append("line %d: duplicate TYPE for %r"
+                                % (line_number, family))
+            types[family] = kind
+            enter_family(family, line_number)
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not _NAME_OK.match(parts[2]):
+                problems.append("line %d: malformed HELP" % line_number)
+            continue
+        if line.startswith("#"):
+            problems.append("line %d: unknown comment %r"
+                            % (line_number, line))
+            continue
+        match = _SAMPLE.match(line)
+        if not match:
+            problems.append("line %d: unparseable sample %r"
+                            % (line_number, line))
+            continue
+        sample_name = match.group("name")
+        labels_text = match.group("labels") or ""
+        labels = {}
+        if labels_text:
+            pairs = list(_LABEL_PAIR.finditer(labels_text))
+            rebuilt = ",".join(pair.group(0) for pair in pairs)
+            if rebuilt != labels_text:
+                problems.append("line %d: malformed labels %r"
+                                % (line_number, labels_text))
+            for pair in pairs:
+                if pair.group("key") in labels:
+                    problems.append("line %d: duplicate label %r"
+                                    % (line_number, pair.group("key")))
+                labels[pair.group("key")] = pair.group("value")
+        try:
+            value = _parse_sample_value(match.group("value"))
+        except ValueError:
+            problems.append("line %d: bad value %r"
+                            % (line_number, match.group("value")))
+            continue
+        family = family_of(sample_name)
+        if family is None:
+            problems.append("line %d: sample %r has no # TYPE"
+                            % (line_number, sample_name))
+            continue
+        enter_family(family, line_number)
+        kind = types[family]
+        if kind == "counter":
+            if not sample_name.endswith("_total"):
+                problems.append(
+                    "line %d: counter sample %r must end in _total"
+                    % (line_number, sample_name))
+            if value < 0:
+                problems.append("line %d: negative counter value"
+                                % line_number)
+        series = (sample_name,
+                  tuple(sorted(labels.items())))
+        if series in seen_series:
+            problems.append("line %d: duplicate series %s%s"
+                            % (line_number, sample_name,
+                               dict(sorted(labels.items()))))
+        seen_series.add(series)
+        if kind == "histogram":
+            state = histogram_state.setdefault(
+                family, {"buckets": {}, "sums": {}, "counts": {}})
+            base = tuple(sorted((k, v) for k, v in labels.items()
+                                if k != "le"))
+            if sample_name == family + "_bucket":
+                if "le" not in labels:
+                    problems.append(
+                        "line %d: histogram bucket without le label"
+                        % line_number)
+                else:
+                    try:
+                        bound = _parse_sample_value(labels["le"])
+                    except ValueError:
+                        problems.append("line %d: bad le value %r"
+                                        % (line_number, labels["le"]))
+                        bound = None
+                    if bound is not None:
+                        state["buckets"].setdefault(base, []).append(
+                            (bound, value))
+            elif sample_name == family + "_sum":
+                state["sums"][base] = value
+            elif sample_name == family + "_count":
+                state["counts"][base] = value
+
+    for family, state in sorted(histogram_state.items()):
+        for base, buckets in sorted(state["buckets"].items()):
+            bounds = [b for b, _ in buckets]
+            if bounds != sorted(bounds):
+                problems.append("histogram %s%s: le bounds not sorted"
+                                % (family, dict(base)))
+            values = [v for _, v in buckets]
+            if any(later < earlier for earlier, later
+                   in zip(values, values[1:])):
+                problems.append(
+                    "histogram %s%s: bucket counts not cumulative"
+                    % (family, dict(base)))
+            if not bounds or bounds[-1] != math.inf:
+                problems.append("histogram %s%s: missing +Inf bucket"
+                                % (family, dict(base)))
+            count = state["counts"].get(base)
+            if count is None:
+                problems.append("histogram %s%s: missing _count"
+                                % (family, dict(base)))
+            elif bounds and bounds[-1] == math.inf \
+                    and values[-1] != count:
+                problems.append(
+                    "histogram %s%s: _count %g != +Inf bucket %g"
+                    % (family, dict(base), count, values[-1]))
+            if base not in state["sums"]:
+                problems.append("histogram %s%s: missing _sum"
+                                % (family, dict(base)))
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# stdlib scrape endpoint
+# ---------------------------------------------------------------------------
+
+
+def serve_metrics(registry, host="127.0.0.1", port=0, prefix="repro"):
+    """Serve ``GET /metrics`` for ``registry`` on a daemon thread.
+
+    Returns the ``ThreadingHTTPServer``; ``server.server_address``
+    carries the bound port (useful with ``port=0``), and
+    ``server.shutdown()`` stops it.  Rendering happens per scrape, so
+    the endpoint always reflects the live registry.
+    """
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    class MetricsHandler(BaseHTTPRequestHandler):
+        def do_GET(self):
+            if self.path.split("?")[0] not in ("/metrics", "/"):
+                self.send_response(404)
+                self.end_headers()
+                return
+            body = render_openmetrics(registry,
+                                      prefix=prefix).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *args):  # silence per-scrape stderr noise
+            pass
+
+    server = ThreadingHTTPServer((host, port), MetricsHandler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True,
+                              name="repro-metrics-scrape")
+    thread.start()
+    server.scrape_thread = thread
+    return server
+
+
+def main(argv=None):
+    """Validate an exposition file:
+    ``python -m repro.obs.openmetrics metrics.prom``."""
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[0]) as handle:
+        text = handle.read()
+    problems = validate_openmetrics(text)
+    if problems:
+        for problem in problems:
+            print("INVALID: %s" % problem, file=sys.stderr)
+        return 1
+    samples = sum(1 for line in text.splitlines()
+                  if line and not line.startswith("#"))
+    print("valid OpenMetrics exposition: %d sample(s)" % samples)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -52,6 +52,15 @@ class SpanRecord:
     def seconds(self):
         return self.end - self.start
 
+    def to_dict(self, t0=0.0):
+        """JSON-safe form with timestamps re-based on ``t0`` (the
+        tracer epoch) — what the flight recorder rings and dumps."""
+        return {
+            "name": self.name, "cat": self.cat,
+            "start": self.start - t0, "end": self.end - t0,
+            "lane": self.lane, "depth": self.depth,
+        }
+
     def __repr__(self):
         return "SpanRecord(%s/%s, %.6fs, lane=%s, depth=%d)" % (
             self.cat, self.name, self.seconds, self.lane, self.depth)
@@ -160,6 +169,21 @@ class Tracer:
         return [span for span in self.spans
                 if (name is None or span.name == name)
                 and (cat is None or span.cat == cat)]
+
+    def phase_seconds(self, max_depth=1):
+        """Seconds per pipeline phase, aggregated by span name.
+
+        Covers main-lane spans from depth 1 (direct children of the
+        root ``query`` span: parse, rule, plan-cache lookup, per-bag
+        execution) down to ``max_depth``; the telemetry query log
+        stores this as the record's ``phases`` field.
+        """
+        phases = {}
+        for span in self.spans:
+            if span.lane != MAIN_LANE or not 0 < span.depth <= max_depth:
+                continue
+            phases[span.name] = phases.get(span.name, 0.0) + span.seconds
+        return phases
 
     def reset(self):
         """Drop every recorded span and restart the clock."""

@@ -1,0 +1,185 @@
+"""Flight recorder: rings, in-flight journal, post-mortem assembly."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+from repro.obs.flight import (FlightRecorder, INFLIGHT_FILE,
+                              POSTMORTEM_FILE, post_mortem,
+                              read_inflight, validate_post_mortem)
+from repro.obs.flight import main as flight_main
+from repro.obs.trace import Tracer
+
+from tests.obs.test_telemetry import make_record
+
+
+class TestRecorder:
+    def test_ring_is_bounded(self):
+        recorder = FlightRecorder(capacity=3)
+        for index in range(10):
+            recorder.complete(make_record(index))
+        assert len(recorder.records) == 3
+        assert recorder.records[-1]["query_id"] == \
+            make_record(9)["query_id"]
+
+    def test_begin_journals_inflight_record(self, tmp_path):
+        recorder = FlightRecorder(str(tmp_path))
+        record = make_record(status="inflight")
+        recorder.begin(record)
+        journal = read_inflight(str(tmp_path))
+        assert journal["query_id"] == record["query_id"]
+        recorder.complete(record)
+        # cleared = truncated to empty, not removed (the journal keeps
+        # one persistent fd for cheap per-query rewrites)
+        assert (tmp_path / INFLIGHT_FILE).read_bytes() == b""
+        assert read_inflight(str(tmp_path)) is None
+        assert recorder.inflight is None
+        recorder.close()
+
+    def test_journal_first_line_wins_after_longer_record(self, tmp_path):
+        # a shorter record written over a longer one leaves a stale
+        # tail in the file; first-line-wins reading must ignore it
+        recorder = FlightRecorder(str(tmp_path))
+        recorder.begin(make_record(0, text="long " * 50,
+                                   status="inflight"))
+        short = make_record(1, status="inflight")
+        recorder.begin(short)
+        assert read_inflight(str(tmp_path))["query_id"] == \
+            short["query_id"]
+        recorder.complete(short)
+        assert read_inflight(str(tmp_path)) is None
+        recorder.close()
+
+    def test_fail_marks_error_and_keeps_last_error(self):
+        recorder = FlightRecorder()
+        record = make_record(status="inflight")
+        recorder.begin(record)
+        failed = recorder.fail(record, ValueError("boom"))
+        assert failed["status"] == "error"
+        assert "boom" in failed["error"]
+        assert "boom" in recorder.last_error
+
+    def test_note_spans_rebases_and_bounds(self):
+        recorder = FlightRecorder(span_capacity=2)
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        recorder.note_spans(list(tracer.spans), tracer.t0)
+        assert len(recorder.spans) == 2
+        assert all(span["start"] >= 0 for span in recorder.spans)
+
+    def test_dump_payload_shape(self, tmp_path):
+        recorder = FlightRecorder(str(tmp_path))
+        recorder.complete(make_record())
+        path = recorder.dump(reason="test")
+        payload = json.load(open(path))
+        assert validate_post_mortem(payload) == []
+        assert payload["reason"] == "test"
+        assert len(payload["records"]) == 1
+
+    def test_memory_only_dump_returns_none(self):
+        assert FlightRecorder().dump() is None
+
+
+class TestPostMortem:
+    def test_empty_directory_yields_none(self, tmp_path):
+        assert post_mortem(str(tmp_path)) is None
+
+    def test_surviving_journal_synthesizes_killed_payload(self,
+                                                          tmp_path):
+        recorder = FlightRecorder(str(tmp_path))
+        record = make_record(status="inflight")
+        del record["elapsed_seconds"], record["rows"]
+        recorder.begin(record)
+        # no dump ran (simulated SIGKILL): only inflight.json survives
+        payload = post_mortem(str(tmp_path))
+        assert payload["reason"] == "killed"
+        assert payload["inflight"]["query_id"] == record["query_id"]
+        assert validate_post_mortem(payload) == []
+
+    def test_journal_overrides_stale_dump(self, tmp_path):
+        recorder = FlightRecorder(str(tmp_path))
+        recorder.complete(make_record(0))
+        recorder.dump(reason="atexit")  # clean exit of a previous run
+        stranded = make_record(1, status="inflight")
+        del stranded["elapsed_seconds"], stranded["rows"]
+        recorder.begin(stranded)
+        payload = post_mortem(str(tmp_path))
+        assert payload["reason"] == "killed"
+        assert payload["inflight"]["query_id"] == stranded["query_id"]
+
+    def test_cli_renders_and_validates(self, tmp_path, capsys):
+        recorder = FlightRecorder(str(tmp_path))
+        recorder.complete(make_record())
+        recorder.dump(reason="atexit")
+        assert flight_main([str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "reason=atexit" in out
+        assert flight_main([str(tmp_path / "nope")]) == 1
+
+
+class TestKillMidQuery:
+    def test_sigkill_leaves_valid_post_mortem_with_inflight(self,
+                                                            tmp_path):
+        """Acceptance: SIGKILL mid-query (no handler runs) must leave a
+        valid post-mortem naming the in-flight query."""
+        directory = str(tmp_path)
+        script = textwrap.dedent("""
+            import os, sys
+            from repro import Database
+            from tests.conftest import random_undirected_edges
+            db = Database()
+            db.load_graph("Edge",
+                          random_undirected_edges(150, 4000, seed=1),
+                          prune=True)
+            db.enable_telemetry(directory=sys.argv[1])
+            print("READY", flush=True)
+            # ~2.5s per execution with sub-ms gaps between loop
+            # iterations: the parent's SIGKILL lands mid-query
+            while True:
+                db.query("F(;w:long) :- Edge(a,b),Edge(a,c),"
+                         "Edge(a,d),Edge(b,c),Edge(b,d),Edge(c,d); "
+                         "w=<<COUNT(*)>>.")
+        """)
+        repo = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), "..", ".."))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(repo, "src"), repo,
+             env.get("PYTHONPATH", "")])
+        process = subprocess.Popen(
+            [sys.executable, "-c", script, directory],
+            stdout=subprocess.PIPE, env=env)
+        try:
+            assert process.stdout.readline().strip() == b"READY"
+            deadline = time.time() + 30
+            # the journal file exists (empty) from hub creation; wait
+            # until it actually names an in-flight query
+            while read_inflight(directory) is None:
+                assert time.time() < deadline, "no in-flight journal"
+                time.sleep(0.005)
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+        assert not os.path.exists(
+            os.path.join(directory, POSTMORTEM_FILE))  # no handler ran
+        payload = post_mortem(directory)
+        assert payload is not None
+        assert validate_post_mortem(payload) == []
+        assert payload["reason"] == "killed"
+        inflight_record = payload["inflight"]
+        assert inflight_record["status"] == "inflight"
+        assert inflight_record["pid"] == process.pid
+        assert "Edge(a,b)" in inflight_record["text"]
+        # the validator CLI agrees
+        assert flight_main([directory]) == 0
