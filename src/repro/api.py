@@ -19,6 +19,8 @@ import numpy as np
 
 from .engine.config import EngineConfig
 from .engine.executor import RuleExecutor, TrieCache
+from .engine.incremental import (MaterializedView, mark_stale,
+                                 refresh_stale_views)
 from .engine.memo import BagMemo
 from .engine.plan_cache import PlanCache, config_signature
 from .engine.recursion import execute_recursive
@@ -130,6 +132,10 @@ class Database:
                 self._arena = SharedTrieArena()
                 self._trie_cache.attach_arena(self._arena)
         self._plan_cache = PlanCache()
+        #: Materialized views by head name
+        #: (:class:`~repro.engine.incremental.MaterializedView`).
+        self._views = {}
+        self._refreshing = False
         self._executor = RuleExecutor(self.catalog, self.config,
                                       self._trie_cache, self._env,
                                       plan_cache=self._plan_cache)
@@ -264,6 +270,189 @@ class Database:
         self.catalog[name] = relation
         if relation.is_scalar() and relation.annotations is not None:
             self._env[name] = relation.scalar_value
+        if self._views:
+            mark_stale(self._views, name)
+
+    # -- mutation -------------------------------------------------------------
+
+    #: Retired arena-pinned trie bytes must exceed this fraction of the
+    #: arena's placed bytes — and the absolute floor below — before a
+    #: mutation triggers whole-arena compaction.
+    _COMPACT_WASTE_RATIO = 0.5
+    _COMPACT_MIN_WASTE = 1 << 20
+
+    def append(self, name, tuples, annotations=None, combine="last"):
+        """Append tuples to a stored relation *in place*.
+
+        Values encode through the relation's own column dictionaries
+        (new values extend them); columns without a dictionary take raw
+        ``uint32`` ids.  Returns the number of rows that actually
+        changed the relation — re-appending an existing row is a no-op
+        (and leaves every cache warm) unless the relation is annotated
+        and ``combine`` (``"last"``/``"sum"``/``"min"``/``"max"``,
+        against the stored value) produces a different annotation.
+
+        A real change bumps ``relation.version``: cached plans and
+        tries for queries over this relation are surgically invalidated
+        (everything else stays warm), the change batch is journalled
+        for delta-patched trie rebuilds, and materialized views reading
+        the relation are marked stale for refresh on their next use.
+        """
+        if name in self._views:
+            raise SchemaError(
+                "%s is a materialized view; mutate its base relations "
+                "instead" % name)
+        relation = self.relation(name)
+        if relation.is_scalar():
+            raise SchemaError("cannot append to scalar relation %s"
+                              % name)
+        rows = self._encode_rows(relation, tuples, skip_unknown=False)
+        changed = relation.apply_append(rows, annotations, combine)
+        if changed:
+            self._note_mutation(name, relation, "append")
+        return changed
+
+    def delete(self, name, tuples):
+        """Delete tuples from a stored relation *in place*.
+
+        Tuples whose values never entered the relation's dictionaries
+        (or are absent from the relation) are ignored.  Returns the
+        number of rows removed; a real removal has the same cache /
+        journal / view-staleness effects as :meth:`append`.
+        """
+        if name in self._views:
+            raise SchemaError(
+                "%s is a materialized view; mutate its base relations "
+                "instead" % name)
+        relation = self.relation(name)
+        if relation.is_scalar():
+            raise SchemaError("cannot delete from scalar relation %s"
+                              % name)
+        rows = self._encode_rows(relation, tuples, skip_unknown=True)
+        changed = relation.apply_delete(rows)
+        if changed:
+            self._note_mutation(name, relation, "delete")
+        return changed
+
+    def materialize(self, name, query):
+        """Run ``query`` and register its last head as a materialized view.
+
+        The defining program's last rule must define ``name``.  The
+        view's result stays installed in the catalog; mutations to the
+        relations it reads mark it stale, and the next :meth:`query` or
+        :meth:`relation` call refreshes it — by semi-naive delta
+        evaluation when the rule shape and mutation history allow it
+        (see :mod:`repro.engine.incremental`), by re-running the
+        program otherwise.  Returns the view's initial
+        :class:`Result`.
+        """
+        program = parse(query)
+        rules = list(program.rules)
+        if not rules:
+            raise SchemaError("materialize needs at least one rule")
+        if rules[-1].head_name != name:
+            raise SchemaError(
+                "the last rule of a materialized view must define %r "
+                "(got %r)" % (name, rules[-1].head_name))
+        view = MaterializedView(name, query, rules)
+        result = self.query(query)
+        view.capture(self.catalog)
+        self._views[name] = view
+        return result
+
+    @property
+    def views(self):
+        """Registered materialized views by name (read-only mapping)."""
+        return dict(self._views)
+
+    def _encode_rows(self, relation, tuples, skip_unknown):
+        """Encode raw tuples against a relation's column dictionaries.
+
+        ``skip_unknown`` (the delete path) drops rows containing values
+        the dictionaries never saw — such rows cannot be stored, so
+        deleting them is a no-op.  The append path *extends* the
+        dictionaries instead.
+        """
+        dictionaries = relation.dictionaries
+        rows = []
+        for index, record in enumerate(tuples):
+            record = tuple(record)
+            if len(record) != relation.arity:
+                raise SchemaError(
+                    "expected arity %d, got %d-tuple at row %d"
+                    % (relation.arity, len(record), index))
+            row = []
+            known = True
+            for column, value in enumerate(record):
+                dictionary = None if dictionaries is None \
+                    else dictionaries[column]
+                if dictionary is None:
+                    code = int(value)
+                    if not 0 <= code < 2 ** 32:
+                        if skip_unknown:
+                            known = False
+                            break
+                        raise SchemaError(
+                            "raw key %r out of uint32 range" % (value,))
+                elif skip_unknown:
+                    try:
+                        code = dictionary.lookup(value)
+                    except KeyError:
+                        known = False
+                        break
+                else:
+                    code = dictionary.encode(value)
+                row.append(code)
+            if known:
+                rows.append(row)
+        return np.asarray(rows, dtype=np.uint32).reshape(
+            -1, relation.arity)
+
+    def _note_mutation(self, name, relation, kind):
+        """Post-mutation bookkeeping: views, metrics, arena hygiene."""
+        if self._views:
+            mark_stale(self._views, name)
+        metrics = self.config.metrics
+        if metrics is not None:
+            metrics.inc("mutation.batches", labels={"kind": kind})
+        self._maybe_compact_arena()
+
+    def _maybe_compact_arena(self):
+        """Compact the shared arena once retired-trie waste dominates.
+
+        The arena is a bump allocator — retiring a version-stale trie
+        cannot free its pages individually, so the trie cache charges
+        them to ``arena_waste``.  When waste crosses the ratio (and the
+        absolute floor), every live trie and integer dictionary decode
+        column is re-placed into a fresh arena and the old one is
+        released.  Only called from mutation paths, never while forked
+        workers hold the old segments.
+        """
+        arena = self._arena
+        cache = self._trie_cache
+        if arena is None or arena.closed:
+            return
+        waste = cache.arena_waste
+        if waste < self._COMPACT_MIN_WASTE \
+                or waste < self._COMPACT_WASTE_RATIO * arena.nbytes:
+            return
+        from .storage.arena import SharedTrieArena
+        replacement = SharedTrieArena()
+        for trie in cache._tries.values():
+            trie.share_into(replacement)
+        shared = set()
+        for relation in self.catalog.values():
+            for dictionary in (relation.dictionaries or ()):
+                if dictionary is None or id(dictionary) in shared:
+                    continue
+                shared.add(id(dictionary))
+                if dictionary._id_array is not None:
+                    dictionary.share_into(replacement)
+        cache.attach_arena(replacement)  # resets arena_waste
+        # The level-0 memo may hold intersections aliasing old pages.
+        cache._level0.clear()
+        self._arena = replacement
+        arena.close()
 
     # -- querying -------------------------------------------------------------
 
@@ -287,6 +476,8 @@ class Database:
         off — the telemetry check is a single ``is None`` test here,
         never inside the execution loops.
         """
+        if self._views and not self._refreshing:
+            refresh_stale_views(self)
         telemetry = self.config.telemetry
         if telemetry is None:
             return self._query_plain(text)
@@ -543,7 +734,10 @@ class Database:
         return "\n\n".join(sections)
 
     def relation(self, name):
-        """Fetch a stored relation by name."""
+        """Fetch a stored relation by name (refreshing stale views)."""
+        if self._views and not self._refreshing \
+                and any(view.stale for view in self._views.values()):
+            refresh_stale_views(self)
         if name not in self.catalog:
             raise UnknownRelationError(name, self.catalog.keys())
         return self.catalog[name]
@@ -820,6 +1014,9 @@ class Database:
         for tier, size in self._plan_cache.sizes().items():
             metrics.set_gauge("plan_cache.%s" % tier, size)
         metrics.set_gauge("trie_cache.entries", len(self._trie_cache))
+        metrics.set_gauge("trie_cache.patches", self._trie_cache.patches)
+        metrics.set_gauge("trie_cache.arena_waste_bytes",
+                          self._trie_cache.arena_waste)
 
     def explain_analyze(self, text):
         """Run the query under a private tracer and render the GHD plan

@@ -54,6 +54,8 @@ def _load_database(args):
         overrides["fused_kernels"] = True
     if getattr(args, "shared_tries", False):
         overrides["shared_tries"] = True
+    if getattr(args, "no_incremental_views", False):
+        overrides["incremental_views"] = False
     if getattr(args, "adaptive", False):
         overrides["adaptive"] = True
     profile_path = getattr(args, "tuning_profile", None)
@@ -117,6 +119,10 @@ def _add_loader_flags(parser):
     parser.add_argument("--shared-tries", action="store_true",
                         help="place tries in shared memory so forked "
                              "workers map them zero-copy")
+    parser.add_argument("--no-incremental-views", action="store_true",
+                        help="refresh stale materialized views by "
+                             "re-running their defining program "
+                             "instead of semi-naive delta evaluation")
     parser.add_argument("--adaptive", action="store_true",
                         help="adaptive execution: tuned dispatch "
                              "constants and mispredict-driven "

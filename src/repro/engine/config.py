@@ -149,6 +149,14 @@ class EngineConfig:
         model's prediction.  The prediction is an upper bound, so only
         the actual>predicted direction signals a bad plan (the other
         direction is ordinary model pessimism).
+    incremental_views:
+        Maintain materialized views (``Database.materialize``) by
+        semi-naive delta evaluation when the mutation history permits
+        (insert-only, journal intact, delta-capable rule shape); off,
+        every refresh recomputes the view from scratch.  Results are
+        identical either way — the switch only trades refresh cost —
+        so like ``shared_tries`` it stays out of ``config_signature``
+        and doubles as a differential-fuzzing axis.
     """
 
     layout_level: str = "set"
@@ -177,6 +185,7 @@ class EngineConfig:
     adaptive: bool = False
     tuning: Optional[TuningProfile] = None
     replan_factor: float = 8.0
+    incremental_views: bool = True
 
     def ablated(self, **changes):
         """Copy of this config with some switches flipped."""
@@ -344,3 +353,45 @@ def enumerate_config_matrix(full=False):
                     overrides.update(opt)
                     matrix.append((label, cfg(**overrides)))
     return matrix
+
+
+def enumerate_mutation_matrix():
+    """``(label, EngineConfig)`` pairs for the mutation fuzzer
+    (:mod:`repro.fuzz` with ``--mutations``).
+
+    Smaller than :func:`enumerate_config_matrix` — mutation cases run
+    an interleaved op *sequence* per config, so each config is several
+    times the work of a one-shot case — but it still spans the axes
+    incremental maintenance interacts with: interpreted vs compiled
+    (versioned plan guards), serial vs work-stealing (delta terms
+    through the parallel executor), fused kernels, shared tries (the
+    arena patch/re-place path), and ``incremental_views=False`` (the
+    full-recompute route as its own differential axis).
+    """
+    base = dict(execution_mode="interpreted")
+
+    def cfg(**overrides):
+        merged = dict(base)
+        merged.update(overrides)
+        return EngineConfig().ablated(**merged)
+
+    return [
+        ("interp", cfg()),
+        ("compiled", cfg(execution_mode="compiled")),
+        ("interp-steal", cfg(parallel_workers=4,
+                             parallel_threshold=0,
+                             parallel_strategy="steal")),
+        ("compiled-steal", cfg(execution_mode="compiled",
+                               parallel_workers=4,
+                               parallel_threshold=0,
+                               parallel_strategy="steal")),
+        ("fused", cfg(execution_mode="compiled",
+                      fused_kernels=True)),
+        ("fused-shared", cfg(execution_mode="compiled",
+                             fused_kernels=True,
+                             shared_tries=True,
+                             parallel_workers=2,
+                             parallel_threshold=0,
+                             parallel_strategy="steal")),
+        ("full-recompute", cfg(incremental_views=False)),
+    ]

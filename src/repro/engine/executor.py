@@ -48,13 +48,24 @@ from .stats import ExecStats
 _uid_counter = itertools.count()
 
 
+#: Delta volume (fraction of relation cardinality) above which a cached
+#: trie is rebuilt from scratch rather than patched by journal replay.
+PATCH_RATIO = 0.5
+
+
 class TrieCache:
-    """Caches tries per (relation identity, key order, layout level).
+    """Caches tries per (relation identity, *version*, order, layout).
 
     Base relations are re-queried constantly (the paper stores both
     orders of every edge relation up front; we build them on first use
     and keep them).  Identity uses a uid attached to each relation, so
-    replacing a relation (recursion) naturally invalidates.
+    replacing a relation (recursion) naturally invalidates; in-place
+    mutation bumps ``relation.version``, so a mutated relation misses
+    its old entry.  On such a miss the cache *patches*: it replays the
+    relation's delta journal onto the stale trie's sorted arrays
+    (:func:`repro.storage.builder.patched_trie`) instead of re-sorting
+    from scratch, then retires the stale entry — invalidation is
+    surgical, other relations' entries stay warm.
 
     The cache doubles as the parallel engine's *process-shared read
     path*: every trie a query needs is built here, in the parent, before
@@ -64,6 +75,11 @@ class TrieCache:
     so repeated queries over the same relations skip the outermost
     intersection too.  Hit/miss counters feed
     :class:`~repro.engine.stats.ExecStats`.
+
+    Arena-pinned tries cannot be freed individually (the arena is a
+    bump allocator), so retiring one charges its placed bytes to
+    :attr:`arena_waste`; ``Database`` compacts the whole arena once
+    waste dominates.
     """
 
     def __init__(self):
@@ -73,6 +89,10 @@ class TrieCache:
         self.misses = 0
         self.level0_hits = 0
         self.level0_misses = 0
+        #: Stale-entry rebuilds served by journal replay (vs full sorts).
+        self.patches = 0
+        #: Bytes of retired arena-pinned tries still occupying the arena.
+        self.arena_waste = 0
         #: Optional SharedTrieArena every cache-built trie's bulk arrays
         #: are placed into (:meth:`attach_arena`); pinned tries then
         #: stay warm in shared memory across queries and forks.
@@ -86,6 +106,7 @@ class TrieCache:
         from here on are placed into the arena.
         """
         self.arena = arena
+        self.arena_waste = 0
 
     @staticmethod
     def _uid(relation):
@@ -101,21 +122,59 @@ class TrieCache:
 
         ``density_threshold`` is the tuned uint/bitset crossover (part
         of the key: tuned and default layouts are distinct tries)."""
-        key = (self._uid(relation), tuple(key_order), layout_level,
-               density_threshold)
+        key = (self._uid(relation), getattr(relation, "version", 0),
+               tuple(key_order), layout_level, density_threshold)
         trie = self._tries.get(key)
-        if trie is None:
-            self.misses += 1
-            trie = Trie(relation, key_order=key_order,
-                        optimizer=SetOptimizer(layout_level,
-                                               density_threshold))
-            trie._cache_owned = True
-            if self.arena is not None and not self.arena.closed:
-                trie.share_into(self.arena)
-            self._tries[key] = trie
-        else:
+        if trie is not None:
             self.hits += 1
+            return trie
+        self.misses += 1
+        optimizer = SetOptimizer(layout_level, density_threshold)
+        stale_key, stale_trie = self._stale_entry(key)
+        trie = None
+        if stale_trie is not None:
+            trie = self._patched(stale_trie, stale_key[1], relation,
+                                 key_order, optimizer)
+            if trie is not None:
+                self.patches += 1
+        if trie is None:
+            trie = Trie(relation, key_order=key_order, optimizer=optimizer)
+        trie._cache_owned = True
+        if self.arena is not None and not self.arena.closed:
+            trie.share_into(self.arena)
+        if stale_key is not None:
+            self._drop_entry(stale_key)
+        self._tries[key] = trie
         return trie
+
+    def _stale_entry(self, key):
+        """The cached entry differing from ``key`` only by version."""
+        uid, _, order, layout, density = key
+        for k in self._tries:
+            if k[0] == uid and k[2:] == (order, layout, density):
+                return k, self._tries[k]
+        return None, None
+
+    @staticmethod
+    def _patched(stale_trie, old_version, relation, key_order, optimizer):
+        """Patch a stale trie via journal replay, or ``None`` to rebuild.
+
+        Declines when the journal no longer reaches back to the stale
+        version (a merge trimmed it) or the change volume crossed
+        :data:`PATCH_RATIO` — a full sorted build is cheaper then.
+        """
+        delta = getattr(relation, "delta", None)
+        if delta is None or relation.arity == 0:
+            return None
+        entries = delta.changes_since(old_version)
+        if not entries:
+            return None
+        volume = sum(entry.data.shape[0] for entry in entries)
+        if volume > PATCH_RATIO * max(relation.cardinality, 1):
+            return None
+        from ..storage.builder import patched_trie
+        return patched_trie(stale_trie, relation, key_order, optimizer,
+                            entries)
 
     def level0_intersection(self, sets, config):
         """Memoized intersection of trie root sets, as a sorted array.
@@ -150,23 +209,25 @@ class TrieCache:
         self._level0[key] = (tuple(sets), values)
         return values
 
+    def _drop_entry(self, key):
+        """Retire one cached trie: charge arena waste, clean the memo."""
+        trie = self._tries.pop(key, None)
+        if trie is None:
+            return
+        self.arena_waste += getattr(trie, "_shm_bytes", 0)
+        dropped = {id(trie.root.set)}
+        stale_memo = [k for k in self._level0 if dropped & set(k[0])]
+        for memo_key in stale_memo:
+            del self._level0[memo_key]
+
     def invalidate(self, relation):
         """Drop every cached trie (and level-0 memo entry) of
-        ``relation``."""
+        ``relation``, across all cached versions."""
         uid = getattr(relation, "_trie_uid", None)
         if uid is None:
             return
-        stale = [k for k in self._tries if k[0] == uid]
-        dropped_sets = set()
-        for key in stale:
-            trie = self._tries.pop(key)
-            node = trie.root
-            dropped_sets.add(id(node.set))
-        if dropped_sets:
-            stale_memo = [k for k in self._level0
-                          if dropped_sets & set(k[0])]
-            for key in stale_memo:
-                del self._level0[key]
+        for key in [k for k in self._tries if k[0] == uid]:
+            self._drop_entry(key)
 
     def __len__(self):
         return len(self._tries)
@@ -238,6 +299,12 @@ class RuleExecutor:
         self.card_feedback = {}
         self.replans = 0
         self.last_mispredict_ratio = 0.0
+        #: Banded GHD-plan memo shared across this executor's runs: the
+        #: LP-heavy decomposition search is skipped while a rule's shape
+        #: recurs and its input cardinalities stay in the same log2
+        #: band — the steady state of incremental view refreshes, where
+        #: every delta term replans the same tiny rule per mutation.
+        self.ghd_memo = {}
 
     def _options(self):
         options = OptimizerOptions.from_config(self.config)
@@ -245,6 +312,7 @@ class RuleExecutor:
             merged = dict(self.card_hints)
             merged.update(self.card_feedback)
             options.card_overrides = merged
+        options.ghd_memo = self.ghd_memo
         return options
 
     # -- public ---------------------------------------------------------------
@@ -1107,9 +1175,15 @@ class RuleExecutor:
 
 
 def _relation_guards(logical):
-    """``(name, relation)`` identity pins for every catalog relation a
-    rule's body resolved to (plan-cache and bag-memo validation)."""
-    return tuple((a.name, a.source)
+    """``(name, relation, version)`` pins for every catalog relation a
+    rule's body resolved to (plan-cache and bag-memo validation).
+
+    Identity alone used to suffice (relations were immutable); in-place
+    mutation bumps ``relation.version``, so the version rides along and
+    a cached plan compiled against stale contents is rejected even
+    though the object identity still matches.
+    """
+    return tuple((a.name, a.source, getattr(a.source, "version", 0))
                  for a in list(logical.atoms) + list(logical.guard_atoms))
 
 

@@ -1,0 +1,303 @@
+"""Semi-naive incremental maintenance of materialized views.
+
+``Database.materialize(name, query)`` registers a *materialized view*:
+the defining program is run once, and the view's head relation stays
+installed in the catalog.  Mutations (``Database.append`` / ``delete``)
+mark dependent views stale; the next query (or ``Database.relation``)
+refreshes them.
+
+A refresh takes one of two routes:
+
+**Delta route** (the point of this module).  For a single-rule,
+non-recursive view whose mutated dependencies saw *insert-only*
+changes, the new tuples Δ are substituted into the rule body one
+position at a time against the full (already-updated) versions of the
+other atoms — the semi-naive step datalog engines use, evaluated with
+the very same executor machinery as ordinary rules, so every delta term
+benefits from the plan cache, fused kernels, and the parallel executor.
+The terms combine with the old view contents per semiring:
+
+* set semantics (no annotation): old ∪ ⋃ᵢ eval(Δ at position i) —
+  every new derivation uses at least one Δ tuple, and union is
+  idempotent, so singleton terms cover everything;
+* ``MIN``/``MAX``: idempotent too — fold the singleton terms into the
+  old groups with ``min``/``max``;
+* ``SUM``/``COUNT(*)``: additive, so overcounting matters; the terms
+  run over every non-empty *subset* S of Δ positions, signed
+  ``(-1)^(|S|+1)`` (inclusion–exclusion over "which atoms drew from
+  Δ"), and the signed values add onto the old groups.  Rules with more
+  than :data:`MAX_DELTA_POSITIONS` Δ positions fall back (the term
+  count is exponential).
+
+**Full route** (always available, always correct).  Re-run the view's
+defining program.  Taken when the rule shape is not delta-capable
+(multi-rule programs, recursion, ``COUNT(distinct)``, wrapped
+aggregate expressions, constant annotations, 0-ary heads), when a
+dependency was replaced wholesale or saw deletes/annotation rewrites,
+when the journal was trimmed by a delta-store merge, or when
+``EngineConfig.incremental_views`` is off.  Both routes produce
+identical results — the mutation fuzzer checks them differentially.
+"""
+
+import itertools
+
+import numpy as np
+
+from ..errors import SchemaError
+from ..query.ast import Agg, Atom, clone_rule, expression_refs
+from ..storage.relation import Relation
+
+#: Prefix for the temporary Δ relations installed during a delta term
+#: evaluation (popped from the catalog before the refresh returns).
+DELTA_PREFIX = "__delta__"
+
+#: Ceiling on Δ-substituted body positions for the SUM/COUNT
+#: inclusion–exclusion expansion (2^n - 1 terms).
+MAX_DELTA_POSITIONS = 3
+
+
+def _delta_capable(rules):
+    """Whether the delta route can maintain a view with these rules."""
+    if len(rules) != 1:
+        return False
+    rule = rules[0]
+    if rule.recursive:
+        return False
+    if rule.annotation is None:
+        # Plain materialization under set semantics; 0-ary heads carry
+        # EXISTS semantics the set-union combine does not model.
+        return bool(rule.head_vars)
+    assignment = rule.assignment
+    if not isinstance(assignment, Agg):
+        # Wrapped expressions (w = <<SUM(v)>> + 1) and constant
+        # annotations are not linear/idempotent in the aggregate.
+        return False
+    if assignment.op == "COUNT" and assignment.arg != "*":
+        # COUNT(v) counts distinct v per group — not additive in Δ.
+        return False
+    return True
+
+
+class MaterializedView:
+    """One registered view: defining program, dependencies, versions."""
+
+    def __init__(self, name, text, rules):
+        self.name = name
+        self.text = text
+        self.rules = tuple(rules)
+        heads = {rule.head_name for rule in self.rules}
+        deps = set()
+        for rule in self.rules:
+            for atom in rule.body:
+                deps.add(atom.name)
+            if rule.assignment is not None:
+                deps.update(expression_refs(rule.assignment))
+        #: External relation names the view reads (its own rule heads
+        #: excluded) — mutations to these mark the view stale.
+        self.deps = frozenset(deps - heads)
+        #: ``{name: (id(relation), version)}`` snapshot at last refresh.
+        self.dep_versions = {}
+        self.stale = False
+        self.delta_capable = _delta_capable(self.rules)
+        self.refreshes = 0
+        self.delta_refreshes = 0
+
+    def capture(self, catalog):
+        """Snapshot dependency identities/versions after a refresh."""
+        self.dep_versions = {
+            name: (id(catalog[name]),
+                   getattr(catalog[name], "version", 0))
+            for name in self.deps if name in catalog
+        }
+
+    def __repr__(self):
+        return "MaterializedView(%s, deps=%s%s)" % (
+            self.name, sorted(self.deps),
+            ", stale" if self.stale else "")
+
+
+def mark_stale(views, name):
+    """Mark every view depending on relation ``name`` stale."""
+    for view in views.values():
+        if name in view.deps:
+            view.stale = True
+
+
+def refresh_stale_views(db):
+    """Refresh stale views to a fixpoint (views may feed other views)."""
+    if db._refreshing:
+        return
+    db._refreshing = True
+    try:
+        # A refresh can re-stale downstream views; the dependency graph
+        # is acyclic (a view's deps predate it), so |views| + 1 rounds
+        # always reach the fixpoint.
+        for _ in range(len(db._views) + 1):
+            stale = [v for v in db._views.values() if v.stale]
+            if not stale:
+                return
+            for view in stale:
+                refresh_view(db, view)
+    finally:
+        db._refreshing = False
+
+
+def refresh_view(db, view):
+    """Bring one stale view up to date (delta route when possible)."""
+    view.refreshes += 1
+    view.stale = False
+    if db.config.incremental_views and view.delta_capable:
+        if _delta_refresh(db, view):
+            view.delta_refreshes += 1
+            view.capture(db.catalog)
+            return
+    db._query_plain(view.text)
+    view.capture(db.catalog)
+
+
+# -- the delta route ---------------------------------------------------------
+
+
+def _pure_insert_deltas(db, view):
+    """Per-dependency Δ relations, or ``None`` to force the full route.
+
+    Valid only when every mutated dependency kept its identity and its
+    journal reaches back to the snapshot with insert-only entries.
+    """
+    deltas = {}
+    for name in view.deps:
+        relation = db.catalog.get(name)
+        recorded = view.dep_versions.get(name)
+        if relation is None or recorded is None:
+            return None
+        ident, version = recorded
+        if id(relation) != ident:
+            return None  # replaced wholesale — no journal continuity
+        if getattr(relation, "version", 0) == version:
+            continue
+        delta = getattr(relation, "delta", None)
+        entries = None if delta is None \
+            else delta.pure_inserts_since(version)
+        if not entries:
+            return None  # trimmed journal, deletes, or rewrites
+        rows = np.concatenate([entry.data for entry in entries])
+        anns = None
+        if relation.annotations is not None:
+            anns = np.concatenate([entry.annotations
+                                   for entry in entries])
+        delta_relation = Relation(DELTA_PREFIX + name, rows, anns,
+                                  relation.dictionaries)
+        attr_names = getattr(relation, "attr_names", None)
+        if attr_names is not None:
+            delta_relation.attr_names = attr_names
+        deltas[name] = delta_relation
+    return deltas
+
+
+def _term_rule(rule, positions_in_delta):
+    """The rule with the atoms at ``positions_in_delta`` pointing at Δ."""
+    body = tuple(
+        Atom(DELTA_PREFIX + atom.name, atom.terms)
+        if index in positions_in_delta else atom
+        for index, atom in enumerate(rule.body))
+    return clone_rule(rule, head_name=DELTA_PREFIX + rule.head_name,
+                      body=body, recursive=False, iterations=None)
+
+
+def _delta_refresh(db, view):
+    """Try the delta route; ``True`` on success, ``False`` to fall back."""
+    rule = view.rules[0]
+    old = db.catalog.get(view.name)
+    if old is None:
+        return False
+    deltas = _pure_insert_deltas(db, view)
+    if deltas is None:
+        return False
+    positions = [index for index, atom in enumerate(rule.body)
+                 if atom.name in deltas]
+    if not positions:
+        return True  # spuriously stale — nothing actually changed
+    op = rule.assignment.op if isinstance(rule.assignment, Agg) else None
+    additive = op in ("SUM", "COUNT")
+    if additive and len(positions) > MAX_DELTA_POSITIONS:
+        return False
+    if additive:
+        subsets = [
+            (frozenset(subset), -1.0 if (size % 2) == 0 else 1.0)
+            for size in range(1, len(positions) + 1)
+            for subset in itertools.combinations(positions, size)
+        ]
+    else:
+        # Idempotent combines: singleton terms cover every new
+        # derivation, overcounting is harmless.
+        subsets = [(frozenset([p]), 1.0) for p in positions]
+    installed = []
+    try:
+        for name, delta_relation in deltas.items():
+            db.catalog[DELTA_PREFIX + name] = delta_relation
+            installed.append(delta_relation)
+        signed_terms = []
+        for subset, sign in subsets:
+            result = db._executor.execute(_term_rule(rule, subset))
+            signed_terms.append((sign, result))
+    finally:
+        for delta_relation in installed:
+            db.catalog.pop(delta_relation.name, None)
+            db._trie_cache.invalidate(delta_relation)
+    combined = _combine(old, rule, signed_terms)
+    combined.dictionaries = old.dictionaries
+    if getattr(old, "attr_names", None) is not None:
+        combined.attr_names = old.attr_names
+    db._install(view.name, combined)
+    return True
+
+
+def _combine(old, rule, signed_terms):
+    """Fold the signed delta terms into the old view contents."""
+    op = rule.assignment.op if isinstance(rule.assignment, Agg) else None
+    if rule.annotation is not None and not rule.head_vars:
+        return _combine_scalar(old, op, signed_terms)
+    if rule.annotation is None:
+        combine = None
+    elif op in ("SUM", "COUNT"):
+        combine = "sum"
+    elif op == "MIN":
+        combine = "min"
+    elif op == "MAX":
+        combine = "max"
+    else:  # pragma: no cover - _delta_capable filters these out
+        raise SchemaError("aggregate %r is not delta-maintainable" % op)
+    blocks = [old.data]
+    annotation_blocks = [old.annotations]
+    for sign, term in signed_terms:
+        if term.cardinality == 0:
+            continue
+        blocks.append(term.data)
+        if combine is not None:
+            values = term.annotations if term.annotations is not None \
+                else np.ones(term.cardinality)
+            annotation_blocks.append(values * sign if sign != 1.0
+                                     else values)
+    data = np.concatenate(blocks)
+    annotations = None if combine is None \
+        else np.concatenate(annotation_blocks)
+    merged = Relation(old.name, data, annotations,
+                      old.dictionaries).deduplicated(combine or "last")
+    merged.dictionaries = old.dictionaries
+    return merged
+
+
+def _combine_scalar(old, op, signed_terms):
+    """Scalar-head combine: fold term values into the old scalar."""
+    value = old.scalar_value
+    for sign, term in signed_terms:
+        if term.annotations is None or term.annotations.size == 0:
+            continue
+        term_value = float(term.annotations[0])
+        if op in ("SUM", "COUNT"):
+            value += sign * term_value
+        elif op == "MIN":
+            value = min(value, term_value)
+        else:
+            value = max(value, term_value)
+    return Relation.scalar(old.name, value)

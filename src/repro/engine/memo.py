@@ -11,9 +11,11 @@ Correctness rests on two guards:
 
 * signatures come from :func:`repro.ghd.equivalence.bag_signature` with
   selection-aware edge names, so only genuinely equivalent bags alias;
-* every entry pins the catalog relations its rule read, *by identity*.
-  Installing a rule head or a recursion round replaces catalog entries
-  wholesale, which invalidates dependent memo entries on next probe.
+* every entry pins the catalog relations its rule read, by *identity
+  and version*.  Installing a rule head or a recursion round replaces
+  catalog entries wholesale (identity mismatch); ``Database.append`` /
+  ``delete`` mutate a relation in place, bumping its version (version
+  mismatch).  Either way the dependent memo entry drops on next probe.
 """
 
 from .generic_join import BagResult
@@ -44,8 +46,9 @@ class BagMemo:
     """Program-scoped memo of evaluated bag results.
 
     Entries map a bag signature to ``(result, canonical_out, guards)``
-    where ``guards`` is a tuple of ``(name, relation)`` pairs pinning —
-    by object identity — every catalog relation the producing rule read.
+    where ``guards`` is a tuple of ``(name, relation, version)`` triples
+    pinning — by object identity *and* mutation version — every catalog
+    relation the producing rule read.
     """
 
     def __init__(self):
@@ -63,7 +66,8 @@ class BagMemo:
             return None
         result, canonical_out, guards = entry
         if any(catalog.get(name) is not relation
-               for name, relation in guards):
+               or getattr(relation, "version", 0) != version
+               for name, relation, version in guards):
             del self._entries[signature]
             self.misses += 1
             return None

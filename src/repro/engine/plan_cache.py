@@ -94,8 +94,9 @@ class CompiledRule:
         A 0-ary guard atom was empty at compile time — the rule's
         result is statically empty.
 
-    ``guards`` pins the catalog relations the compilation read; the
-    cache revalidates them by identity before reuse.  ``logical`` keeps
+    ``guards`` pins the catalog relations the compilation read as
+    ``(name, relation, version)`` triples; the cache revalidates them by
+    identity *and* mutation version before reuse.  ``logical`` keeps
     the optimized :class:`~repro.lir.ir.LogicalRule` the plan was
     lowered from — the finalizers read the *rewritten* assignment
     expression and head from it, not from the raw AST rule.
@@ -122,9 +123,16 @@ class CompiledRule:
 
     def valid(self, catalog):
         """True while every relation the compilation saw is still the
-        installed one (identity check — replacements always rebind)."""
+        installed one *and* unmutated.
+
+        The identity check catches wholesale replacement (rule heads,
+        recursion rounds); the version check catches in-place mutation
+        (``Database.append`` / ``delete``), whose baked tries would
+        otherwise serve stale contents.
+        """
         return all(catalog.get(name) is relation
-                   for name, relation in self.guards)
+                   and getattr(relation, "version", 0) == version
+                   for name, relation, version in self.guards)
 
 
 class PlanCache:

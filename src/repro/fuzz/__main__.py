@@ -7,10 +7,11 @@ number of failing cases (capped at 99), so CI can gate on it directly.
 import argparse
 import sys
 
-from ..engine.config import enumerate_config_matrix
+from ..engine.config import (enumerate_config_matrix,
+                             enumerate_mutation_matrix)
 from ..obs.metrics import MetricsRegistry
 from .corpus import load_corpus, save_case
-from .runner import run_case, run_fuzz
+from .runner import run_case, run_fuzz, run_mutation_fuzz
 
 
 def build_parser():
@@ -22,6 +23,10 @@ def build_parser():
                         help="master seed (default 0)")
     parser.add_argument("--budget", type=int, default=100,
                         help="number of cases to run (default 100)")
+    parser.add_argument("--mutations", action="store_true",
+                        help="fuzz incremental maintenance: interleaved "
+                             "append/delete/query sequences checked "
+                             "against a full-rebuild oracle")
     parser.add_argument("--shrink", action="store_true",
                         help="minimize failures before reporting them")
     parser.add_argument("--full-matrix", action="store_true",
@@ -81,15 +86,23 @@ def main(argv=None):
             print("\r%d/%d cases, %d failure(s)"
                   % (done, budget, failures), end="", flush=True)
 
-    report = run_fuzz(seed=args.seed, budget=args.budget, matrix=matrix,
-                      shrink=args.shrink,
-                      max_failures=args.max_failures, metrics=metrics,
-                      progress=ticker,
-                      check_reference=not args.no_reference)
+    if args.mutations:
+        report = run_mutation_fuzz(seed=args.seed, budget=args.budget,
+                                   matrix=enumerate_mutation_matrix(),
+                                   max_failures=args.max_failures,
+                                   metrics=metrics, progress=ticker)
+    else:
+        report = run_fuzz(seed=args.seed, budget=args.budget,
+                          matrix=matrix, shrink=args.shrink,
+                          max_failures=args.max_failures,
+                          metrics=metrics, progress=ticker,
+                          check_reference=not args.no_reference)
     if not args.quiet:
         print()
     print(report.describe())
-    if args.save_corpus:
+    if args.save_corpus and not args.mutations:
+        # Mutation cases replay from their seed; the corpus format only
+        # stores plain FuzzCases.
         for failure in report.failures:
             case = failure.shrunk if failure.shrunk is not None \
                 else failure.case

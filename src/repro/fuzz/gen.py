@@ -132,16 +132,20 @@ def _generate_relations(rng, domain, max_relations, max_tuples):
     return relations
 
 
-def _generate_rules(rng, relations, domain, max_rules, max_atoms):
+def _generate_rules(rng, relations, domain, max_rules, max_atoms,
+                    sources=None, prefix="H"):
     rules = []
     #: name -> (arity, annotated) for every relation an atom may use.
-    sources = {r.name: (r.arity, r.annotations is not None)
-               for r in relations}
+    if sources is None:
+        sources = {r.name: (r.arity, r.annotations is not None)
+                   for r in relations}
+    else:
+        sources = dict(sources)
     scalar_heads = []  # 0-ary aggregate heads usable as Refs
     head_index = 0
     budget = rng.randint(1, max_rules)
     while len(rules) < budget:
-        head_name = "H%d" % head_index
+        head_name = "%s%d" % (prefix, head_index)
         head_index += 1
         remaining = budget - len(rules)
         if remaining >= 2 and rng.random() < 0.3:
@@ -444,3 +448,226 @@ def validate_case(case):
                 return False
         sources[rule.head_name] = len(rule.head_vars)
     return True
+
+
+# ---------------------------------------------------------------------------
+# mutation cases (incremental-maintenance fuzzing)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MutationOp:
+    """One step of an interleaved mutate/query sequence."""
+
+    kind: str  # "append" | "delete" | "query"
+    target: Optional[str] = None
+    tuples: Optional[List[tuple]] = None
+    annotations: Optional[List[float]] = None
+
+    def __str__(self):
+        if self.kind == "query":
+            return "query"
+        suffix = "" if self.annotations is None \
+            else " ann=%s" % self.annotations
+        return "%s %s %s%s" % (self.kind, self.target, self.tuples,
+                               suffix)
+
+
+@dataclass
+class MutationCase:
+    """One generated incremental-maintenance test case: base relations,
+    materialized views over them (and over each other), a query program,
+    and an interleaved append/delete/query op sequence.
+
+    The runner checks every query op differentially: engine configs
+    against each other and against a from-scratch full-rebuild oracle
+    (a fresh database loaded with the mirrored post-mutation contents).
+    """
+
+    seed: int
+    relations: List[FuzzRelation]
+    views: List[tuple]  # (name, Rule) in installation order
+    query_rules: List[Rule]
+    ops: List[MutationOp]
+
+    @property
+    def query_text(self):
+        return "\n".join(str(rule) for rule in self.query_rules)
+
+    @property
+    def head_names(self):
+        """View names plus query heads, deduplicated, install order."""
+        names = [name for name, _ in self.views]
+        for rule in self.query_rules:
+            if rule.head_name not in names:
+                names.append(rule.head_name)
+        return names
+
+    def __str__(self):
+        lines = ["-- seed %d (mutation)" % self.seed]
+        for relation in self.relations:
+            lines.append("-- %s/%d = %s%s" % (
+                relation.name, relation.arity, relation.tuples,
+                " ann=%s" % relation.annotations
+                if relation.annotations is not None else ""))
+        for name, rule in self.views:
+            lines.append("-- view %s: %s" % (name, rule))
+        lines.append(self.query_text)
+        lines.append("-- ops:")
+        for op in self.ops:
+            lines.append("--   %s" % op)
+        return "\n".join(lines)
+
+
+def initial_mirror(relations):
+    """``{name: {tuple: annotation-or-None}}`` for the base contents —
+    the ground truth the oracle rebuilds from at every query op."""
+    mirror = {}
+    for relation in relations:
+        annotations = relation.annotations \
+            if relation.annotations is not None \
+            else [None] * len(relation.tuples)
+        mirror[relation.name] = dict(zip(relation.tuples, annotations))
+    return mirror
+
+
+def apply_op_to_mirror(mirror, op):
+    """Replay one mutation op onto the mirror (queries are no-ops).
+
+    Matches the engine's semantics: appends upsert with last-writer-wins
+    annotations; deletes of absent tuples are no-ops.
+    """
+    if op.kind == "append":
+        table = mirror[op.target]
+        annotations = op.annotations if op.annotations is not None \
+            else [None] * len(op.tuples)
+        for row, annotation in zip(op.tuples, annotations):
+            table[row] = annotation
+    elif op.kind == "delete":
+        table = mirror[op.target]
+        for row in op.tuples:
+            table.pop(row, None)
+
+
+def generate_mutation_case(seed, max_relations=3, max_tuples=14,
+                           max_domain=6, max_ops=8):
+    """Generate one :class:`MutationCase` deterministically from
+    ``seed``."""
+    rng = random.Random(seed)
+    domain = rng.randint(2, max_domain)
+    relations = _generate_relations(rng, domain, max_relations,
+                                    max_tuples)
+    views, query_rules = None, None
+    for _ in range(20):
+        candidate_views, view_sources = _generate_views(rng, relations,
+                                                        domain)
+        candidate_queries = _generate_rules(rng, relations, domain,
+                                            max_rules=2, max_atoms=3,
+                                            sources=view_sources,
+                                            prefix="Q")
+        probe = FuzzCase(seed, relations,
+                         [rule for _, rule in candidate_views]
+                         + candidate_queries)
+        if validate_case(probe):
+            views, query_rules = candidate_views, candidate_queries
+            break
+    if views is None:
+        views, query_rules = _trivial_program(relations)
+    ops = _generate_ops(rng, relations, domain, max_ops)
+    return MutationCase(seed, relations, views, query_rules, ops)
+
+
+def _generate_views(rng, relations, domain):
+    """1–2 single-rule views; later views may read earlier ones (the
+    refresh fixpoint has to propagate deltas through the chain)."""
+    sources = {r.name: (r.arity, r.annotations is not None)
+               for r in relations}
+    views = []
+    for index in range(rng.randint(1, 2)):
+        name = "V%d" % index
+        rule = _generate_rule(rng, sources, [], domain, name,
+                              max_atoms=3)
+        views.append((name, rule))
+        sources[name] = (len(rule.head_vars),
+                         rule.annotation is not None
+                         and bool(rule.head_vars))
+    return views, sources
+
+
+def _trivial_program(relations):
+    """Always-valid fallback: V0 mirrors R0, Q0 reads V0."""
+    relation = relations[0]
+    variables = tuple(Variable(v)
+                      for v in VARIABLE_POOL[:relation.arity])
+    head_vars = tuple(v.name for v in variables)
+    view = Rule(head_name="V0", head_vars=head_vars, annotation=None,
+                recursive=False, iterations=None,
+                body=(Atom(relation.name, variables),), assignment=None)
+    query = Rule(head_name="Q0", head_vars=head_vars, annotation=None,
+                 recursive=False, iterations=None,
+                 body=(Atom("V0", variables),), assignment=None)
+    return [("V0", view)], [query]
+
+
+def _generate_ops(rng, relations, domain, max_ops):
+    """Interleaved op sequence: ~40% appends, ~25% deletes, rest
+    queries; at least one mutation, at least two queries, final op a
+    query.  The generation-time mirror keeps deletes mostly aimed at
+    live tuples (with occasional misses to exercise the no-op path)."""
+    mirror = initial_mirror(relations)
+    ops = []
+    mutations = 0
+    for _ in range(rng.randint(4, max_ops) - 1):
+        roll = rng.random()
+        deletable = [r for r in relations if mirror[r.name]]
+        if roll < 0.40:
+            ops.append(_append_op(rng, rng.choice(relations), domain,
+                                  mirror))
+            mutations += 1
+        elif roll < 0.65 and deletable:
+            ops.append(_delete_op(rng, rng.choice(deletable), domain,
+                                  mirror))
+            mutations += 1
+        else:
+            ops.append(MutationOp("query"))
+    if not mutations:
+        ops.insert(0, _append_op(rng, rng.choice(relations), domain,
+                                 mirror))
+    ops.append(MutationOp("query"))
+    if sum(1 for op in ops if op.kind == "query") < 2:
+        ops.insert(len(ops) // 2, MutationOp("query"))
+    return ops
+
+
+def _append_op(rng, relation, domain, mirror):
+    count = rng.randint(1, 3)
+    tuples = []
+    for _ in range(count):
+        if mirror[relation.name] and rng.random() < 0.25:
+            # Re-append a live tuple: a no-op under set semantics, an
+            # annotation rewrite (journalled as Δ−/Δ+, forcing the
+            # full refresh route) when the relation is annotated.
+            tuples.append(rng.choice(sorted(mirror[relation.name])))
+        else:
+            # ``domain + 2`` reaches past every loaded value, so some
+            # appends grow the dictionary.
+            tuples.append(tuple(rng.randrange(domain + 2)
+                                for _ in range(relation.arity)))
+    annotations = None
+    if relation.annotations is not None:
+        annotations = [float(rng.randint(1, 9)) for _ in tuples]
+    op = MutationOp("append", relation.name, tuples, annotations)
+    apply_op_to_mirror(mirror, op)
+    return op
+
+
+def _delete_op(rng, relation, domain, mirror):
+    pool = sorted(mirror[relation.name])
+    tuples = rng.sample(pool, rng.randint(1, min(2, len(pool))))
+    if rng.random() < 0.3:
+        # Usually absent: deleting a missing tuple must be a no-op.
+        tuples.append(tuple(rng.randrange(domain + 2)
+                            for _ in range(relation.arity)))
+    op = MutationOp("delete", relation.name, tuples, None)
+    apply_op_to_mirror(mirror, op)
+    return op

@@ -22,9 +22,11 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..api import Database
-from ..engine.config import enumerate_config_matrix
+from ..engine.config import (enumerate_config_matrix,
+                             enumerate_mutation_matrix)
 from ..errors import EmptyHeadedError
-from .gen import generate_case
+from .gen import (apply_op_to_mirror, generate_case,
+                  generate_mutation_case, initial_mirror)
 from .oracle import OracleError, evaluate_case
 
 #: Config labels that additionally execute a warm (plan-cache hit)
@@ -341,6 +343,193 @@ def run_fuzz(seed=0, budget=100, matrix=None, shrink=False,
                         is not None
 
                 failure.shrunk = shrink_case(case, still_failing)
+            report.failures.append(failure)
+            if len(report.failures) >= max_failures:
+                break
+        if progress is not None:
+            progress(index + 1, budget, len(report.failures))
+    report.elapsed = time.perf_counter() - start
+    if metrics is not None:
+        metrics.observe("fuzz.seconds", report.elapsed,
+                        (1, 10, 60, 300, 1800, float("inf")))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# mutation fuzzing (incremental maintenance vs full-rebuild oracle)
+# ---------------------------------------------------------------------------
+
+
+def _run_mutation_ops(case, config):
+    """Execute the case's op sequence on one persistent database.
+
+    Returns an outcome list: ``("setup-ok", None)`` or
+    ``("setup-error", cls)`` first, then one ``("ok", {head: value})``
+    or ``("error", cls)`` entry per *query* op.  Mutation ops between
+    queries run against the same live database — this is exactly the
+    path where delta stores, version-keyed caches, and incremental view
+    refresh engage.
+    """
+    db = Database(config=config.ablated())
+    outcomes = []
+    try:
+        for relation in case.relations:
+            db.add_relation(relation.name, relation.tuples,
+                            annotations=relation.annotations,
+                            arity=relation.arity)
+        try:
+            for name, rule in case.views:
+                db.materialize(name, str(rule))
+        except EmptyHeadedError as error:
+            outcomes.append(("setup-error", type(error).__name__))
+            return outcomes
+        outcomes.append(("setup-ok", None))
+        for op in case.ops:
+            if op.kind == "append":
+                db.append(op.target, op.tuples,
+                          annotations=op.annotations)
+            elif op.kind == "delete":
+                db.delete(op.target, op.tuples)
+            else:
+                outcomes.append(_query_snapshot(db, case))
+    finally:
+        db.close()
+    return outcomes
+
+
+def _query_snapshot(db, case):
+    try:
+        db.query(case.query_text)
+        results = {}
+        for name in case.head_names:
+            results[name] = _normalize_relation(db.relation(name),
+                                                db._dictionary)
+        return "ok", results
+    except EmptyHeadedError as error:
+        return "error", type(error).__name__
+
+
+def _oracle_db(case, mirror):
+    """A fresh default-config database loaded with the mirror contents
+    — the from-scratch rebuild the live databases are checked against."""
+    db = Database()
+    for relation in case.relations:
+        items = sorted(mirror[relation.name].items())
+        annotations = None
+        if relation.annotations is not None:
+            annotations = [value for _, value in items]
+        db.add_relation(relation.name, [row for row, _ in items],
+                        annotations=annotations, arity=relation.arity)
+    return db
+
+
+def _oracle_outcomes(case):
+    """The full-rebuild reference: at every query op, rebuild the
+    database from the replayed mirror and run views + query cold."""
+    mirror = initial_mirror(case.relations)
+    db = _oracle_db(case, mirror)
+    try:
+        try:
+            for _, rule in case.views:
+                db.query(str(rule))
+        except EmptyHeadedError as error:
+            return [("setup-error", type(error).__name__)]
+    finally:
+        db.close()
+    outcomes = [("setup-ok", None)]
+    for op in case.ops:
+        if op.kind != "query":
+            apply_op_to_mirror(mirror, op)
+            continue
+        db = _oracle_db(case, mirror)
+        try:
+            try:
+                for _, rule in case.views:
+                    db.query(str(rule))
+                db.query(case.query_text)
+            except EmptyHeadedError as error:
+                outcomes.append(("error", type(error).__name__))
+                continue
+            results = {}
+            for name in case.head_names:
+                results[name] = _normalize_relation(db.relation(name),
+                                                    db._dictionary)
+            outcomes.append(("ok", results))
+        finally:
+            db.close()
+    return outcomes
+
+
+def _diff_mutation_outcomes(label_a, outcomes_a, label_b, outcomes_b):
+    if len(outcomes_a) != len(outcomes_b):
+        return "%s produced %d outcomes vs %s %d" % (
+            label_a, len(outcomes_a), label_b, len(outcomes_b))
+    for step, (a, b) in enumerate(zip(outcomes_a, outcomes_b)):
+        if a[0].startswith("setup") or b[0].startswith("setup"):
+            if a != b:
+                return "setup: %s=%r vs %s=%r" % (label_a, a,
+                                                  label_b, b)
+            continue
+        diff = _diff_outcomes(label_a, a, label_b, b)
+        if diff is not None:
+            return "query #%d: %s" % (step, diff)
+    return None
+
+
+def run_mutation_case(case, matrix=None, metrics=None):
+    """Run one mutation case across the mutation matrix; ``None`` when
+    every config matches the full-rebuild oracle step-for-step, else a
+    :class:`CaseFailure`."""
+    if matrix is None:
+        matrix = enumerate_mutation_matrix()
+    try:
+        expected = _oracle_outcomes(case)
+    except Exception as error:  # noqa: BLE001 - crash = finding
+        if metrics is not None:
+            metrics.inc("fuzz.crashes")
+        return CaseFailure(case.seed, "crash",
+                           "rebuild oracle crashed: %s: %s"
+                           % (type(error).__name__, error), case)
+    for label, config in matrix:
+        try:
+            outcomes = _run_mutation_ops(case, config)
+        except Exception as error:  # noqa: BLE001 - crash = finding
+            if metrics is not None:
+                metrics.inc("fuzz.crashes")
+            return CaseFailure(case.seed, "crash",
+                               "%s crashed: %s: %s"
+                               % (label, type(error).__name__, error),
+                               case)
+        diff = _diff_mutation_outcomes("rebuild-oracle", expected,
+                                       label, outcomes)
+        if diff is not None:
+            if metrics is not None:
+                metrics.inc("fuzz.mismatches")
+            return CaseFailure(case.seed, "mutation-mismatch", diff,
+                               case)
+    return None
+
+
+def run_mutation_fuzz(seed=0, budget=100, matrix=None, max_failures=10,
+                      metrics=None, progress=None):
+    """Generate and differentially check ``budget`` mutation cases.
+
+    Every engine config in :func:`enumerate_mutation_matrix` — the
+    delta-maintaining live databases — is compared outcome-for-outcome
+    against the from-scratch full-rebuild oracle (which transitively
+    cross-checks the configs against each other).
+    """
+    if matrix is None:
+        matrix = enumerate_mutation_matrix()
+    report = FuzzReport(budget=budget)
+    start = time.perf_counter()
+    for index in range(budget):
+        case = generate_mutation_case(case_seed(seed, index))
+        if metrics is not None:
+            metrics.inc("fuzz.mutation_cases")
+        failure = run_mutation_case(case, matrix, metrics=metrics)
+        report.executed += 1
+        if failure is not None:
             report.failures.append(failure)
             if len(report.failures) >= max_failures:
                 break

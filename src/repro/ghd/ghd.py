@@ -174,3 +174,27 @@ def single_node_ghd(hypergraph, chi_order=None):
     (paper Figure 3b) and the "-GHD" ablation's plan."""
     chi = chi_order if chi_order is not None else hypergraph.vertices
     return GHD(GHDNode(chi, list(hypergraph.edges)), hypergraph)
+
+
+def ghd_shape(ghd):
+    """Pure-data description of a GHD's tree: nested ``(chi, edge
+    indexes, children)`` tuples.  Hashable, holds no edge objects, and
+    survives later in-place mutation of the live tree (selection
+    pushdown appends to ``node.edges``) — the replayable currency of
+    the optimizer's banded plan memo."""
+    def rec(node):
+        return (node.chi, tuple(e.index for e in node.edges),
+                tuple(rec(c) for c in node.children))
+    return rec(ghd.root)
+
+
+def replay_shape(shape, hypergraph):
+    """Rebuild a :class:`GHD` from :func:`ghd_shape` output over a fresh
+    hypergraph with the same edge indexing."""
+    by_index = {e.index: e for e in hypergraph.edges}
+
+    def rec(node_shape):
+        chi, indexes, children = node_shape
+        return GHDNode(chi, [by_index[i] for i in indexes],
+                       [rec(c) for c in children])
+    return GHD(rec(shape), hypergraph)

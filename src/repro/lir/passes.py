@@ -39,6 +39,7 @@ from typing import Optional
 
 from ..ghd.attribute_order import global_attribute_order
 from ..ghd.decompose import decompose
+from ..ghd.ghd import ghd_shape, replay_shape
 from ..obs.trace import maybe_span
 from ..query.ast import BinOp, Num, render_expression
 from ..query.hypergraph import Hypergraph
@@ -108,6 +109,11 @@ class OptimizerOptions:
     #: hints and the adaptive executor's mispredict feedback.  The
     #: catalog's cardinalities are used for atoms not listed.
     card_overrides: Optional[dict] = None
+    #: Caller-owned dict the GHD choice pass memoizes decompositions in,
+    #: keyed on rule structure plus log2 *cardinality bands* — repeated
+    #: planning of the same rule shape skips the LP-heavy search while
+    #: relation sizes drift within a band.  ``None`` disables the memo.
+    ghd_memo: Optional[dict] = None
 
     @classmethod
     def from_config(cls, config):
@@ -276,6 +282,19 @@ class GHDChoicePass:
                     selected_vars |= set(atom.variables)
             logical.selected_vars = frozenset(selected_vars)
 
+            memo_key = None
+            if options.ghd_memo is not None:
+                memo_key = _ghd_memo_key(logical, atoms, sizes,
+                                         selection_edges, options)
+                shape = options.ghd_memo.get(memo_key)
+                if shape is not None:
+                    ghd = replay_shape(shape, hypergraph)
+                    logical.ghd = ghd
+                    return True, [
+                        "width %.2f, %d bag(s)" % (ghd.width(),
+                                                   ghd.n_nodes),
+                        "reused decomposition (cardinality-band memo)"]
+
             def fallback(count):
                 _report_default_sizes(count, options.metrics)
 
@@ -295,11 +314,38 @@ class GHDChoicePass:
                                 size_fallback=fallback)
                 details.append("aggregate flow fallback: single-bag plan")
             logical.ghd = ghd
+            if memo_key is not None:
+                # Shape captured before selection pushdown mutates the
+                # live tree; replayed hits get fresh nodes.
+                options.ghd_memo[memo_key] = ghd_shape(ghd)
+                while len(options.ghd_memo) > _GHD_MEMO_LIMIT:
+                    options.ghd_memo.pop(next(iter(options.ghd_memo)))
             if sizes:
                 details.append("cardinalities: %s" % ", ".join(
                     "%s=%d" % (atoms[i].name, sizes[i])
                     for i in sorted(sizes)))
         return True, details
+
+
+#: Entries kept in a caller's banded plan memo (FIFO eviction).
+_GHD_MEMO_LIMIT = 512
+
+
+def _ghd_memo_key(logical, atoms, sizes, selection_edges, options):
+    """Memo identity of one GHD choice: the rule's join structure, the
+    log2 band of every input cardinality, and everything else the
+    search consults.  Exact cardinality overrides (hints, adaptive
+    mispredict feedback) join the key verbatim, so new feedback always
+    re-plans; only organic size drift within a band reuses a plan."""
+    overrides = options.card_overrides or {}
+    return (
+        tuple((atom.name, tuple(atom.variables), atom.is_selection)
+              for atom in atoms),
+        tuple(int(sizes[i]).bit_length() for i in range(len(atoms))),
+        frozenset(selection_edges),
+        tuple(logical.head_vars), logical.aggregate_mode,
+        options.push_selections, options.use_ghd,
+        tuple(sorted(overrides.items())))
 
 
 def _report_default_sizes(count, metrics):

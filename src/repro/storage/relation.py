@@ -14,7 +14,14 @@ from .dictionary import Dictionary
 
 
 class Relation:
-    """An immutable dictionary-encoded relation.
+    """A dictionary-encoded relation with versioned in-place mutation.
+
+    Historically immutable (the paper's batch-load model); relations now
+    carry a monotonic ``version`` and support :meth:`apply_append` /
+    :meth:`apply_delete`, which keep ``data``/``annotations`` always
+    *effective* (sorted, deduplicated) while journalling the change
+    batches in a :class:`~repro.storage.delta.DeltaStore` so cached
+    tries and materialized views can catch up incrementally.
 
     Parameters
     ----------
@@ -49,6 +56,15 @@ class Relation:
         if dictionaries is not None and len(dictionaries) != self.arity:
             raise SchemaError("need one dictionary per column")
         self.dictionaries = dictionaries
+        # Monotonic mutation counter: bumped once per committed
+        # append/delete batch.  Caches key on (identity, version).
+        self.version = 0
+        # Lazily-created DeltaStore journalling committed change batches.
+        self.delta = None
+        # True when data/annotations are known lexsorted + duplicate-free
+        # (canonical order) — deduplicated() and the trie build skip
+        # their sort passes.
+        self._canonical = False
 
     # -- constructors -----------------------------------------------------
 
@@ -122,7 +138,7 @@ class Relation:
         ``combine`` selects how annotations of duplicates merge:
         ``"last"``, ``"sum"``, ``"min"``, or ``"max"``.
         """
-        if self.cardinality == 0 or self.arity == 0:
+        if self.cardinality == 0 or self.arity == 0 or self._canonical:
             return self
         order = np.lexsort(tuple(self.data[:, c]
                                  for c in range(self.arity - 1, -1, -1)))
@@ -130,8 +146,10 @@ class Relation:
         distinct = np.ones(data.shape[0], dtype=bool)
         distinct[1:] = np.any(data[1:] != data[:-1], axis=1)
         if self.annotations is None:
-            return Relation(self.name, data[distinct], None,
-                            self.dictionaries)
+            result = Relation(self.name, data[distinct], None,
+                              self.dictionaries)
+            result._canonical = True
+            return result
         ann = self.annotations[order]
         group_ids = np.cumsum(distinct) - 1
         n_groups = int(group_ids[-1]) + 1
@@ -149,7 +167,146 @@ class Relation:
             np.maximum.at(merged, group_ids, ann)
         else:
             raise ValueError("unknown combine mode %r" % (combine,))
-        return Relation(self.name, data[distinct], merged, self.dictionaries)
+        result = Relation(self.name, data[distinct], merged,
+                          self.dictionaries)
+        result._canonical = True
+        return result
+
+    # -- versioned mutation ------------------------------------------------
+
+    def _ensure_delta(self):
+        from .delta import DeltaStore
+        if self.delta is None:
+            self.delta = DeltaStore(self.cardinality)
+        return self.delta
+
+    def _canonicalize(self):
+        """Rewrite ``data``/``annotations`` into canonical order in place.
+
+        Canonical = lexsorted, duplicate-free — the order the trie build
+        and the delta-store row algebra both assume.
+        """
+        if self._canonical:
+            return
+        dedup = self.deduplicated()
+        if dedup is not self:
+            self.data = dedup.data
+            self.annotations = dedup.annotations
+        self._canonical = True
+
+    def apply_append(self, rows, annotations=None, combine="last"):
+        """Append already-encoded rows in place; returns changed-row count.
+
+        Keeps ``data``/``annotations`` effective (canonical order) and
+        journals the change batch.  Re-appending an existing row is a
+        no-op unless the relation is annotated and ``combine`` yields a
+        different value — that is an *annotation rewrite*, journalled as
+        a Δ−/Δ+ pair (it breaks the insert-only precondition semi-naive
+        view deltas rely on).  Unannotated appends default missing
+        ``annotations`` to 1.0 on annotated relations, mirroring
+        ``TrieBuilder``.
+        """
+        from .delta import merge_sorted, row_view, rows_in
+        if self.arity == 0:
+            raise SchemaError("cannot append to scalar relation %s"
+                              % self.name)
+        rows = np.asarray(rows, dtype=np.uint32).reshape(-1, self.arity)
+        if rows.shape[0] == 0:
+            return 0
+        annotated = self.annotations is not None
+        if annotations is not None and not annotated:
+            raise SchemaError("%s carries no annotation column" % self.name)
+        ann = None
+        if annotated:
+            ann = np.ones(rows.shape[0], dtype=np.float64) \
+                if annotations is None \
+                else np.asarray(annotations, dtype=np.float64)
+            if ann.shape != (rows.shape[0],):
+                raise SchemaError(
+                    "annotations must align with appended rows")
+        batch = Relation(self.name, rows, ann, None).deduplicated(combine)
+        rows, ann = batch.data, batch.annotations
+        self._canonicalize()
+        base_view = row_view(self.data) if self.cardinality \
+            else np.empty(0, dtype=row_view(rows).dtype)
+        batch_view = row_view(rows)
+        present = rows_in(batch_view, base_view)
+        new_rows = rows[~present]
+        new_ann = None if ann is None else ann[~present]
+        changed = int(new_rows.shape[0])
+        rewrite_rows = rewrite_old = rewrite_new = None
+        if annotated and present.any():
+            slots = np.searchsorted(base_view, batch_view[present])
+            old_vals = self.annotations[slots]
+            incoming = ann[present]
+            if combine == "last":
+                new_vals = incoming
+            elif combine == "sum":
+                new_vals = old_vals + incoming
+            elif combine == "min":
+                new_vals = np.minimum(old_vals, incoming)
+            elif combine == "max":
+                new_vals = np.maximum(old_vals, incoming)
+            else:
+                raise ValueError("unknown combine mode %r" % (combine,))
+            differs = new_vals != old_vals
+            if differs.any():
+                rewrite_rows = rows[present][differs]
+                rewrite_old = old_vals[differs]
+                rewrite_new = new_vals[differs]
+                patched = self.annotations.copy()
+                patched[slots[differs]] = rewrite_new
+                self.annotations = patched
+                changed += int(rewrite_rows.shape[0])
+        if changed == 0:
+            return 0
+        self.version += 1
+        delta = self._ensure_delta()
+        if rewrite_rows is not None:
+            delta.record(self.version, "-", rewrite_rows, rewrite_old)
+            delta.record(self.version, "+", rewrite_rows, rewrite_new)
+        if new_rows.shape[0]:
+            self.data, self.annotations = merge_sorted(
+                self.data, self.annotations, new_rows, new_ann)
+            delta.record(self.version, "+", new_rows, new_ann)
+        if delta.should_merge():
+            delta.merge(self.cardinality, self.version)
+        return changed
+
+    def apply_delete(self, rows):
+        """Delete already-encoded rows in place; returns removed count.
+
+        Absent rows are ignored.  Removed rows (with their annotations)
+        are journalled as a Δ− tombstone batch.
+        """
+        from .delta import row_view, rows_in
+        if self.arity == 0:
+            raise SchemaError("cannot delete from scalar relation %s"
+                              % self.name)
+        rows = np.asarray(rows, dtype=np.uint32).reshape(-1, self.arity)
+        if rows.shape[0] == 0 or self.cardinality == 0:
+            return 0
+        self._canonicalize()
+        batch = Relation(self.name, rows, None, None).deduplicated()
+        base_view = row_view(self.data)
+        present = rows_in(row_view(batch.data), base_view)
+        hit = batch.data[present]
+        if hit.shape[0] == 0:
+            return 0
+        slots = np.searchsorted(base_view, row_view(hit))
+        old_ann = None if self.annotations is None \
+            else self.annotations[slots].copy()
+        keep = np.ones(self.cardinality, dtype=bool)
+        keep[slots] = False
+        self.data = self.data[keep]
+        if self.annotations is not None:
+            self.annotations = self.annotations[keep]
+        self.version += 1
+        delta = self._ensure_delta()
+        delta.record(self.version, "-", hit, old_ann)
+        if delta.should_merge():
+            delta.merge(self.cardinality, self.version)
+        return int(hit.shape[0])
 
     def project(self, columns):
         """Project onto the given column indexes (no deduplication)."""

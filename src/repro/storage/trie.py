@@ -115,7 +115,8 @@ class Trie:
         paper's set-level optimizer.
     """
 
-    def __init__(self, relation, key_order=None, optimizer=None):
+    def __init__(self, relation, key_order=None, optimizer=None,
+                 presorted=None, reuse=None):
         if key_order is None:
             key_order = tuple(range(relation.arity))
         if sorted(key_order) != list(range(relation.arity)):
@@ -127,6 +128,10 @@ class Trie:
             else SetOptimizer("set")
         self.name = relation.name
         self.arity = relation.arity
+        # Payload bytes this trie has placed into a SharedTrieArena
+        # (share_into); the TrieCache charges this as arena waste when
+        # the entry is retired, driving whole-arena compaction.
+        self._shm_bytes = 0
         if relation.arity == 0:
             self.root = TrieNode(_empty_set(self.optimizer))
             self.scalar = (float(relation.annotations[0])
@@ -137,22 +142,35 @@ class Trie:
             self._flat = None
             return
         self.scalar = None
-        deduped = relation.deduplicated()
-        data = deduped.data[:, list(self.key_order)]
-        annotations = deduped.annotations
-        if data.shape[0]:
-            sort_keys = tuple(data[:, c]
-                              for c in range(self.arity - 1, -1, -1))
-            order = np.lexsort(sort_keys)
-            data = data[order]
-            if annotations is not None:
-                annotations = annotations[order]
+        if presorted is not None:
+            # Delta-patch path: the caller supplies tuple/annotation
+            # arrays already permuted into key order and lexsorted
+            # (see builder.patched_trie) — skip the dedup/sort passes.
+            data, annotations = presorted
+        else:
+            deduped = relation.deduplicated()
+            data = deduped.data[:, list(self.key_order)]
+            annotations = deduped.annotations
+            # Canonical relations under the identity order are already
+            # lexsorted; anything else needs the sort pass.
+            already_sorted = deduped._canonical \
+                and self.key_order == tuple(range(self.arity))
+            if data.shape[0] and not already_sorted:
+                sort_keys = tuple(data[:, c]
+                                  for c in range(self.arity - 1, -1, -1))
+                order = np.lexsort(sort_keys)
+                data = data[order]
+                if annotations is not None:
+                    annotations = annotations[order]
         # Kept for the engine's vectorized fast paths: the tuples in trie
         # (lexicographic) order, with annotations aligned.
         self.sorted_data = data
         self.sorted_annotations = annotations
         self._flat = None
-        self.root = self._build(data, annotations, 0)
+        if reuse is not None and self.arity > 1 and data.shape[0]:
+            self.root = self._patched_root(data, annotations, *reuse)
+        else:
+            self.root = self._build(data, annotations, 0)
 
     def _build(self, data, annotations, depth):
         column = data[:, depth]
@@ -171,6 +189,34 @@ class Trie:
                         depth + 1)
             for i in range(values.size)
         ]
+        return TrieNode(set_layout, children, None)
+
+    def _patched_root(self, data, annotations, old_trie, touched):
+        """Root build that reuses untouched subtrees of a stale trie.
+
+        ``touched`` is the set of level-0 key values the delta journal
+        mentioned (already permuted into this trie's key order): only
+        those groups' subtrees changed, so every other level-0 value
+        keeps the old trie's child node — the build pass becomes
+        O(|Δ| log n) instead of O(distinct level-0 keys).  The root set
+        itself is always rebuilt (membership may have changed)."""
+        column = data[:, 0]
+        values, starts = np.unique(column, return_index=True)
+        bounds = np.append(starts, column.shape[0])
+        set_layout = self.optimizer.build(values)
+        old_root = old_trie.root
+        touched = {int(v) for v in touched}
+        children = []
+        for index in range(values.size):
+            value = int(values[index])
+            if value not in touched and old_root.set.contains(value):
+                children.append(old_root.child(value))
+                continue
+            children.append(self._build(
+                data[bounds[index]:bounds[index + 1]],
+                None if annotations is None
+                else annotations[bounds[index]:bounds[index + 1]],
+                1))
         return TrieNode(set_layout, children, None)
 
     def flat(self):
@@ -195,6 +241,7 @@ class Trie:
         """
         if self.arity == 0 or self.sorted_data.size == 0:
             return self
+        placed_before = arena.nbytes
         self.sorted_data = arena.place(self.sorted_data)
         if self.sorted_annotations is not None:
             self.sorted_annotations = arena.place(self.sorted_annotations)
@@ -215,6 +262,7 @@ class Trie:
                 if shared_keys is not None \
                 and shared_keys.size == root_values.size \
                 else arena.place(root_values)
+        self._shm_bytes = int(arena.nbytes - placed_before)
         return self
 
     # -- traversal ---------------------------------------------------------

@@ -247,3 +247,87 @@ class TestSharing:
             placed = dictionary.share_into(arena)
             assert placed > 0
             assert [dictionary.decode(k) for k in keys] == values
+
+
+class TestMutationUnderSharedTries:
+    """In-place mutation with arena-pinned tries (the satellite for
+    ``TrieCache.invalidate`` under ``shared_tries``).
+
+    The arena is a bump allocator — retired tries cannot be freed
+    individually, so the cache charges their bytes to ``arena_waste``
+    and ``Database._maybe_compact_arena`` eventually re-places every
+    live trie into a fresh arena and closes the old one.  The autouse
+    ``no_arena_stragglers`` fixture turns any leaked ``/dev/shm``
+    segment into a failure.
+    """
+
+    def mutable_shared_db(self):
+        db = Database(parallel_workers=2, parallel_threshold=4,
+                      shared_tries=True)
+        db.add_relation("Edge", POWER_LAW)
+        return db
+
+    def test_mutation_retires_stale_shared_trie_and_charges_waste(self):
+        db = self.mutable_shared_db()
+        before = db.query(TRIANGLES).scalar
+        assert db.last_stats.shm_bytes_mapped > 0
+        cache = db._trie_cache
+        assert cache.arena_waste == 0
+        db.append("Edge", [(9999, 0), (0, 9999)])
+        after = db.query(TRIANGLES).scalar
+        # The stale arena-pinned trie was retired (same entry count,
+        # new version) and its shared bytes were charged as waste.
+        assert cache.arena_waste > 0
+        assert after == before  # new node touches no triangle
+        db.delete("Edge", [(9999, 0), (0, 9999)])
+        assert db.query(TRIANGLES).scalar == before
+        db.close()
+
+    def test_invalidate_accounts_arena_pinned_bytes(self):
+        db = self.mutable_shared_db()
+        db.query(TRIANGLES)
+        cache = db._trie_cache
+        relation = db.catalog["Edge"]
+        pinned = sum(getattr(t, "_shm_bytes", 0)
+                     for t in cache._tries.values())
+        assert pinned > 0
+        cache.invalidate(relation)
+        assert cache.arena_waste == pinned
+        assert not any(key[0] == relation._trie_uid
+                       for key in cache._tries)
+        db.close()
+
+    def test_compaction_replaces_arena_and_resets_waste(self):
+        db = self.mutable_shared_db()
+        db._COMPACT_MIN_WASTE = 1     # drop the 1 MiB floor
+        expected_extra = db.query(TRIANGLES).scalar
+        first_arena = db.arena
+        for step in range(12):
+            db.append("Edge", [(10000 + step, 10001 + step)])
+            if db.arena is not first_arena:
+                break  # compaction just ran inside the append
+            db.query(TRIANGLES)
+        assert db.arena is not first_arena, "compaction never triggered"
+        assert first_arena.closed and not db.arena.closed
+        assert db._trie_cache.arena_waste == 0
+        # Post-compaction the re-placed tries still answer correctly
+        # from shared memory.
+        assert db.query(TRIANGLES).scalar == expected_extra
+        assert db.last_stats.shm_bytes_mapped > 0
+        db.close()
+
+    def test_mutation_parity_with_private_tries(self):
+        shared = self.mutable_shared_db()
+        private = Database()
+        private.add_relation("Edge", POWER_LAW)
+        batch = [(1, 190), (190, 3), (1, 3), (42, 42)]
+        for db in (shared, private):
+            db.query(TRIANGLES)
+            db.append("Edge", batch)
+        assert shared.query(TRIANGLES).scalar \
+            == private.query(TRIANGLES).scalar
+        for db in (shared, private):
+            db.delete("Edge", batch[:2])
+        assert shared.query(TRIANGLES).scalar \
+            == private.query(TRIANGLES).scalar
+        shared.close()

@@ -150,6 +150,61 @@ class TestGHDChoice:
             _default_size_warned[0] = True
 
 
+class TestGHDBandMemo:
+    TRIANGLE = "T(x,y,z) :- E(x,y),E(y,z),E(x,z)."
+
+    @staticmethod
+    def ghd_detail(logical):
+        (record,) = [r for r in logical.trace.records
+                     if r.name == "ghd_choice"]
+        return "\n".join(record.details)
+
+    def test_same_band_reuses_decomposition(self):
+        catalog = catalog_with_edges([[0, 1], [0, 2], [1, 2], [2, 0]])
+        memo = {}
+        first = optimize(self.TRIANGLE, catalog, ghd_memo=memo)
+        assert "reused decomposition" not in self.ghd_detail(first)
+        assert len(memo) == 1
+        # One more row: cardinality 4 -> 5 stays in the same log2 band.
+        catalog["E"] = Relation(
+            "E", np.asarray([[0, 1], [0, 2], [1, 2], [2, 0], [1, 0]],
+                            dtype=np.uint32))
+        second = optimize(self.TRIANGLE, catalog, ghd_memo=memo)
+        assert "reused decomposition" in self.ghd_detail(second)
+        assert second.ghd.n_nodes == first.ghd.n_nodes
+        assert second.ghd.width() == first.ghd.width()
+        # Replayed nodes are fresh objects over the new hypergraph.
+        assert second.ghd.root is not first.ghd.root
+        assert not second.ghd.validate()
+
+    def test_band_crossing_replans(self):
+        catalog = catalog_with_edges([[0, 1], [0, 2], [1, 2]])
+        memo = {}
+        optimize(self.TRIANGLE, catalog, ghd_memo=memo)
+        catalog["E"] = Relation(
+            "E", np.asarray([[i, i + 1] for i in range(40)],
+                            dtype=np.uint32))
+        logical = optimize(self.TRIANGLE, catalog, ghd_memo=memo)
+        assert "reused decomposition" not in self.ghd_detail(logical)
+        assert len(memo) == 2
+
+    def test_cardinality_overrides_join_the_key(self):
+        # Adaptive mispredict feedback must always force a fresh plan,
+        # even when the real cardinalities stayed in band.
+        catalog = catalog_with_edges([[0, 1], [0, 2], [1, 2]])
+        memo = {}
+        optimize(self.TRIANGLE, catalog, ghd_memo=memo)
+        logical = optimize(self.TRIANGLE, catalog, ghd_memo=memo,
+                           card_overrides={"E": 3})
+        assert "reused decomposition" not in self.ghd_detail(logical)
+        assert len(memo) == 2
+
+    def test_disabled_without_a_memo(self):
+        catalog = catalog_with_edges([[0, 1], [0, 2], [1, 2]])
+        logical = optimize(self.TRIANGLE, catalog)
+        assert "reused decomposition" not in self.ghd_detail(logical)
+
+
 class TestSelectionPushdown:
     def test_duplicates_recorded(self):
         catalog = catalog_with_edges(
