@@ -456,7 +456,7 @@ class Database:
 
     # -- querying -------------------------------------------------------------
 
-    def query(self, text):
+    def query(self, text, _record_extra=None):
         """Execute a query program; returns the last rule's result.
 
         Intermediate heads (e.g. ``N`` and ``InvDeg`` in the paper's
@@ -475,13 +475,19 @@ class Database:
         run is recorded; all are off by default and cost nothing when
         off — the telemetry check is a single ``is None`` test here,
         never inside the execution loops.
+
+        ``_record_extra`` merges additional (schema-registered) fields
+        into the telemetry record — the seam the query service uses to
+        stamp ``result_cache`` / ``queue_seconds`` onto executed
+        queries.  Ignored when telemetry is off.
         """
         if self._views and not self._refreshing:
             refresh_stale_views(self)
         telemetry = self.config.telemetry
         if telemetry is None:
             return self._query_plain(text)
-        return self._query_telemetry(telemetry, text)
+        return self._query_telemetry(telemetry, text,
+                                     extra=_record_extra)
 
     def _query_plain(self, text):
         """One query through the engine plus the per-query observers
@@ -505,7 +511,7 @@ class Database:
             write_chrome_trace(tracer, self._trace_path)
         return result
 
-    def _query_telemetry(self, hub, text):
+    def _query_telemetry(self, hub, text, extra=None):
         """Telemetry-wrapped execution: write-ahead journal, structured
         query record, lifetime aggregation, slow-query promotion.
 
@@ -536,6 +542,8 @@ class Database:
             "execution_mode": self.config.execution_mode,
             "config_signature": signature_digest,
         }
+        if extra:
+            record.update(extra)
         promoted = hub.should_trace(sha)
         own_tracer = None
         previous_tracer = self.config.tracer

@@ -18,6 +18,11 @@ Commands
 ``fuzz``
     Differential query fuzzer (forwards to ``python -m repro.fuzz``):
     random datalog programs cross-checked over every execution path.
+``serve``
+    Long-lived query daemon over a newline-delimited-JSON socket
+    protocol: warm plan/trie caches, admission control with
+    backpressure, a version-stamped result cache, graceful drain
+    (``docs/serving.md``).
 
 Examples
 --------
@@ -42,7 +47,10 @@ from .graphs.datasets import DATASETS, dataset_profile, load_dataset, \
 from .graphs.patterns import TRIANGLE_COUNT
 
 
-def _load_database(args):
+def _build_database(args):
+    """Construct a :class:`Database` from the shared loader flags
+    (no data loaded — ``repro serve`` can start with an empty catalog
+    and let clients populate it over the wire)."""
     overrides = dict(parallel_workers=args.workers,
                      parallel_strategy=args.parallel_strategy)
     if getattr(args, "execution_mode", None):
@@ -69,11 +77,15 @@ def _load_database(args):
         else:
             overrides["tuning"] = profile
             overrides["adaptive"] = True
-    db = Database(ordering=args.ordering,
-                  layout_level=args.layout_level,
-                  use_ghd=not args.no_ghd,
-                  simd=not args.no_simd,
-                  **overrides)
+    return Database(ordering=args.ordering,
+                    layout_level=args.layout_level,
+                    use_ghd=not args.no_ghd,
+                    simd=not args.no_simd,
+                    **overrides)
+
+
+def _load_database(args):
+    db = _build_database(args)
     if args.dataset:
         edges = load_dataset(args.dataset)
     elif args.edges:
@@ -282,6 +294,43 @@ def cmd_tune(args):
     return 0
 
 
+def cmd_serve(args):
+    """``repro serve``: run the long-lived query daemon."""
+    from .serve import QueryService
+    if args.dataset or args.edges:
+        db = _load_database(args)
+    else:
+        db = _build_database(args)
+    if args.telemetry:
+        db.enable_telemetry(directory=args.telemetry,
+                            slow_query_seconds=args.slow_query)
+    elif db.telemetry is None:
+        # Memory-only hub: the status op and OpenMetrics still work,
+        # nothing hits disk.
+        db.enable_telemetry(directory=None,
+                            slow_query_seconds=args.slow_query)
+    metrics_server = None
+    if args.metrics_port is not None:
+        metrics_server = db.serve_metrics(host=args.host,
+                                          port=args.metrics_port)
+        print("openmetrics on %s:%d"
+              % metrics_server.server_address[:2], file=sys.stderr)
+    service = QueryService(
+        db, host=args.host, port=args.port,
+        max_inflight=args.max_inflight,
+        default_timeout=args.timeout,
+        drain_timeout=args.drain_timeout,
+        cache_capacity=args.cache_capacity,
+        debug=args.debug, announce=True)
+    try:
+        service.serve_forever()
+    finally:
+        if metrics_server is not None:
+            metrics_server.shutdown()
+        db.close()
+    return 0
+
+
 def cmd_fuzz(args):
     """``repro fuzz``: delegate to the differential fuzzer CLI."""
     from .fuzz.__main__ import main as fuzz_main
@@ -374,6 +423,43 @@ def build_parser():
     tune.add_argument("--edges", help="whitespace edge-list file for "
                                       "the dataset fit")
     tune.set_defaults(func=cmd_tune)
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived query daemon: warm caches, admission control, "
+             "result caching, graceful drain (see docs/serving.md)")
+    _add_loader_flags(serve)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port; 0 picks a free one and prints it "
+                            "(default: 0)")
+    serve.add_argument("--max-inflight", type=int, default=32,
+                       help="admission slots before requests are "
+                            "rejected with retry_after (default: 32)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="default per-query timeout (requests may "
+                            "carry their own; default: none)")
+    serve.add_argument("--drain-timeout", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="graceful-shutdown budget for in-flight "
+                            "requests (default: 5)")
+    serve.add_argument("--cache-capacity", type=int, default=256,
+                       help="result-cache entries (default: 256)")
+    serve.add_argument("--telemetry", metavar="DIR",
+                       help="telemetry directory (query log, flight "
+                            "recorder, OpenMetrics); omitted = "
+                            "memory-only hub")
+    serve.add_argument("--slow-query", type=float, metavar="SECONDS",
+                       help="slow-query promotion budget")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="also serve GET /metrics (OpenMetrics) on "
+                            "this port")
+    serve.add_argument("--debug", action="store_true",
+                       help="honor per-request fault-injection fields "
+                            "(debug_sleep); tests only")
+    serve.set_defaults(func=cmd_serve)
 
     fuzz = sub.add_parser("fuzz", add_help=False,
                           help="differential query fuzzer "

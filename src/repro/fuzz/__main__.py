@@ -11,7 +11,8 @@ from ..engine.config import (enumerate_config_matrix,
                              enumerate_mutation_matrix)
 from ..obs.metrics import MetricsRegistry
 from .corpus import load_corpus, save_case
-from .runner import run_case, run_fuzz, run_mutation_fuzz
+from .runner import (run_case, run_fuzz, run_mutation_fuzz,
+                     run_serve_fuzz)
 
 
 def build_parser():
@@ -27,6 +28,11 @@ def build_parser():
                         help="fuzz incremental maintenance: interleaved "
                              "append/delete/query sequences checked "
                              "against a full-rebuild oracle")
+    parser.add_argument("--serve", action="store_true",
+                        help="fuzz the query daemon: replay mutation "
+                             "cases through a live repro.serve daemon "
+                             "and diff every reply against direct "
+                             "Database execution")
     parser.add_argument("--shrink", action="store_true",
                         help="minimize failures before reporting them")
     parser.add_argument("--full-matrix", action="store_true",
@@ -86,7 +92,12 @@ def main(argv=None):
             print("\r%d/%d cases, %d failure(s)"
                   % (done, budget, failures), end="", flush=True)
 
-    if args.mutations:
+    if args.serve:
+        report = run_serve_fuzz(seed=args.seed, budget=args.budget,
+                                matrix=enumerate_mutation_matrix(),
+                                max_failures=args.max_failures,
+                                metrics=metrics, progress=ticker)
+    elif args.mutations:
         report = run_mutation_fuzz(seed=args.seed, budget=args.budget,
                                    matrix=enumerate_mutation_matrix(),
                                    max_failures=args.max_failures,
@@ -100,7 +111,7 @@ def main(argv=None):
     if not args.quiet:
         print()
     print(report.describe())
-    if args.save_corpus and not args.mutations:
+    if args.save_corpus and not (args.mutations or args.serve):
         # Mutation cases replay from their seed; the corpus format only
         # stores plain FuzzCases.
         for failure in report.failures:

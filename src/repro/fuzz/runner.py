@@ -510,6 +510,146 @@ def run_mutation_case(case, matrix=None, metrics=None):
     return None
 
 
+# ---------------------------------------------------------------------------
+# serve fuzzing (live daemon vs direct execution)
+# ---------------------------------------------------------------------------
+
+
+def _serve_query_snapshot(client, case):
+    """The daemon-side analog of :func:`_query_snapshot`: run the query
+    over the wire, then fetch every derived head as a normalized
+    payload (``relation`` ops execute in admission order, so they read
+    exactly the state the query installed)."""
+    from ..serve.protocol import payload_to_outcome
+    reply = client.query(case.query_text)
+    if reply["status"] != "ok":
+        return "error", reply.get("error_class", "EmptyHeadedError")
+    results = {}
+    for name in case.head_names:
+        fetched = client.relation(name)
+        if fetched["status"] != "ok":
+            raise RuntimeError("relation fetch for %r failed: %r"
+                               % (name, fetched))
+        results[name] = payload_to_outcome(fetched["result"])
+    return "ok", results
+
+
+def _serve_mutation_ops(case, config):
+    """Replay the case's op sequence through a live query daemon.
+
+    Boots a :class:`~repro.serve.QueryService` around a database with
+    the same config as the direct run, then drives every op over the
+    wire — setup ``add_relation``/``materialize``, interleaved
+    ``append``/``delete``/``query`` — returning the same outcome-list
+    shape as :func:`_run_mutation_ops` for
+    :func:`_diff_mutation_outcomes`.  This is the result cache's
+    hardest test: repeated queries hit, mutations invalidate, and every
+    served payload must equal direct execution bit-for-bit.
+    """
+    from ..serve import QueryService, ServeClient
+    db = Database(config=config.ablated())
+    service = QueryService(db).start()
+    outcomes = []
+    try:
+        with ServeClient(port=service.port) as client:
+            for relation in case.relations:
+                reply = client.add_relation(
+                    relation.name, relation.tuples,
+                    annotations=relation.annotations,
+                    arity=relation.arity)
+                if reply["status"] != "ok":
+                    raise RuntimeError("add_relation %r failed: %r"
+                                       % (relation.name, reply))
+            setup_error = None
+            for name, rule in case.views:
+                reply = client.materialize(name, str(rule))
+                if reply["status"] != "ok":
+                    setup_error = reply.get("error_class",
+                                            "EmptyHeadedError")
+                    break
+            if setup_error is not None:
+                outcomes.append(("setup-error", setup_error))
+                return outcomes
+            outcomes.append(("setup-ok", None))
+            for op in case.ops:
+                if op.kind == "append":
+                    reply = client.append(op.target, op.tuples,
+                                          annotations=op.annotations)
+                    if reply["status"] != "ok":
+                        raise RuntimeError("append failed: %r" % reply)
+                elif op.kind == "delete":
+                    reply = client.delete(op.target, op.tuples)
+                    if reply["status"] != "ok":
+                        raise RuntimeError("delete failed: %r" % reply)
+                else:
+                    outcomes.append(_serve_query_snapshot(client, case))
+    finally:
+        service.stop()
+        db.close()
+    return outcomes
+
+
+def run_serve_case(case, matrix=None, metrics=None):
+    """Differentially check one mutation case: daemon vs direct.
+
+    For every config in the mutation matrix the case's full op
+    sequence runs twice — directly on a :class:`Database` and through
+    a live :class:`~repro.serve.QueryService` — and the outcome lists
+    must agree step-for-step.  A case whose *direct* run crashes is
+    skipped here (that is the mutation fuzzer's finding, not ours).
+    """
+    if matrix is None:
+        matrix = enumerate_mutation_matrix()
+    for label, config in matrix:
+        try:
+            direct = _run_mutation_ops(case, config)
+        except Exception:  # noqa: BLE001 - the mutation fuzzer's find
+            return None
+        try:
+            served = _serve_mutation_ops(case, config)
+        except Exception as error:  # noqa: BLE001 - crash = finding
+            if metrics is not None:
+                metrics.inc("fuzz.crashes")
+            return CaseFailure(case.seed, "crash",
+                               "serve[%s] crashed: %s: %s"
+                               % (label, type(error).__name__, error),
+                               case)
+        diff = _diff_mutation_outcomes("direct[%s]" % label, direct,
+                                       "serve[%s]" % label, served)
+        if diff is not None:
+            if metrics is not None:
+                metrics.inc("fuzz.mismatches")
+            return CaseFailure(case.seed, "serve-mismatch", diff, case)
+    return None
+
+
+def run_serve_fuzz(seed=0, budget=100, matrix=None, max_failures=10,
+                   metrics=None, progress=None):
+    """Generate mutation cases and replay each through a live daemon,
+    diffing against direct execution across the mutation matrix."""
+    if matrix is None:
+        matrix = enumerate_mutation_matrix()
+    report = FuzzReport(budget=budget)
+    start = time.perf_counter()
+    for index in range(budget):
+        case = generate_mutation_case(case_seed(seed, index))
+        if metrics is not None:
+            metrics.inc("fuzz.serve_cases")
+        failure = run_serve_case(case, matrix, metrics=metrics)
+        report.executed += 1
+        if failure is not None:
+            report.failures.append(failure)
+            if len(report.failures) >= max_failures:
+                break
+        if progress is not None:
+            progress(index + 1, budget, len(report.failures))
+    report.elapsed = time.perf_counter() - start
+    if metrics is not None:
+        metrics.observe("fuzz.seconds", report.elapsed,
+                        (1, 10, 60, 300, 1800, float("inf")))
+    return report
+
+
 def run_mutation_fuzz(seed=0, budget=100, matrix=None, max_failures=10,
                       metrics=None, progress=None):
     """Generate and differentially check ``budget`` mutation cases.

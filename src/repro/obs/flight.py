@@ -127,9 +127,19 @@ class FlightRecorder:
             os.pwrite(self._journal_fd, data, 0)
 
     def complete(self, record):
-        """Move the in-flight query into the ring; clear the journal."""
-        self.inflight = None
+        """Move a completed query into the ring; clear the journal.
+
+        The journal is only cleared when ``record`` *is* the journaled
+        in-flight query: the query service completes out-of-band
+        records (served cache hits) from its event loop while a journal
+        query executes on the worker thread, and those must not erase
+        the executing query's write-ahead entry.
+        """
         self.records.append(record)
+        if self.inflight is not None \
+                and self.inflight.get("query_id") != record.get("query_id"):
+            return
+        self.inflight = None
         if self._journal_fd is not None:
             os.ftruncate(self._journal_fd, 0)
 

@@ -29,11 +29,20 @@ their observations back to the parent (``repro.engine.parallel``) and
 how the telemetry hub folds per-query snapshots into process-lifetime
 series.
 
+Registries are **thread-safe**: a single re-entrant ``lock`` guards
+instrument creation and every mutator, because the query service
+(:mod:`repro.serve`) updates one registry from both its event loop and
+its executor thread.  Callers holding memoized instrument objects (the
+telemetry hub's hot path) must take ``registry.lock`` around direct
+instrument mutation — ``Counter.inc`` itself stays lock-free so the
+single-threaded engine paths pay nothing extra.
+
 Everything is process-local and allocation-light; no external
 dependencies.
 """
 
 import math
+import threading
 
 #: Power-of-four upper bounds for size-like histograms (set
 #: cardinalities, lane ops): 1, 4, 16, ... ~1.07e9.
@@ -223,6 +232,9 @@ class MetricsRegistry:
 
     def __init__(self, enabled=True):
         self.enabled = enabled
+        #: Guards instrument creation and every mutator.  Re-entrant:
+        #: ``record_exec_stats`` funnels through ``inc``/``observe``.
+        self.lock = threading.RLock()
         self.counters = {}
         self.gauges = {}
         self.histograms = {}
@@ -231,25 +243,28 @@ class MetricsRegistry:
 
     def counter(self, name, labels=None):
         key = series_key(name, labels_key(labels))
-        counter = self.counters.get(key)
-        if counter is None:
-            counter = self.counters[key] = Counter(name,
-                                                   labels_key(labels))
+        with self.lock:
+            counter = self.counters.get(key)
+            if counter is None:
+                counter = self.counters[key] = Counter(name,
+                                                       labels_key(labels))
         return counter
 
     def gauge(self, name, labels=None):
         key = series_key(name, labels_key(labels))
-        gauge = self.gauges.get(key)
-        if gauge is None:
-            gauge = self.gauges[key] = Gauge(name, labels_key(labels))
+        with self.lock:
+            gauge = self.gauges.get(key)
+            if gauge is None:
+                gauge = self.gauges[key] = Gauge(name, labels_key(labels))
         return gauge
 
     def histogram(self, name, buckets=SIZE_BUCKETS, labels=None):
         key = series_key(name, labels_key(labels))
-        histogram = self.histograms.get(key)
-        if histogram is None:
-            histogram = self.histograms[key] = Histogram(
-                name, buckets, labels_key(labels))
+        with self.lock:
+            histogram = self.histograms.get(key)
+            if histogram is None:
+                histogram = self.histograms[key] = Histogram(
+                    name, buckets, labels_key(labels))
         return histogram
 
     # -- recording ----------------------------------------------------------
@@ -257,22 +272,29 @@ class MetricsRegistry:
     def inc(self, name, amount=1, labels=None):
         if not self.enabled:
             return
-        self.counter(name, labels).inc(amount)
+        with self.lock:
+            self.counter(name, labels).inc(amount)
 
     def set_gauge(self, name, value, labels=None):
         if not self.enabled:
             return
-        self.gauge(name, labels).set(value)
+        with self.lock:
+            self.gauge(name, labels).set(value)
 
     def observe(self, name, value, buckets=SIZE_BUCKETS, labels=None):
         if not self.enabled:
             return
-        self.histogram(name, buckets, labels).observe(value)
+        with self.lock:
+            self.histogram(name, buckets, labels).observe(value)
 
     def record_exec_stats(self, stats):
         """Fold one query's :class:`repro.engine.stats.ExecStats` in."""
         if not self.enabled or stats is None:
             return
+        with self.lock:
+            self._record_exec_stats_locked(stats)
+
+    def _record_exec_stats_locked(self, stats):
         self.inc("cache.trie.hits", stats.trie_cache_hits)
         self.inc("cache.trie.misses", stats.trie_cache_misses)
         self.inc("cache.level0.hits", stats.level0_cache_hits)
@@ -301,14 +323,16 @@ class MetricsRegistry:
         """
         if not self.enabled:
             return
-        self.inc("ops.simd", after["simd_ops"] - before["simd_ops"])
-        self.inc("ops.scalar", after["scalar_ops"] - before["scalar_ops"])
-        previous = before["by_algorithm"]
-        for algorithm, stat in after["by_algorithm"].items():
-            prior = previous.get(algorithm, {"calls": 0})
-            calls = stat["calls"] - prior["calls"]
-            if calls:
-                self.inc("intersect.calls.%s" % algorithm, calls)
+        with self.lock:
+            self.inc("ops.simd", after["simd_ops"] - before["simd_ops"])
+            self.inc("ops.scalar",
+                     after["scalar_ops"] - before["scalar_ops"])
+            previous = before["by_algorithm"]
+            for algorithm, stat in after["by_algorithm"].items():
+                prior = previous.get(algorithm, {"calls": 0})
+                calls = stat["calls"] - prior["calls"]
+                if calls:
+                    self.inc("intersect.calls.%s" % algorithm, calls)
 
     # -- state transport ----------------------------------------------------
 
@@ -320,23 +344,24 @@ class MetricsRegistry:
         per-query states into lifetime series.  Merge with
         :meth:`merge_state`.
         """
-        return {
-            "counters": [
-                {"name": c.name, "labels": list(c.labels),
-                 "value": c.value}
-                for c in self.counters.values()],
-            "gauges": [
-                {"name": g.name, "labels": list(g.labels),
-                 "value": g.value}
-                for g in self.gauges.values()],
-            "histograms": [
-                {"name": h.name, "labels": list(h.labels),
-                 "buckets": list(h.buckets), "counts": list(h.counts),
-                 "count": h.count, "sum": h.total,
-                 "min": h.minimum if h.count else None,
-                 "max": h.maximum if h.count else None}
-                for h in self.histograms.values()],
-        }
+        with self.lock:
+            return {
+                "counters": [
+                    {"name": c.name, "labels": list(c.labels),
+                     "value": c.value}
+                    for c in self.counters.values()],
+                "gauges": [
+                    {"name": g.name, "labels": list(g.labels),
+                     "value": g.value}
+                    for g in self.gauges.values()],
+                "histograms": [
+                    {"name": h.name, "labels": list(h.labels),
+                     "buckets": list(h.buckets), "counts": list(h.counts),
+                     "count": h.count, "sum": h.total,
+                     "min": h.minimum if h.count else None,
+                     "max": h.maximum if h.count else None}
+                    for h in self.histograms.values()],
+            }
 
     def merge_state(self, state, labels=None):
         """Fold a :meth:`to_state` payload in (respects ``enabled``).
@@ -347,6 +372,10 @@ class MetricsRegistry:
         """
         if not self.enabled or not state:
             return
+        with self.lock:
+            self._merge_state_locked(state, labels)
+
+    def _merge_state_locked(self, state, labels):
         extra = labels_key(labels)
 
         def merged_labels(own):
@@ -381,20 +410,25 @@ class MetricsRegistry:
         Keys are :func:`series_key` strings; labeled series appear as
         ``name{k=v}`` entries next to their unlabeled siblings.
         """
-        return {
-            "counters": {key: c.value
-                         for key, c in sorted(self.counters.items())},
-            "gauges": {key: g.value
-                       for key, g in sorted(self.gauges.items())},
-            "histograms": {key: h.snapshot()
-                           for key, h in sorted(self.histograms.items())},
-        }
+        with self.lock:
+            return {
+                "counters": {
+                    key: c.value
+                    for key, c in sorted(self.counters.items())},
+                "gauges": {
+                    key: g.value
+                    for key, g in sorted(self.gauges.items())},
+                "histograms": {
+                    key: h.snapshot()
+                    for key, h in sorted(self.histograms.items())},
+            }
 
     def reset(self):
         """Drop every instrument (names re-create lazily)."""
-        self.counters = {}
-        self.gauges = {}
-        self.histograms = {}
+        with self.lock:
+            self.counters = {}
+            self.gauges = {}
+            self.histograms = {}
 
     def describe(self):
         """Human-readable dump, one instrument per line."""

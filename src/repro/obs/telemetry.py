@@ -31,6 +31,7 @@ import hashlib
 import json
 import os
 import sys
+import threading
 import time
 
 from .flight import FlightRecorder
@@ -69,6 +70,11 @@ QUERY_RECORD_FIELDS = {
     "promoted": (False, (bool,)),
     "trace_path": (False, (str,)),
     "error": (False, (str,)),
+    # Query-service fields (repro.serve): which result-cache tier the
+    # request took (hit / miss / bypass) and how long it waited for
+    # admission + its executor slot before running.
+    "result_cache": (False, (str,)),
+    "queue_seconds": (False, (int, float)),
 }
 
 #: Statuses a record may carry; ``inflight`` only in the journal.
@@ -250,7 +256,16 @@ class TelemetryHub:
     ``telemetry.morsels``/``steals``  —
     ``telemetry.slow_queries``        —
     ``telemetry.replans``             —
+    ``telemetry.result_cache``        ``tier`` (``hit``/``miss``/``bypass``)
+    ``telemetry.queue_seconds``       — (histogram, time buckets)
     ================================  =======================================
+
+    The hub is **thread-safe**: one re-entrant lock serializes the
+    query lifecycle (id allocation, journal, sink, flight ring, series
+    folds), because the query service records cache hits from its event
+    loop while executed queries record from the executor thread.
+    Series updates additionally hold ``registry.lock`` so the memoized
+    instrument fast path cannot race direct ``registry.inc`` callers.
 
     Slow-query promotion: when a completed query's latency exceeds
     ``slow_query_seconds``, its ``text_sha`` is flagged; the caller
@@ -282,19 +297,23 @@ class TelemetryHub:
         self._promoted = {}    # text_sha -> query_id that flagged it
         self._archived = set()  # text_shas already archived
         self._instruments = {}  # hot-path series memo (see _counter)
+        self._lock = threading.RLock()  # serializes the query lifecycle
         self.closed = False
 
     # -- identity -----------------------------------------------------------
 
     def next_query_id(self):
-        self._sequence += 1
-        return "q%08d-%d" % (self._sequence, os.getpid())
+        with self._lock:
+            self._sequence += 1
+            return "q%08d-%d" % (self._sequence, os.getpid())
 
     # -- query lifecycle ----------------------------------------------------
 
     def begin_query(self, record):
         """Journal the in-flight record (write-ahead, crash-visible)."""
-        self.flight.begin(record)
+        with self._lock:
+            if not self.closed:
+                self.flight.begin(record)
 
     # Per-query series updates are the telemetry hot path, so instrument
     # objects are memoized on fixed-shape keys instead of going through
@@ -330,57 +349,80 @@ class TelemetryHub:
     def record_query(self, record):
         """Fold one completed query record into every lifetime surface:
         the JSONL sink, the flight ring, and the labeled series."""
-        self.queries += 1
-        self.flight.complete(record)
-        if self.sink is not None:
-            self.sink.append(record)
-        if self.registry.enabled:
-            mode = record.get("execution_mode", "unknown")
-            status = record.get("status", "ok")
-            self._counter(("queries", mode, status),
-                          "telemetry.queries",
-                          {"mode": mode, "status": status}).inc()
-            elapsed = record.get("elapsed_seconds")
-            if elapsed is not None:
-                self._histogram(("seconds", mode),
-                                "telemetry.query_seconds",
-                                TIME_BUCKETS,
-                                {"mode": mode}).observe(elapsed)
-            rows = record.get("rows")
-            if rows:
-                self._counter("rows", "telemetry.rows").inc(rows)
-            tier = record.get("plan_cache")
-            if tier:
-                self._counter(("tier", tier), "telemetry.plan_cache",
-                              {"tier": tier}).inc()
-            for field, series in (
-                    ("fused_blocks", "telemetry.fused_blocks"),
-                    ("morsels", "telemetry.morsels"),
-                    ("steals", "telemetry.steals")):
-                value = record.get(field)
-                if value:
-                    self._counter(field, series).inc(value)
-            replans = record.get("replans")
-            if replans:
-                self._gauge("replans", "telemetry.replans").set(replans)
-        self._check_slow(record)
+        with self._lock:
+            if self.closed:
+                # A timed-out query's worker can outlive the hub (the
+                # service answers early and drains); drop its record
+                # rather than writing to a closed sink.
+                return record
+            self.queries += 1
+            self.flight.complete(record)
+            if self.sink is not None:
+                self.sink.append(record)
+            if self.registry.enabled:
+                with self.registry.lock:
+                    self._fold_series(record)
+            self._check_slow(record)
         return record
+
+    def _fold_series(self, record):
+        """Series updates for one record (registry lock held)."""
+        mode = record.get("execution_mode", "unknown")
+        status = record.get("status", "ok")
+        self._counter(("queries", mode, status),
+                      "telemetry.queries",
+                      {"mode": mode, "status": status}).inc()
+        elapsed = record.get("elapsed_seconds")
+        if elapsed is not None:
+            self._histogram(("seconds", mode),
+                            "telemetry.query_seconds",
+                            TIME_BUCKETS,
+                            {"mode": mode}).observe(elapsed)
+        rows = record.get("rows")
+        if rows:
+            self._counter("rows", "telemetry.rows").inc(rows)
+        tier = record.get("plan_cache")
+        if tier:
+            self._counter(("tier", tier), "telemetry.plan_cache",
+                          {"tier": tier}).inc()
+        result_tier = record.get("result_cache")
+        if result_tier:
+            self._counter(("result_cache", result_tier),
+                          "telemetry.result_cache",
+                          {"tier": result_tier}).inc()
+        queued = record.get("queue_seconds")
+        if queued is not None:
+            self._histogram("queue_seconds", "telemetry.queue_seconds",
+                            TIME_BUCKETS).observe(queued)
+        for field, series in (
+                ("fused_blocks", "telemetry.fused_blocks"),
+                ("morsels", "telemetry.morsels"),
+                ("steals", "telemetry.steals")):
+            value = record.get(field)
+            if value:
+                self._counter(field, series).inc(value)
+        replans = record.get("replans")
+        if replans:
+            self._gauge("replans", "telemetry.replans").set(replans)
 
     def fail_query(self, record, error):
         """Record a query that raised: flight ring + sink + series, and
         an immediate post-mortem dump."""
-        record = self.flight.fail(record, error)
-        record.setdefault("elapsed_seconds", 0.0)
-        record.setdefault("rows", 0)
-        failed = dict(record)
-        self.queries += 1
-        if self.sink is not None:
-            self.sink.append(failed)
-        self.registry.inc(
-            "telemetry.queries",
-            labels={"mode": failed.get("execution_mode", "unknown"),
-                    "status": "error"})
-        self.flight.dump(reason="exception")
+        with self._lock:
+            if self.closed:
+                return dict(record)
+            record = self.flight.fail(record, error)
+            record.setdefault("elapsed_seconds", 0.0)
+            record.setdefault("rows", 0)
+            failed = dict(record)
+            self.queries += 1
+            if self.sink is not None:
+                self.sink.append(failed)
+            self.registry.inc(
+                "telemetry.queries",
+                labels={"mode": failed.get("execution_mode", "unknown"),
+                        "status": "error"})
+            self.flight.dump(reason="exception")
         return failed
 
     # -- slow-query promotion -----------------------------------------------
@@ -400,7 +442,8 @@ class TelemetryHub:
     def should_trace(self, text_sha):
         """True when this query identity was flagged slow and its traced
         re-execution has not happened yet."""
-        return text_sha in self._promoted
+        with self._lock:
+            return text_sha in self._promoted
 
     def archive_trace(self, tracer, record):
         """Archive a promoted query's trace next to the query log;
@@ -408,9 +451,10 @@ class TelemetryHub:
         identity is unflagged either way — one archive per promotion.
         """
         sha = record.get("text_sha")
-        self._promoted.pop(sha, None)
-        self._archived.add(sha)
-        self.flight.note_spans(list(tracer.spans), tracer.t0)
+        with self._lock:
+            self._promoted.pop(sha, None)
+            self._archived.add(sha)
+            self.flight.note_spans(list(tracer.spans), tracer.t0)
         if self.directory is None:
             return None
         path = os.path.join(self.directory,
@@ -467,18 +511,19 @@ class TelemetryHub:
     def close(self, dump_reason="atexit"):
         """Final flush: post-mortem dump, OpenMetrics file, sink close.
         Idempotent — registered with ``atexit`` by the database."""
-        if self.closed:
-            return
-        self.closed = True
-        self.flight.dump(reason=dump_reason)
-        self.flight.close()
-        if self.directory is not None:
-            try:
-                self.write_openmetrics()
-            except Exception:  # pragma: no cover - best-effort at exit
-                pass
-        if self.sink is not None:
-            self.sink.close()
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            self.flight.dump(reason=dump_reason)
+            self.flight.close()
+            if self.directory is not None:
+                try:
+                    self.write_openmetrics()
+                except Exception:  # pragma: no cover - best-effort at exit
+                    pass
+            if self.sink is not None:
+                self.sink.close()
 
 
 # ---------------------------------------------------------------------------

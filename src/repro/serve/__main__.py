@@ -1,0 +1,8 @@
+"""``python -m repro.serve`` — alias for ``repro serve``."""
+
+import sys
+
+from .server import main
+
+if __name__ == "__main__":
+    sys.exit(main())

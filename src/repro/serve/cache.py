@@ -1,0 +1,166 @@
+"""Keyed result cache with surgical, version-stamped invalidation.
+
+The cache key is the program's **canonical optimized-IR identity**:
+the tuple of per-rule :meth:`~repro.lir.ir.LogicalRule.cache_key`
+values (alpha-renaming invariant, catalog-resolved) plus the engine's
+:func:`~repro.engine.plan_cache.config_signature` — two textually
+different programs that optimize to the same logical plan under the
+same config share one entry.  Programs the optimizer cannot resolve
+standalone (e.g. a later rule reading an earlier rule's head, which is
+not in the catalog at key time) fall back to a text-digest key; parse
+failures are uncacheable.
+
+Validity is **relation version stamps**: each entry records, for every
+relation its program reads, the server's invalidation epoch at
+execution time.  ``Database.append`` / ``delete`` bump the mutated
+relation's epoch (riding the PR 9 versioned-catalog signal), so a
+mutation invalidates exactly the entries whose read set contains the
+mutated relation — results over untouched relations stay warm.  Read
+sets expand through materialized-view dependencies: an entry reading
+view ``V`` also stamps ``V``'s base relations, because mutating a base
+changes ``V``'s contents on its next refresh.
+
+The server (not this module) decides *when* lookups are safe: a query
+admitted while a mutation is pending on one of its read relations
+bypasses the cache and executes in admission order instead (snapshot
+consistency; see ``docs/serving.md``).
+"""
+
+from collections import OrderedDict
+
+from ..engine.plan_cache import config_signature
+from ..lir import OptimizerOptions, optimize_rule
+from ..obs.telemetry import key_digest, text_digest
+from ..query.ast import expression_refs
+from ..query.parser import parse
+
+
+def program_identity(db, text):
+    """Cache identity of one program against ``db``'s current catalog.
+
+    Returns ``(key, read_set, head_names)``:
+
+    * ``key`` — digest of the optimized-IR identity + config signature
+      (or a text-digest fallback when rules cannot be resolved
+      standalone);
+    * ``read_set`` — frozenset of relation names the program reads
+      (body atoms and expression refs, minus its own heads, expanded
+      through materialized-view dependencies);
+    * ``head_names`` — tuple of head relations the program installs.
+
+    Raises whatever :func:`~repro.query.parser.parse` raises on a
+    malformed program — callers treat that as "uncacheable" and let
+    execution surface the real error.
+    """
+    program = parse(text)
+    rules = list(program.rules)
+    heads = []
+    for rule in rules:
+        if rule.head_name not in heads:
+            heads.append(rule.head_name)
+    head_set = set(heads)
+    reads = set()
+    for rule in rules:
+        for atom in rule.body:
+            reads.add(atom.name)
+        if rule.assignment is not None:
+            reads.update(expression_refs(rule.assignment))
+    reads -= head_set
+    # Expand through materialized views, transitively: mutating a base
+    # relation changes the view's contents on its next refresh, so an
+    # entry reading the view must also stamp the base.
+    views = db.views
+    stack = list(reads)
+    while stack:
+        name = stack.pop()
+        view = views.get(name)
+        if view is None:
+            continue
+        for dep in view.deps:
+            if dep not in reads:
+                reads.add(dep)
+                stack.append(dep)
+    signature = config_signature(db.config)
+    options = OptimizerOptions.from_config(db.config)
+    try:
+        parts = tuple(optimize_rule(rule, db.catalog, options).cache_key()
+                      for rule in rules)
+    except Exception:
+        # Multi-rule programs whose later rules read not-yet-installed
+        # intermediate heads (or any other standalone-resolution
+        # failure): key on the text instead.  Still correct — just a
+        # coarser identity.
+        parts = ("text", text_digest(text))
+    return (key_digest((parts, signature)), frozenset(reads),
+            tuple(heads))
+
+
+class ResultCache:
+    """LRU-bounded result cache stamped with invalidation epochs.
+
+    Entries map ``key`` → ``{"payload", "rows", "stamps"}`` where
+    ``stamps`` is ``{relation name: epoch at execution}``.  A lookup
+    whose stamps disagree with the current epochs evicts the entry and
+    misses.  All methods run on the server's event loop — no internal
+    locking needed.
+    """
+
+    def __init__(self, capacity=256):
+        self.capacity = capacity
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.bypasses = 0
+        self.invalidations = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def lookup(self, key, epochs):
+        """The entry for ``key`` if still valid under ``epochs``, else
+        ``None`` (stale entries are evicted on the way out).  Updates
+        the hit/miss counters."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            for name, stamp in entry["stamps"].items():
+                if epochs.get(name, 0) != stamp:
+                    del self._entries[key]
+                    self.invalidations += 1
+                    entry = None
+                    break
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def store(self, key, payload, rows, stamps):
+        self._entries[key] = {"payload": payload, "rows": rows,
+                              "stamps": dict(stamps)}
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate_names(self, names):
+        """Evict every entry whose read set intersects ``names``;
+        returns the eviction count."""
+        names = set(names)
+        doomed = [key for key, entry in self._entries.items()
+                  if names & entry["stamps"].keys()]
+        for key in doomed:
+            del self._entries[key]
+        self.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self):
+        evicted = len(self._entries)
+        self._entries.clear()
+        self.invalidations += evicted
+        return evicted
+
+    def snapshot(self):
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses, "bypasses": self.bypasses,
+                "invalidations": self.invalidations,
+                "capacity": self.capacity}

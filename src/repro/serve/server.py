@@ -1,0 +1,675 @@
+"""The asyncio query daemon: admission control, result cache, drain.
+
+One :class:`QueryService` wraps one :class:`~repro.api.Database` and
+serves the :mod:`repro.serve.protocol` over TCP.  Design:
+
+**Single-writer execution.**  ``Database`` is not thread-safe (even a
+read query installs intermediate heads into the catalog), so every
+admitted op — queries, mutations, relation fetches — runs on a
+one-thread executor in **admission order**.  That FIFO is the whole
+consistency story: a query admitted before a mutation executes before
+it and sees the pre-mutation catalog; a query admitted after it sees
+the post-mutation catalog.  The event loop never touches the database
+except through the pool.
+
+**Admission control.**  At most ``max_inflight`` requests hold a slot
+(admitted, response not yet sent).  Excess requests are rejected
+immediately with ``status="rejected"`` and a ``retry_after`` estimate
+(429 semantics) — the daemon never buffers unbounded work.  Per-query
+timeouts cover queue wait + execution; a timed-out request gets a
+structured error and releases its slot at once, while its (already
+running) worker computation finishes in the background and still
+applies its effects — a timeout is a response deadline, not an abort.
+
+**Result cache.**  Cacheable queries are keyed by optimized-IR
+identity (:func:`~repro.serve.cache.program_identity`); entries stamp
+the invalidation epoch of every relation they read.  Completed ops
+apply their *effects* on the event loop in completion (= admission)
+order: mutations bump the mutated relation's epoch and evict entries
+reading it; executed queries bump their installed heads' epochs and
+store their payload.  A query arriving while a mutation (or an
+overlapping execution) is pending on one of its relations *bypasses*
+the cache and executes FIFO instead — a hit is only served when
+nothing that could change its answer is in flight, which makes hits
+bit-identical to serial replay.
+
+**Drain.**  ``shutdown`` (the op, SIGTERM, or SIGINT) stops admitting
+(new requests are rejected with ``code="shutting_down"``), waits up to
+``drain_timeout`` for in-flight work, closes the telemetry hub (flight
+recorder post-mortem + OpenMetrics flush), and stops the loop.
+
+Telemetry plugs into the PR 8 pipeline: executed queries carry
+``result_cache`` / ``queue_seconds`` in their query-log records via
+``Database.query(_record_extra=...)``; cache hits synthesize a full
+schema-valid record on the event loop (the hub is thread-safe).
+"""
+
+import asyncio
+import concurrent.futures
+import sys
+import threading
+import time
+
+from ..engine.plan_cache import config_signature
+from ..errors import EmptyHeadedError
+from . import protocol
+from .cache import ResultCache, program_identity
+
+#: Pending-mark token for mutations (see ``QueryService._pending``).
+_MUTATION = "__mutation__"
+
+
+class QueryService:
+    """A long-lived daemon wrapping one warm :class:`~repro.api.Database`.
+
+    Parameters
+    ----------
+    db:
+        The database to serve.  Its plan cache, trie cache, and arena
+        stay warm across every request.
+    host / port:
+        Bind address; port 0 picks a free port (read ``service.port``
+        after :meth:`start`).
+    max_inflight:
+        Admission-slot count: requests admitted but not yet answered.
+        Excess requests are rejected with ``retry_after``.
+    default_timeout:
+        Per-query timeout (seconds) when the request carries none;
+        ``None`` = no timeout.
+    drain_timeout:
+        Graceful-shutdown budget for in-flight work.
+    cache_capacity:
+        Result-cache entry bound (LRU).
+    telemetry_dir:
+        Enable continuous telemetry into this directory (query log,
+        flight recorder, OpenMetrics) unless the database already has
+        a hub.
+    debug:
+        Honor the ``debug_sleep`` request field (fault-injection
+        hooks for tests); never enable in production.
+    announce:
+        Print ``repro serve listening on host:port`` once bound (the
+        CLI sets this so subprocess harnesses can discover port 0).
+    """
+
+    def __init__(self, db, host="127.0.0.1", port=0, max_inflight=32,
+                 default_timeout=None, drain_timeout=5.0,
+                 cache_capacity=256, telemetry_dir=None, debug=False,
+                 announce=False):
+        self.db = db
+        self.host = host
+        self.port = port
+        self.max_inflight = max_inflight
+        self.default_timeout = default_timeout
+        self.drain_timeout = drain_timeout
+        self.debug = debug
+        self.announce = announce
+        if telemetry_dir is not None and db.telemetry is None:
+            db.enable_telemetry(directory=telemetry_dir)
+        self.hub = db.telemetry
+        self.cache = ResultCache(cache_capacity)
+        #: ``{relation name: invalidation epoch}`` — bumped by applied
+        #: mutations and query head installs; result-cache validity.
+        self._epochs = {}
+        #: Coarse epoch for the program-identity memo: bumped by any
+        #: op that can change name resolution or dictionary encodings.
+        self._identity_epoch = 0
+        self._identity_memo = {}  # text -> (identity_epoch, identity)
+        #: ``{relation name: {token: count}}`` of admitted-but-
+        #: unfinished ops that will mutate or install the relation.
+        #: Mutations mark with :data:`_MUTATION`; query executions mark
+        #: their heads with their own cache key, so a *same-program*
+        #: request can still be served from the cache (its concurrent
+        #: execution installs identical content) while foreign readers
+        #: of the head bypass to FIFO execution.
+        self._pending = {}
+        self._pending_global = 0
+        self._inflight = 0
+        self._outstanding = 0  # dispatched ops whose effects are unapplied
+        self._draining = False
+        self._ewma_seconds = 0.01
+        self.requests = 0
+        self.rejected = 0
+        self.timeouts = 0
+        self.started = time.time()
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve")
+        self._loop = None
+        self._server = None
+        self._stopped = None
+        self._thread = None
+        self._ready = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def _main(self):
+        self._loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=protocol.MAX_LINE_BYTES)
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.announce:
+            print("repro serve listening on %s:%d"
+                  % (self.host, self.port), flush=True)
+        if self._ready is not None:
+            self._ready.set()
+        await self._stopped.wait()
+
+    def serve_forever(self, install_signal_handlers=True):
+        """Run the daemon on this thread until drained (the CLI path).
+
+        SIGTERM/SIGINT begin a graceful drain whose flight-recorder
+        dump is tagged with the signal name.
+        """
+        async def runner():
+            if install_signal_handlers:
+                import signal
+                loop = asyncio.get_running_loop()
+                for signum in (signal.SIGTERM, signal.SIGINT):
+                    name = signal.Signals(signum).name.lower()
+                    loop.add_signal_handler(
+                        signum,
+                        lambda reason=name: asyncio.ensure_future(
+                            self._shutdown(reason)))
+            await self._main()
+        asyncio.run(runner())
+
+    def start(self):
+        """Run the daemon on a background thread; returns ``self`` once
+        the port is bound (tests, the fuzz oracle, benchmarks)."""
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="repro-serve-loop", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("query service failed to start")
+        return self
+
+    def stop(self, reason="stop"):
+        """Drain and stop a :meth:`start`-ed daemon (idempotent)."""
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            future = asyncio.run_coroutine_threadsafe(
+                self._shutdown(reason), loop)
+            future.result(timeout=self.drain_timeout + 30)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    async def _shutdown(self, reason):
+        if self._draining:
+            return
+        self._draining = True
+        deadline = self._loop.time() + self.drain_timeout
+        while (self._inflight or self._outstanding) \
+                and self._loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        self._server.close()
+        await self._server.wait_closed()
+        if self.hub is not None and not self.hub.closed:
+            self.hub.close(dump_reason=reason)
+        self._pool.shutdown(wait=False)
+        self._stopped.set()
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(self, reader, writer):
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(protocol.encode_message(
+                        {"status": "error", "code": "oversized",
+                         "error": "request line exceeds %d bytes"
+                                  % protocol.MAX_LINE_BYTES}))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                try:
+                    request = protocol.decode_message(line)
+                except ValueError as error:
+                    writer.write(protocol.encode_message(
+                        {"status": "error", "code": "bad_request",
+                         "error": "unparseable request: %s" % error}))
+                    await writer.drain()
+                    continue
+                response = await self._dispatch(request)
+                writer.write(protocol.encode_message(response))
+                await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, request):
+        op = request.get("op")
+        base = {}
+        if "id" in request:
+            base["id"] = request["id"]
+        self.requests += 1
+        self.db.metrics.inc("serve.requests", labels={"op": str(op)})
+        if op == "ping":
+            return dict(base, status="ok", pong=True)
+        if op == "status":
+            return dict(base, status="ok", server=self._status_payload())
+        if op == "shutdown":
+            asyncio.ensure_future(self._shutdown(
+                str(request.get("reason", "request"))))
+            return dict(base, status="ok", draining=True)
+        if op not in protocol.EXECUTED_OPS:
+            return dict(base, status="error", code="unknown_op",
+                        error="unknown op %r" % (op,))
+        if self._draining:
+            self.rejected += 1
+            return dict(base, status="rejected", code="shutting_down",
+                        error="server is draining", retry_after=None)
+        if self._inflight >= self.max_inflight:
+            self.rejected += 1
+            self.db.metrics.inc("serve.rejected")
+            return dict(base, status="rejected", code="overloaded",
+                        error="admission queue is full "
+                              "(%d in flight)" % self._inflight,
+                        retry_after=self._retry_after())
+        self._inflight += 1
+        try:
+            if op == "query":
+                reply = await self._handle_query(request, base)
+            else:
+                reply = await self._handle_admitted(op, request, base)
+        finally:
+            self._inflight -= 1
+        elapsed = reply.get("elapsed_seconds")
+        if isinstance(elapsed, (int, float)):
+            self._ewma_seconds = (0.8 * self._ewma_seconds
+                                  + 0.2 * max(elapsed, 1e-4))
+        self.db.metrics.inc("serve.responses",
+                            labels={"op": str(op),
+                                    "status": reply.get("status", "ok")})
+        return reply
+
+    def _retry_after(self):
+        backlog = self._inflight + 1
+        return round(max(0.05, self._ewma_seconds * backlog), 4)
+
+    def _status_payload(self):
+        return {
+            "protocol_version": protocol.PROTOCOL_VERSION,
+            "inflight": self._inflight,
+            "outstanding": self._outstanding,
+            "max_inflight": self.max_inflight,
+            "draining": self._draining,
+            "uptime_seconds": time.time() - self.started,
+            "requests": self.requests,
+            "rejected": self.rejected,
+            "timeouts": self.timeouts,
+            "pending_relations": {name: sum(tokens.values())
+                                  for name, tokens
+                                  in self._pending.items() if tokens},
+            "result_cache": self.cache.snapshot(),
+            "relations": sorted(self.db.catalog),
+        }
+
+    # -- epochs and identity -------------------------------------------------
+
+    def _bump_epochs(self, names):
+        for name in names:
+            self._epochs[name] = self._epochs.get(name, 0) + 1
+        if names:
+            self.cache.invalidate_names(names)
+
+    def _identity(self, text):
+        entry = self._identity_memo.get(text)
+        if entry is not None and entry[0] == self._identity_epoch:
+            return entry[1]
+        try:
+            identity = program_identity(self.db, text)
+        except Exception:
+            identity = None  # let execution surface the real error
+        if len(self._identity_memo) > 4 * self.cache.capacity:
+            self._identity_memo.clear()
+        self._identity_memo[text] = (self._identity_epoch, identity)
+        return identity
+
+    # -- admitted-op plumbing -------------------------------------------------
+
+    async def _run_on_worker(self, worker, timeout, base,
+                             pending_marks=(), pending_global=False):
+        """Dispatch ``worker`` to the executor; await with ``timeout``.
+
+        ``pending_marks`` is a tuple of ``(relation name, token)``
+        pairs taken *now* (admission) and released by :meth:`_finish`
+        when the worker actually completes — which also applies the
+        worker's effects on the loop, in completion order.  A timeout
+        answers early but never cancels a running worker.
+        """
+        for name, token in pending_marks:
+            bucket = self._pending.setdefault(name, {})
+            bucket[token] = bucket.get(token, 0) + 1
+        if pending_global:
+            self._pending_global += 1
+        self._outstanding += 1
+        loop = asyncio.get_running_loop()
+        future = self._pool.submit(worker)
+        future.add_done_callback(
+            lambda f: loop.call_soon_threadsafe(
+                self._finish, f, tuple(pending_marks), pending_global))
+        wrapped = asyncio.wrap_future(future, loop=loop)
+        try:
+            reply = await asyncio.wait_for(wrapped, timeout)
+        except asyncio.TimeoutError:
+            self.timeouts += 1
+            self.db.metrics.inc("serve.timeouts")
+            return dict(base, status="error", code="timeout",
+                        error="request exceeded its %.3gs timeout "
+                              "(the admission slot is released; the "
+                              "operation may still complete "
+                              "server-side)" % timeout)
+        except concurrent.futures.CancelledError:
+            return dict(base, status="error", code="cancelled",
+                        error="request was cancelled before execution")
+        except Exception as error:  # pragma: no cover - defensive
+            return dict(base, status="error", code="internal",
+                        error="%s: %s" % (type(error).__name__, error),
+                        error_class=type(error).__name__)
+        reply.pop("_effects", None)  # applied by _finish
+        reply.update(base)
+        return reply
+
+    def _finish(self, future, pending_marks, pending_global):
+        """Completion bookkeeping, on the event loop, in completion
+        (= admission) order: release pending marks, then apply the
+        worker's effects — epoch bumps, invalidation, cache stores."""
+        self._outstanding -= 1
+        for name, token in pending_marks:
+            bucket = self._pending.get(name)
+            if bucket is None:
+                continue
+            remaining = bucket.get(token, 0) - 1
+            if remaining > 0:
+                bucket[token] = remaining
+            else:
+                bucket.pop(token, None)
+            if not bucket:
+                self._pending.pop(name, None)
+        if pending_global:
+            self._pending_global -= 1
+        if future.cancelled():
+            return
+        error = future.exception()
+        if error is not None:
+            return
+        effects = future.result().get("_effects")
+        if not effects:
+            return
+        if effects.get("identity"):
+            self._identity_epoch += 1
+        if effects.get("clear"):
+            self.cache.clear()
+        store = effects.get("store")
+        if store is not None:
+            # Stamps are read *here*, after every earlier op's bumps
+            # and before any later op's — exactly the epochs the query
+            # executed under.
+            stamps = {name: self._epochs.get(name, 0)
+                      for name in store["reads"]}
+        self._bump_epochs(effects.get("bump", ()))
+        if store is not None:
+            self.cache.store(store["key"], store["payload"],
+                             store["rows"], stamps)
+
+    # -- query handling -------------------------------------------------------
+
+    async def _handle_query(self, request, base):
+        text = request.get("text")
+        if not isinstance(text, str) or not text.strip():
+            return dict(base, status="error", code="bad_request",
+                        error="query op needs a 'text' string")
+        timeout = request.get("timeout", self.default_timeout)
+        debug_sleep = request.get("debug_sleep") if self.debug else None
+        admitted = time.perf_counter()
+        identity = self._identity(text)
+        tier = "miss"
+        if identity is not None and debug_sleep is None:
+            key, reads, heads = identity
+            if self._hit_blocked(key, reads, heads):
+                tier = "bypass"
+                self.cache.bypasses += 1
+            else:
+                entry = self.cache.lookup(key, self._epochs)
+                if entry is not None:
+                    elapsed = time.perf_counter() - admitted
+                    self._record_cache_hit(text, key, entry, elapsed)
+                    return dict(base, status="ok", cached=True,
+                                rows=entry["rows"],
+                                elapsed_seconds=elapsed,
+                                result=entry["payload"])
+        worker = self._query_worker(text, identity, tier, admitted,
+                                    debug_sleep)
+        marks = tuple((head, identity[0]) for head in identity[2]) \
+            if identity is not None else ()
+        return await self._run_on_worker(worker, timeout, base,
+                                         pending_marks=marks)
+
+    def _hit_blocked(self, key, reads, heads):
+        """May a cache hit for this program be served right now?
+
+        Blocked (→ bypass to FIFO execution) when anything that could
+        change the answer — or the catalog state a hit implicitly
+        promises — is pending: a materialize anywhere, any pending op
+        on a relation the program *reads*, or a **foreign** program
+        (different cache key) about to install one of this program's
+        heads.  A pending execution of the *same* program does not
+        block: its install is identical to what a re-execution of this
+        request would produce, so the hit stays bit-identical to
+        serial replay.
+        """
+        if self._pending_global:
+            return True
+        for name in reads:
+            if self._pending.get(name):
+                return True
+        for name in heads:
+            tokens = self._pending.get(name)
+            if tokens and (len(tokens) > 1 or key not in tokens):
+                return True
+        return False
+
+    def _query_worker(self, text, identity, tier, admitted, debug_sleep):
+        def run():
+            queued = time.perf_counter() - admitted
+            extra = None
+            if self.hub is not None:
+                extra = {"result_cache": tier, "queue_seconds": queued}
+            if debug_sleep:
+                original = self.db._query_plain
+
+                def slow(query_text):
+                    time.sleep(float(debug_sleep))
+                    return original(query_text)
+                self.db._query_plain = slow
+            start = time.perf_counter()
+            try:
+                result = self.db.query(text, _record_extra=extra)
+            except EmptyHeadedError as error:
+                return {"status": "error", "code": "query_error",
+                        "error": str(error),
+                        "error_class": type(error).__name__,
+                        "elapsed_seconds": time.perf_counter() - start}
+            finally:
+                if debug_sleep:
+                    del self.db.__dict__["_query_plain"]
+            elapsed = time.perf_counter() - start
+            payload = protocol.payload_from_relation(result.relation,
+                                                     self.db._dictionary)
+            effects = {}
+            reply = {"status": "ok", "cached": False,
+                     "rows": int(result.count),
+                     "elapsed_seconds": elapsed, "result": payload,
+                     "_effects": effects}
+            if identity is not None:
+                key, reads, heads = identity
+                effects["bump"] = list(heads)
+                if tier == "miss":
+                    effects["store"] = {"key": key, "reads": reads,
+                                        "payload": payload,
+                                        "rows": int(result.count)}
+            return reply
+        return run
+
+    def _record_cache_hit(self, text, key, entry, elapsed):
+        """Synthesize a schema-valid query-log record for a hit served
+        straight off the event loop (no execution, no plan cache)."""
+        hub = self.hub
+        if hub is None:
+            return
+        import os
+
+        from ..obs.telemetry import (QUERY_LOG_VERSION, key_digest,
+                                     text_digest)
+        signature = config_signature(self.db.config)
+        digest = self.db._signature_memo.get(signature)
+        if digest is None:
+            digest = self.db._signature_memo[signature] = \
+                key_digest(signature)
+        record = {
+            "schema_version": QUERY_LOG_VERSION,
+            "query_id": hub.next_query_id(),
+            "ts": time.time(),
+            "pid": os.getpid(),
+            "status": "ok",
+            "text_sha": text_digest(text),
+            "text": text if len(text) <= 2048 else text[:2048],
+            "execution_mode": self.db.config.execution_mode,
+            "config_signature": digest,
+            "cache_key": key,
+            "elapsed_seconds": elapsed,
+            "rows": entry["rows"],
+            "plan_cache": "n/a",
+            "result_cache": "hit",
+            "queue_seconds": 0.0,
+        }
+        hub.record_query(record)
+
+    # -- mutation / catalog ops ----------------------------------------------
+
+    async def _handle_admitted(self, op, request, base):
+        timeout = request.get("timeout", self.default_timeout)
+        name = request.get("name")
+        if not isinstance(name, str):
+            return dict(base, status="error", code="bad_request",
+                        error="%s op needs a 'name' string" % op)
+        marks = ((name, _MUTATION),)
+        if op in ("append", "delete"):
+            worker = self._mutation_worker(op, name, request)
+            return await self._run_on_worker(worker, timeout, base,
+                                             pending_marks=marks)
+        if op == "add_relation":
+            worker = self._add_relation_worker(name, request)
+            return await self._run_on_worker(worker, timeout, base,
+                                             pending_marks=marks)
+        if op == "materialize":
+            worker = self._materialize_worker(name, request)
+            return await self._run_on_worker(worker, timeout, base,
+                                             pending_marks=marks,
+                                             pending_global=True)
+        worker = self._relation_worker(name)  # op == "relation"
+        return await self._run_on_worker(worker, timeout, base)
+
+    def _mutation_worker(self, op, name, request):
+        tuples = [tuple(row) for row in request.get("tuples", ())]
+        annotations = request.get("annotations")
+        combine = request.get("combine", "last")
+
+        def run():
+            start = time.perf_counter()
+            try:
+                if op == "append":
+                    changed = self.db.append(name, tuples,
+                                             annotations=annotations,
+                                             combine=combine)
+                else:
+                    changed = self.db.delete(name, tuples)
+            except EmptyHeadedError as error:
+                return {"status": "error", "code": "mutation_error",
+                        "error": str(error),
+                        "error_class": type(error).__name__,
+                        "elapsed_seconds": time.perf_counter() - start,
+                        "_effects": {"identity": True}}
+            return {"status": "ok", "changed": int(changed),
+                    "elapsed_seconds": time.perf_counter() - start,
+                    "_effects": {"identity": True,
+                                 "bump": [name] if changed else []}}
+        return run
+
+    def _add_relation_worker(self, name, request):
+        tuples = [tuple(row) for row in request.get("tuples", ())]
+        annotations = request.get("annotations")
+        arity = request.get("arity")
+        combine = request.get("combine", "last")
+
+        def run():
+            start = time.perf_counter()
+            try:
+                relation = self.db.add_relation(
+                    name, tuples, annotations=annotations,
+                    combine=combine, arity=arity)
+            except EmptyHeadedError as error:
+                return {"status": "error", "code": "mutation_error",
+                        "error": str(error),
+                        "error_class": type(error).__name__,
+                        "elapsed_seconds": time.perf_counter() - start,
+                        "_effects": {"identity": True}}
+            return {"status": "ok", "rows": int(relation.cardinality),
+                    "elapsed_seconds": time.perf_counter() - start,
+                    "_effects": {"identity": True, "bump": [name]}}
+        return run
+
+    def _materialize_worker(self, name, request):
+        text = request.get("text", "")
+
+        def run():
+            start = time.perf_counter()
+            try:
+                result = self.db.materialize(name, text)
+            except EmptyHeadedError as error:
+                return {"status": "error", "code": "query_error",
+                        "error": str(error),
+                        "error_class": type(error).__name__,
+                        "elapsed_seconds": time.perf_counter() - start,
+                        "_effects": {"identity": True, "clear": True}}
+            return {"status": "ok", "rows": int(result.count),
+                    "elapsed_seconds": time.perf_counter() - start,
+                    "_effects": {"identity": True, "clear": True,
+                                 "bump": [name]}}
+        return run
+
+    def _relation_worker(self, name):
+        def run():
+            start = time.perf_counter()
+            try:
+                relation = self.db.relation(name)
+            except EmptyHeadedError as error:
+                return {"status": "error", "code": "unknown_relation",
+                        "error": str(error),
+                        "error_class": type(error).__name__,
+                        "elapsed_seconds": time.perf_counter() - start}
+            payload = protocol.payload_from_relation(relation,
+                                                     self.db._dictionary)
+            return {"status": "ok", "rows": int(relation.cardinality),
+                    "elapsed_seconds": time.perf_counter() - start,
+                    "result": payload}
+        return run
+
+
+def main(argv=None):
+    """``python -m repro.serve`` — forwards to ``repro serve``."""
+    from ..cli import main as cli_main
+    argv = sys.argv[1:] if argv is None else argv
+    return cli_main(["serve"] + list(argv))

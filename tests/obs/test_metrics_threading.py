@@ -1,0 +1,161 @@
+"""Regression tests: MetricsRegistry and TelemetryHub under threads.
+
+The query service (repro.serve) mutates one registry and one hub from
+its asyncio event loop *and* its executor thread.  Before the locks
+were added, ``Counter.inc`` was an unguarded read-modify-write and the
+hub's sink/ring/sequence updates interleaved freely — dropped
+increments and duplicate query ids under contention.  These tests
+hammer both objects from many threads with a tiny switch interval and
+assert exact totals.
+"""
+
+import sys
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, TIME_BUCKETS
+from repro.obs.telemetry import (QUERY_LOG_VERSION, TelemetryHub,
+                                 validate_query_record)
+
+THREADS = 8
+ROUNDS = 2000
+
+
+@pytest.fixture
+def fast_switching():
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-5)
+    yield
+    sys.setswitchinterval(previous)
+
+
+def _run_threads(worker):
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def test_registry_counter_increments_are_exact(fast_switching):
+    registry = MetricsRegistry(enabled=True)
+
+    def worker(index):
+        for _ in range(ROUNDS):
+            registry.inc("hammer.total")
+            registry.inc("hammer.labeled",
+                         labels={"thread": index % 2})
+
+    _run_threads(worker)
+    assert registry.counter("hammer.total").value == THREADS * ROUNDS
+    labeled = (registry.counter("hammer.labeled",
+                                labels={"thread": 0}).value
+               + registry.counter("hammer.labeled",
+                                  labels={"thread": 1}).value)
+    assert labeled == THREADS * ROUNDS
+
+
+def test_registry_histogram_count_sum_consistent(fast_switching):
+    registry = MetricsRegistry(enabled=True)
+
+    def worker(index):
+        for round_index in range(ROUNDS):
+            registry.observe("hammer.seconds",
+                             0.001 * ((round_index % 7) + 1),
+                             TIME_BUCKETS)
+
+    _run_threads(worker)
+    histogram = registry.histogram("hammer.seconds", TIME_BUCKETS)
+    assert histogram.count == THREADS * ROUNDS
+    assert sum(histogram.counts) == histogram.count
+    expected_sum = THREADS * sum(0.001 * ((i % 7) + 1)
+                                 for i in range(ROUNDS))
+    assert histogram.total == pytest.approx(expected_sum, rel=1e-6)
+
+
+def test_registry_merge_state_under_threads(fast_switching):
+    registry = MetricsRegistry(enabled=True)
+    source = MetricsRegistry(enabled=True)
+    source.inc("merge.counter", 3)
+    state = source.to_state()
+
+    def worker(index):
+        for _ in range(ROUNDS // 4):
+            registry.merge_state(state)
+
+    _run_threads(worker)
+    expected = 3 * THREADS * (ROUNDS // 4)
+    assert registry.counter("merge.counter").value == expected
+
+
+def _record(hub, text_sha, mode="interpreted"):
+    return {
+        "schema_version": QUERY_LOG_VERSION,
+        "query_id": hub.next_query_id(),
+        "ts": 0.0,
+        "pid": 1,
+        "status": "ok",
+        "text_sha": text_sha,
+        "execution_mode": mode,
+        "config_signature": "sig",
+        "elapsed_seconds": 0.001,
+        "rows": 1,
+        "plan_cache": "hit",
+        "result_cache": "miss",
+        "queue_seconds": 0.0,
+    }
+
+
+def test_hub_record_query_from_threads(fast_switching, tmp_path):
+    registry = MetricsRegistry(enabled=True)
+    hub = TelemetryHub(directory=str(tmp_path), registry=registry)
+    ids = [set() for _ in range(THREADS)]
+
+    def worker(index):
+        for _ in range(ROUNDS // 4):
+            record = _record(hub, "sha-%d" % index)
+            ids[index].add(record["query_id"])
+            assert not validate_query_record(record)
+            hub.record_query(record)
+
+    _run_threads(worker)
+    hub.close(dump_reason="test")
+    total = THREADS * (ROUNDS // 4)
+    assert hub.queries == total
+    # No duplicate ids across threads: next_query_id is serialized.
+    union = set()
+    for bucket in ids:
+        union |= bucket
+    assert len(union) == total
+    # Series folds are exact: every record counted once.
+    folded = sum(c.value for c in registry.counters.values()
+                 if c.name == "telemetry.queries")
+    assert folded == total
+    tiers = sum(c.value for c in registry.counters.values()
+                if c.name == "telemetry.result_cache")
+    assert tiers == total
+    # The sink saw every record (one JSON line each).
+    from repro.obs.telemetry import read_query_log
+    assert len(read_query_log(str(tmp_path / "queries.jsonl"))) == total
+
+
+def test_hub_mixed_surfaces_from_threads(fast_switching):
+    # Memory-only hub: record_query racing snapshot() and should_trace()
+    # must neither crash nor lose counts.
+    registry = MetricsRegistry(enabled=True)
+    hub = TelemetryHub(directory=None, registry=registry,
+                       slow_query_seconds=10.0)
+
+    def worker(index):
+        for _ in range(ROUNDS // 8):
+            if index % 3 == 2:
+                hub.snapshot()
+                hub.should_trace("sha-%d" % index)
+            else:
+                hub.record_query(_record(hub, "sha-%d" % index))
+
+    _run_threads(worker)
+    writers = sum(1 for i in range(THREADS) if i % 3 != 2)
+    assert hub.queries == writers * (ROUNDS // 8)
