@@ -382,7 +382,10 @@ class TelemetryHub:
         if rows:
             self._counter("rows", "telemetry.rows").inc(rows)
         tier = record.get("plan_cache")
-        if tier:
+        if tier and tier != "n/a":
+            # "n/a" is a record-level sentinel (no plan-cache activity
+            # this query); folding it would invent a tier alongside the
+            # real hit/partial/miss series.
             self._counter(("tier", tier), "telemetry.plan_cache",
                           {"tier": tier}).inc()
         result_tier = record.get("result_cache")

@@ -12,13 +12,18 @@ failures are uncacheable.
 
 Validity is **relation version stamps**: each entry records, for every
 relation its program reads, the server's invalidation epoch at
-execution time.  ``Database.append`` / ``delete`` bump the mutated
-relation's epoch (riding the PR 9 versioned-catalog signal), so a
-mutation invalidates exactly the entries whose read set contains the
-mutated relation — results over untouched relations stay warm.  Read
-sets expand through materialized-view dependencies: an entry reading
-view ``V`` also stamps ``V``'s base relations, because mutating a base
-changes ``V``'s contents on its next refresh.
+execution time — and for every head it installs, the epoch right
+after its own install bump.  ``Database.append`` / ``delete`` bump the
+mutated relation's epoch (riding the PR 9 versioned-catalog signal),
+so a mutation invalidates exactly the entries whose read set contains
+the mutated relation — results over untouched relations stay warm.
+The head stamps cover the catalog state a hit implicitly promises: a
+*foreign* program installing the same head name bumps its epoch and
+evicts the entry, so a hit always means the catalog still holds this
+program's head content.  Read sets expand through materialized-view
+dependencies: an entry reading view ``V`` also stamps ``V``'s base
+relations, because mutating a base changes ``V``'s contents on its
+next refresh.
 
 The server (not this module) decides *when* lookups are safe: a query
 admitted while a mutation is pending on one of its read relations
@@ -99,8 +104,9 @@ class ResultCache:
     """LRU-bounded result cache stamped with invalidation epochs.
 
     Entries map ``key`` → ``{"payload", "rows", "stamps"}`` where
-    ``stamps`` is ``{relation name: epoch at execution}``.  A lookup
-    whose stamps disagree with the current epochs evicts the entry and
+    ``stamps`` is ``{relation name: epoch at execution}`` covering the
+    program's read set *and* its installed heads.  A lookup whose
+    stamps disagree with the current epochs evicts the entry and
     misses.  All methods run on the server's event loop — no internal
     locking needed.
     """

@@ -23,20 +23,30 @@ applies its effects — a timeout is a response deadline, not an abort.
 
 **Result cache.**  Cacheable queries are keyed by optimized-IR
 identity (:func:`~repro.serve.cache.program_identity`); entries stamp
-the invalidation epoch of every relation they read.  Completed ops
-apply their *effects* on the event loop in completion (= admission)
-order: mutations bump the mutated relation's epoch and evict entries
-reading it; executed queries bump their installed heads' epochs and
-store their payload.  A query arriving while a mutation (or an
-overlapping execution) is pending on one of its relations *bypasses*
-the cache and executes FIFO instead — a hit is only served when
-nothing that could change its answer is in flight, which makes hits
-bit-identical to serial replay.
+the invalidation epoch of every relation they read *and* every head
+they install (so a foreign program reinstalling the same head name
+invalidates them).  Program identity itself touches the live catalog,
+so it is only ever *computed* on the worker thread — serialized with
+every mutation; the event loop consults a memo and, when that memo is
+cold, defers the whole decision to the worker, which probes the cache
+at its FIFO position (where every earlier op has applied its effects
+and nothing later has run — a hit there is trivially bit-identical to
+serial replay).  Completed ops apply their *effects* on the event loop
+in completion (= admission) order: mutations bump the mutated
+relation's epoch and evict entries stamped with it; executed queries
+bump their installed heads' epochs and store their payload.  A query
+arriving while a mutation (or an overlapping execution) is pending on
+one of its relations *bypasses* the memo fast path and executes FIFO
+instead — a loop-side hit is only served when nothing that could
+change its answer is in flight.
 
 **Drain.**  ``shutdown`` (the op, SIGTERM, or SIGINT) stops admitting
 (new requests are rejected with ``code="shutting_down"``), waits up to
-``drain_timeout`` for in-flight work, closes the telemetry hub (flight
-recorder post-mortem + OpenMetrics flush), and stops the loop.
+``drain_timeout`` for in-flight work, closes the listener and every
+client connection (Python ≥ 3.12 makes ``Server.wait_closed`` block
+until all handlers exit, and an idle client holding its socket open
+must not stall the drain), closes the telemetry hub (flight recorder
+post-mortem + OpenMetrics flush), and stops the loop.
 
 Telemetry plugs into the PR 8 pipeline: executed queries carry
 ``result_cache`` / ``queue_seconds`` in their query-log records via
@@ -124,6 +134,7 @@ class QueryService:
         #: of the head bypass to FIFO execution.
         self._pending = {}
         self._pending_global = 0
+        self._connections = set()  # open client writers, loop-owned
         self._inflight = 0
         self._outstanding = 0  # dispatched ops whose effects are unapplied
         self._draining = False
@@ -206,7 +217,24 @@ class QueryService:
                 and self._loop.time() < deadline:
             await asyncio.sleep(0.01)
         self._server.close()
-        await self._server.wait_closed()
+        # Close every client connection explicitly: readline() in the
+        # handlers returns EOF and they exit.  On Python >= 3.12.1,
+        # Server.wait_closed() blocks until all handlers finish, so an
+        # idle client holding its socket open would otherwise stall
+        # the drain forever.  Responses already computed are flushed
+        # before the transport sends FIN; a handler still waiting on
+        # its worker past the drain deadline loses its reply — that is
+        # the documented drain-deadline behavior.
+        for writer in list(self._connections):
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - already closing
+                pass
+        try:
+            await asyncio.wait_for(self._server.wait_closed(),
+                                   timeout=1.0)
+        except asyncio.TimeoutError:  # pragma: no cover - zombie handler
+            pass
         if self.hub is not None and not self.hub.closed:
             self.hub.close(dump_reason=reason)
         self._pool.shutdown(wait=False)
@@ -215,6 +243,7 @@ class QueryService:
     # -- connection handling ------------------------------------------------
 
     async def _handle_connection(self, reader, writer):
+        self._connections.add(writer)
         try:
             while True:
                 try:
@@ -236,12 +265,25 @@ class QueryService:
                          "error": "unparseable request: %s" % error}))
                     await writer.drain()
                     continue
-                response = await self._dispatch(request)
+                try:
+                    response = await self._dispatch(request)
+                except Exception as error:
+                    # An internal fault must produce an error reply,
+                    # not kill the connection task with an unretrieved
+                    # exception.
+                    response = {"status": "error", "code": "internal",
+                                "error": "%s: %s"
+                                         % (type(error).__name__,
+                                            error),
+                                "error_class": type(error).__name__}
+                    if "id" in request:
+                        response["id"] = request["id"]
                 writer.write(protocol.encode_message(response))
                 await writer.drain()
         except ConnectionError:
             pass
         finally:
+            self._connections.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -299,6 +341,16 @@ class QueryService:
         return round(max(0.05, self._ewma_seconds * backlog), 4)
 
     def _status_payload(self):
+        for _ in range(4):
+            try:
+                relations = sorted(self.db.catalog)
+                break
+            except RuntimeError:
+                # The worker thread added a relation mid-iteration;
+                # the dict is never left inconsistent, so retry.
+                continue
+        else:  # pragma: no cover - needs a pathological mutation storm
+            relations = []
         return {
             "protocol_version": protocol.PROTOCOL_VERSION,
             "inflight": self._inflight,
@@ -313,7 +365,7 @@ class QueryService:
                                   for name, tokens
                                   in self._pending.items() if tokens},
             "result_cache": self.cache.snapshot(),
-            "relations": sorted(self.db.catalog),
+            "relations": relations,
         }
 
     # -- epochs and identity -------------------------------------------------
@@ -324,18 +376,26 @@ class QueryService:
         if names:
             self.cache.invalidate_names(names)
 
-    def _identity(self, text):
-        entry = self._identity_memo.get(text)
-        if entry is not None and entry[0] == self._identity_epoch:
-            return entry[1]
+    def _call_on_loop(self, fn):
+        """Run ``fn`` on the event loop from the worker thread and
+        return its result, or ``None`` if the loop is gone or
+        unresponsive (shutdown races) — callers fall back to plain
+        uncached execution."""
+        done = concurrent.futures.Future()
+
+        def runner():
+            try:
+                done.set_result(fn())
+            except BaseException as error:
+                done.set_exception(error)
         try:
-            identity = program_identity(self.db, text)
-        except Exception:
-            identity = None  # let execution surface the real error
-        if len(self._identity_memo) > 4 * self.cache.capacity:
-            self._identity_memo.clear()
-        self._identity_memo[text] = (self._identity_epoch, identity)
-        return identity
+            self._loop.call_soon_threadsafe(runner)
+        except RuntimeError:  # pragma: no cover - loop already closed
+            return None
+        try:
+            return done.result(timeout=10)
+        except Exception:  # pragma: no cover - loop died mid-probe
+            return None
 
     # -- admitted-op plumbing -------------------------------------------------
 
@@ -357,9 +417,15 @@ class QueryService:
         self._outstanding += 1
         loop = asyncio.get_running_loop()
         future = self._pool.submit(worker)
-        future.add_done_callback(
-            lambda f: loop.call_soon_threadsafe(
-                self._finish, f, tuple(pending_marks), pending_global))
+        marks = tuple(pending_marks)
+
+        def completed(f):
+            try:
+                loop.call_soon_threadsafe(
+                    self._finish, f, marks, pending_global)
+            except RuntimeError:  # pragma: no cover - loop closed
+                pass  # post-drain zombie; nothing left to account for
+        future.add_done_callback(completed)
         wrapped = asyncio.wrap_future(future, loop=loop)
         try:
             reply = await asyncio.wait_for(wrapped, timeout)
@@ -414,13 +480,19 @@ class QueryService:
             self.cache.clear()
         store = effects.get("store")
         if store is not None:
-            # Stamps are read *here*, after every earlier op's bumps
-            # and before any later op's — exactly the epochs the query
-            # executed under.
+            # Read stamps are taken *here*, after every earlier op's
+            # bumps and before any later op's — exactly the epochs the
+            # query executed under.
             stamps = {name: self._epochs.get(name, 0)
                       for name in store["reads"]}
         self._bump_epochs(effects.get("bump", ()))
         if store is not None:
+            # Heads are stamped *after* this query's own install bump:
+            # the entry promises the catalog still holds this program's
+            # head content, so a foreign program installing the same
+            # head name later invalidates it.
+            for name in store.get("heads", ()):
+                stamps[name] = self._epochs.get(name, 0)
             self.cache.store(store["key"], store["payload"],
                              store["rows"], stamps)
 
@@ -434,7 +506,22 @@ class QueryService:
         timeout = request.get("timeout", self.default_timeout)
         debug_sleep = request.get("debug_sleep") if self.debug else None
         admitted = time.perf_counter()
-        identity = self._identity(text)
+        memo = self._identity_memo.get(text)
+        if memo is None or memo[0] != self._identity_epoch:
+            # Identity unknown (first sight, or invalidated by a
+            # mutation).  program_identity parses and optimizes against
+            # the live catalog, which the worker thread may be mutating
+            # right now — so it must never run on the event loop.  The
+            # worker computes it at this request's FIFO position
+            # (serialized with every mutation), probes the cache there,
+            # and executes on a miss.  Heads are unknown until then, so
+            # a global pending mark blocks every fast-path hit for the
+            # duration.
+            worker = self._deferred_query_worker(text, admitted,
+                                                 debug_sleep)
+            return await self._run_on_worker(worker, timeout, base,
+                                             pending_global=True)
+        identity = memo[1]
         tier = "miss"
         if identity is not None and debug_sleep is None:
             key, reads, heads = identity
@@ -481,6 +568,51 @@ class QueryService:
                 return True
         return False
 
+    def _deferred_query_worker(self, text, admitted, debug_sleep):
+        """Worker for a query whose identity is not memoized.
+
+        Runs on the pool thread: compute the identity (safe — every
+        catalog mutation is serialized onto this same thread), memoize
+        it and probe the cache on the event loop, then execute on a
+        miss.  The probe happens at this request's FIFO position, so a
+        hit there is bit-identical to serial replay: every op admitted
+        earlier has completed and applied its effects, and nothing
+        admitted later has run.
+        """
+        def run():
+            try:
+                identity = program_identity(self.db, text)
+            except Exception:
+                identity = None  # let execution surface the real error
+            entry = self._call_on_loop(
+                lambda: self._execution_probe(
+                    text, identity, admitted, debug_sleep is not None))
+            if entry is not None:
+                return {"status": "ok", "cached": True,
+                        "rows": entry["rows"],
+                        "elapsed_seconds":
+                            time.perf_counter() - admitted,
+                        "result": entry["payload"]}
+            return self._query_worker(text, identity, "miss", admitted,
+                                      debug_sleep)()
+        return run
+
+    def _execution_probe(self, text, identity, admitted, skip_lookup):
+        """On the event loop, at the calling worker job's FIFO
+        position: memoize ``identity`` (the epoch is exact — every
+        earlier op's effects are applied) and return a valid cache
+        entry, if any, recording the hit in the query log."""
+        if len(self._identity_memo) > 4 * self.cache.capacity:
+            self._identity_memo.clear()
+        self._identity_memo[text] = (self._identity_epoch, identity)
+        if identity is None or skip_lookup:
+            return None
+        entry = self.cache.lookup(identity[0], self._epochs)
+        if entry is not None:
+            self._record_cache_hit(text, identity[0], entry,
+                                   time.perf_counter() - admitted)
+        return entry
+
     def _query_worker(self, text, identity, tier, admitted, debug_sleep):
         def run():
             queued = time.perf_counter() - admitted
@@ -516,8 +648,13 @@ class QueryService:
             if identity is not None:
                 key, reads, heads = identity
                 effects["bump"] = list(heads)
-                if tier == "miss":
+                # Bypass executions may store too: stamps are read at
+                # _finish in completion order, so the entry records
+                # exactly the epochs this execution ran under and any
+                # later-completing mutation still invalidates it.
+                if tier in ("miss", "bypass"):
                     effects["store"] = {"key": key, "reads": reads,
+                                        "heads": heads,
                                         "payload": payload,
                                         "rows": int(result.count)}
             return reply
@@ -551,7 +688,9 @@ class QueryService:
             "cache_key": key,
             "elapsed_seconds": elapsed,
             "rows": entry["rows"],
-            "plan_cache": "n/a",
+            # No plan_cache field: a served hit never touches the plan
+            # cache, and inventing a sentinel tier would pollute the
+            # telemetry.plan_cache counter series.
             "result_cache": "hit",
             "queue_seconds": 0.0,
         }
